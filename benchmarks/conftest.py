@@ -1,0 +1,26 @@
+"""Session fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper at full
+scale (600-node topology, 1000 subscriptions); the expensive shared
+state is built once per session here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, build_testbed
+
+#: Full-scale configuration; events trimmed to keep the whole bench
+#: run in minutes while leaving every curve statistically stable.
+BENCH_CONFIG = ExperimentConfig(num_events=600)
+
+
+@pytest.fixture(scope="session")
+def config():
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def testbed(config):
+    return build_testbed(config)

@@ -1,0 +1,148 @@
+"""Clustering algorithm comparison (paper Appendix / Section 5.2).
+
+Times the preprocessing stage per algorithm and group budget, and
+prints the quality table (expected waste, coverage, and the realized
+improvement at the static and recommended thresholds).
+
+Paper claims checked as shape assertions:
+
+- pairwise grouping achieves expected waste at least as low as the
+  minimum-spanning-tree simplification (it refreshes distances after
+  every merge; MST never does);
+- Forgy k-means has the shortest running time of the three on a fixed
+  input (it makes a constant number of passes over the T cells, while
+  the agglomerative algorithms are quadratic in T);
+- every algorithm produces a partition with positive static
+  improvement at paper scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.clustering import (
+    EventGrid,
+    ForgyKMeansClustering,
+    MinimumSpanningTreeClustering,
+    PairwiseGroupingClustering,
+)
+from repro.experiments import run_clustering_comparison
+
+ALGORITHMS = {
+    "forgy": ForgyKMeansClustering(),
+    "pairwise": PairwiseGroupingClustering(),
+    "mst": MinimumSpanningTreeClustering(),
+}
+
+
+@pytest.fixture(scope="module")
+def stock_grid(testbed, config):
+    return EventGrid(
+        testbed.table.rectangles(),
+        [s.subscriber for s in testbed.table],
+        density=testbed.density(9),
+        cells_per_dim=config.cells_per_dim,
+    )
+
+
+def test_bench_grid_construction(benchmark, testbed, config):
+    grid = benchmark.pedantic(
+        lambda: EventGrid(
+            testbed.table.rectangles(),
+            [s.subscriber for s in testbed.table],
+            density=testbed.density(9),
+            cells_per_dim=config.cells_per_dim,
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert grid.num_occupied_cells > config.max_cells
+
+
+@pytest.mark.parametrize("name", ["forgy", "pairwise", "mst"])
+def test_bench_clustering_algorithm(benchmark, stock_grid, config, name):
+    algorithm = ALGORITHMS[name]
+    result = benchmark.pedantic(
+        lambda: algorithm.cluster(
+            stock_grid, 11, max_cells=config.max_cells
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_clusters == 11
+    result.validate_disjoint()
+
+
+def test_bench_clustering_comparison_table(benchmark, config, testbed):
+    rows = benchmark.pedantic(
+        lambda: run_clustering_comparison(config, testbed, modes=9),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nClustering comparison — 9-mode scenario")
+    print(
+        format_table(
+            (
+                "algorithm",
+                "groups",
+                "time ms",
+                "EW",
+                "coverage",
+                "t=0",
+                "t=0.15",
+            ),
+            [
+                (
+                    r.algorithm,
+                    r.num_groups,
+                    f"{r.cluster_seconds * 1000:.0f}",
+                    f"{r.expected_waste:.1f}",
+                    f"{r.covered_probability:.3f}",
+                    f"{r.improvement_static:.1f}%",
+                    f"{r.improvement_at_15:.1f}%",
+                )
+                for r in rows
+            ],
+        )
+    )
+
+    by_key = {(r.algorithm, r.num_groups): r for r in rows}
+    for groups in config.group_counts:
+        forgy = by_key[("forgy", groups)]
+        pairwise = by_key[("pairwise", groups)]
+        mst = by_key[("mst", groups)]
+        # Pairwise quality >= MST quality (EW objective, lower better).
+        assert pairwise.expected_waste <= mst.expected_waste + 1e-6
+        # Everyone produces a usefully positive static improvement.
+        for row in (forgy, pairwise, mst):
+            assert row.improvement_static > 10.0, row
+            assert 0.0 < row.covered_probability <= 1.0
+
+    # Forgy's runtime advantage (the paper's claim) shows at the
+    # 11-group budget; at 61 groups its O(n*T) closest-cluster scans
+    # erode it.  Single-shot millisecond timings are noisy (warmup,
+    # scheduler), so compare minimum-of-repeats measurements.
+    import time as _time
+
+    grid = EventGrid(
+        testbed.table.rectangles(),
+        [s.subscriber for s in testbed.table],
+        density=testbed.density(9),
+        cells_per_dim=config.cells_per_dim,
+    )
+
+    def best_time(algorithm) -> float:
+        samples = []
+        for _ in range(5):
+            start = _time.perf_counter()
+            algorithm.cluster(grid, 11, max_cells=config.max_cells)
+            samples.append(_time.perf_counter() - start)
+        return min(samples)
+
+    forgy_time = best_time(ForgyKMeansClustering())
+    pairwise_time = best_time(PairwiseGroupingClustering())
+    mst_time = best_time(MinimumSpanningTreeClustering())
+    assert forgy_time <= pairwise_time
+    assert forgy_time <= mst_time

@@ -1,0 +1,48 @@
+"""Figure 3 — regenerate the transit-stub testbed topology.
+
+The paper's Figure 3 shows the 600-node network GT-ITM produced from
+"three transit blocks ... an average of five transit nodes in each
+block.  Each transit node was connected to two stubs on average, each
+stub having an average of twenty nodes."  This benchmark times the
+generation and prints/validates the structural summary.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.experiments import summarize_topology
+from repro.network import TransitStubGenerator
+
+
+def test_bench_figure3_topology_generation(benchmark, config):
+    topology = benchmark.pedantic(
+        lambda: TransitStubGenerator(seed=config.seed).generate(),
+        rounds=3,
+        iterations=1,
+    )
+    summary = summarize_topology(topology)
+
+    print("\nFigure 3 — generated network topology")
+    print(format_table(("property", "value"), summary.rows()))
+
+    # Shape assertions: the paper's hierarchical scheme.
+    assert summary.is_connected
+    assert summary.num_transit_blocks == 3
+    assert 400 <= summary.num_nodes <= 800  # "six hundred nodes"-ish
+    assert summary.num_stubs == 2 * summary.num_transit_nodes
+    assert 15 <= summary.mean_stub_size <= 25  # "twenty nodes" average
+    assert summary.num_stub_nodes > 10 * summary.num_transit_nodes
+
+
+def test_bench_figure3_routing_preprocess(benchmark, testbed):
+    """All-pairs shortest paths over the testbed (the simulation's
+    static routing cost)."""
+    from repro.network import RoutingTable
+
+    table = benchmark.pedantic(
+        lambda: RoutingTable.from_topology(testbed.topology),
+        rounds=3,
+        iterations=1,
+    )
+    nodes = testbed.topology.all_stub_nodes()
+    assert table.distance(nodes[0], nodes[-1]) > 0

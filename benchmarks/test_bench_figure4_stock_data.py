@@ -1,0 +1,70 @@
+"""Figure 4 — stock-trade distribution panels.
+
+The paper analyzed one NYSE trading day (1999-09-24) and found:
+(a) normalized prices ≈ normal, (b) stock popularity ≈ Zipf,
+(c) trade amounts ≈ heavy-tailed (Zipf/Pareto).  We regenerate the
+panels over the synthetic day (the documented substitution for the
+proprietary tape) and assert the analysis pipeline recovers all three
+laws.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, sparkline
+from repro.experiments import run_figure4
+from repro.workload import StockMarketModel
+
+
+def test_bench_figure4_day_generation(benchmark, config):
+    day = benchmark.pedantic(
+        lambda: StockMarketModel(seed=config.seed + 4).generate_day(),
+        rounds=3,
+        iterations=1,
+    )
+    assert day.num_trades == 200_000
+
+
+def test_bench_figure4_distribution_panels(benchmark, config):
+    result = benchmark.pedantic(
+        lambda: run_figure4(config), rounds=1, iterations=1
+    )
+
+    print("\nFigure 4 — one day of trades, three panels")
+    print(
+        format_table(
+            ("panel", "fit", "goodness"),
+            [
+                (
+                    "(a) normalized price",
+                    f"N({result.price_fit.mean:.4f}, "
+                    f"{result.price_fit.std:.4f})",
+                    f"KS stat {result.price_fit.ks_statistic:.4f}",
+                ),
+                (
+                    "(b) popularity rank",
+                    f"count ~ rank^{result.popularity_fit.slope:.2f}",
+                    f"R^2 {result.popularity_fit.r_squared:.3f}",
+                ),
+                (
+                    "(c) trade amounts",
+                    f"P(X>x) ~ x^{result.amount_fit.slope:.2f}",
+                    f"R^2 {result.amount_fit.r_squared:.3f}",
+                ),
+            ],
+        )
+    )
+    print(
+        "price histogram: "
+        f"[{sparkline(result.price_histogram.density.tolist())}]"
+    )
+
+    # (a) bell shape centred on 1 (prices normalized by opening price).
+    assert result.price_fit.looks_normal
+    assert abs(result.price_fit.mean - 1.0) < 0.01
+    assert abs(result.price_histogram.mode_center - 1.0) < 0.02
+    # (b) Zipf-like: straight in log-log with slope ≈ -1.
+    assert result.popularity_fit.looks_power_law
+    assert -1.3 < result.popularity_fit.slope < -0.7
+    # (c) heavy tail with the configured alpha ≈ 1.2.
+    assert result.amount_fit.looks_power_law
+    assert -1.5 < result.amount_fit.slope < -0.9

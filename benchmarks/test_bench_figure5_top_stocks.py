@@ -1,0 +1,48 @@
+"""Figure 5 — the three most frequently traded stocks.
+
+Per-stock panels: the paper observes "the price distributions do
+exhibit bell shapes centering around the averages" and "the amount of
+money for each trade appears to follow a Pareto distribution".
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.experiments import run_figure5
+
+
+def test_bench_figure5_top_stock_panels(benchmark, config):
+    panels = benchmark.pedantic(
+        lambda: run_figure5(config), rounds=1, iterations=1
+    )
+
+    print("\nFigure 5 — top-3 most traded stocks")
+    print(
+        format_table(
+            ("stock", "trades", "price fit", "KS", "amount tail"),
+            [
+                (
+                    panel.stock,
+                    panel.num_trades,
+                    f"N({panel.price_fit.mean:.4f}, "
+                    f"{panel.price_fit.std:.4f})",
+                    f"{panel.price_fit.ks_statistic:.4f}",
+                    f"x^{panel.amount_fit.slope:.2f}",
+                )
+                for panel in panels
+            ],
+        )
+    )
+
+    assert len(panels) == 3
+    # Popularity ordering: strictly more trades at better ranks (Zipf).
+    assert (
+        panels[0].num_trades > panels[1].num_trades > panels[2].num_trades
+    )
+    for panel in panels:
+        # Bell-shaped normalized prices centred on the average.
+        assert panel.price_fit.looks_normal
+        assert abs(panel.price_fit.mean - 1.0) < 0.01
+        # Pareto-ish amounts.
+        assert panel.amount_fit.looks_power_law
+        assert panel.amount_fit.slope < -0.9

@@ -1,0 +1,120 @@
+"""Matching problem — S-tree vs baseline indexes (paper Section 3).
+
+Times index construction and point-query matching for every backend at
+several subscription scales, and prints the node-access table (the
+spatial-index figure of merit).  The S-tree is the paper's structure;
+the Hilbert-packed R-tree is the classic packed baseline it is
+contrasted with in Section 3.1, and the linear scan anchors the "no
+index" cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.core import MATCHER_BACKENDS, SubscriptionTable
+from repro.experiments import run_matching_comparison
+from repro.workload import StockSubscriptionGenerator
+
+
+@pytest.fixture(scope="module")
+def matching_workload(testbed, config):
+    placed = StockSubscriptionGenerator(
+        testbed.topology, seed=config.seed + 99
+    ).generate(4000)
+    table = SubscriptionTable.from_placed(placed)
+    lows, highs = table.to_arrays()
+    points, _ = testbed.publications(9, count=300)
+    return lows, highs, points
+
+
+@pytest.mark.parametrize("backend", ["stree", "rtree", "grid", "counting", "linear"])
+def test_bench_matching_build(benchmark, matching_workload, backend):
+    lows, highs, _ = matching_workload
+    matcher = benchmark.pedantic(
+        lambda: MATCHER_BACKENDS[backend].build(lows, highs),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(matcher) == len(lows)
+
+
+@pytest.mark.parametrize("backend", ["stree", "rtree", "grid", "counting", "linear"])
+def test_bench_matching_query(benchmark, matching_workload, backend):
+    lows, highs, points = matching_workload
+    matcher = MATCHER_BACKENDS[backend].build(lows, highs)
+
+    def run_queries():
+        total = 0
+        for point in points:
+            total += len(matcher.match(point))
+        return total
+
+    total = benchmark.pedantic(run_queries, rounds=2, iterations=1)
+    assert total > 0
+
+
+def test_bench_matching_comparison_table(benchmark, config, testbed):
+    rows = benchmark.pedantic(
+        lambda: run_matching_comparison(
+            config,
+            testbed,
+            subscription_counts=(250, 1000, 4000),
+            num_queries=200,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\nMatching comparison — build/query cost per backend")
+    print(
+        format_table(
+            (
+                "backend",
+                "k",
+                "build ms",
+                "query us",
+                "nodes/q",
+                "entries/q",
+                "matches",
+            ),
+            [
+                (
+                    r.backend,
+                    r.num_subscriptions,
+                    f"{r.build_seconds * 1000:.1f}",
+                    f"{r.query_microseconds:.0f}",
+                    f"{r.nodes_per_query:.1f}",
+                    f"{r.entries_per_query:.0f}",
+                    f"{r.mean_matches:.1f}",
+                )
+                for r in rows
+            ],
+        )
+    )
+
+    by_backend = {}
+    for row in rows:
+        by_backend.setdefault(row.backend, {})[row.num_subscriptions] = row
+
+    for k in (250, 1000, 4000):
+        stree = by_backend["stree"][k]
+        rtree = by_backend["rtree"][k]
+        linear = by_backend["linear"][k]
+        # All backends found the same matches.
+        assert stree.mean_matches == pytest.approx(linear.mean_matches)
+        assert rtree.mean_matches == pytest.approx(linear.mean_matches)
+        # The trees prune: far fewer containment tests than brute force.
+        assert stree.entries_per_query < 0.5 * linear.entries_per_query
+        # The paper's packed S-tree examines no more entries than the
+        # Hilbert R-tree baseline on this workload.
+        assert stree.entries_per_query <= rtree.entries_per_query * 1.1
+
+    # Pruning improves relatively as k grows (the scalability claim).
+    stree_fraction = {
+        k: by_backend["stree"][k].entries_per_query / k
+        for k in (250, 1000, 4000)
+    }
+    assert stree_fraction[4000] <= stree_fraction[250]

@@ -1,0 +1,80 @@
+"""Section 5's parameter table — subscription workload verification.
+
+Regenerates the 1000-subscription workload and checks that the
+realized interval-branch frequencies match the paper's table:
+
+          q0    q1   q2   (bounded)
+  price   0.15  0.1  0.1  0.65
+  volume  0.35  0.1  0.1  0.45
+
+plus the 40/30/30 transit-block split and the per-block name anchors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.experiments import measure_field, run_table1
+from repro.workload import (
+    DIM_NAME,
+    StockSubscriptionGenerator,
+)
+
+
+def test_bench_table1_subscription_generation(benchmark, testbed, config):
+    placed = benchmark.pedantic(
+        lambda: StockSubscriptionGenerator(
+            testbed.topology, seed=config.seed + 1
+        ).generate(config.num_subscriptions),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(placed) == config.num_subscriptions
+
+
+def test_bench_table1_parameter_verification(benchmark, testbed, config):
+    rows = benchmark.pedantic(
+        lambda: run_table1(config, testbed), rounds=1, iterations=1
+    )
+
+    print("\nSection 5 parameter table — expected vs measured")
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            (
+                row.field,
+                f"{row.measured.wildcard:.3f} / {row.expected.q0:.2f}",
+                f"{row.measured.lower_ray:.3f} / {row.expected.q1:.2f}",
+                f"{row.measured.upper_ray:.3f} / {row.expected.q2:.2f}",
+                f"{row.measured.bounded:.3f} / "
+                f"{row.expected.bounded_probability:.2f}",
+            )
+        )
+    print(
+        format_table(
+            ("field", "q0 (meas/spec)", "q1", "q2", "bounded"), table_rows
+        )
+    )
+
+    for row in rows:
+        assert row.within_tolerance(0.05), row
+        # Bounded intervals obey the Pareto minimum length c = 4.
+        assert row.measured.bounded_min_length >= 4.0 - 1e-9
+        # Bounded centers sit near mu3 = 9.
+        assert abs(row.measured.bounded_center_mean - 9.0) < 0.5
+
+    # 40/30/30 block split and per-block name anchors (3, 10, 17).
+    placed = testbed.placed
+    blocks = np.bincount([s.block for s in placed], minlength=3)
+    shares = blocks / len(placed)
+    assert abs(shares[0] - 0.4) < 0.05
+    assert abs(shares[1] - 0.3) < 0.05
+    assert abs(shares[2] - 0.3) < 0.05
+    for block, anchor in enumerate((3.0, 10.0, 17.0)):
+        centers = [
+            (s.rectangle.lows[DIM_NAME] + s.rectangle.highs[DIM_NAME]) / 2
+            for s in placed
+            if s.block == block
+        ]
+        assert abs(np.mean(centers) - anchor) < 1.0

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Matching-index showdown: S-tree vs the baselines.
+
+Builds every index backend over the same subscription sets at growing
+scale and reports build time, query latency, and pruning power
+(entries tested per query).  Shows the crossover the paper's matching
+section is about: the brute-force scan wins tiny workloads, the packed
+trees win as ``k`` grows.
+
+Run:  python examples/matching_showdown.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    StockSubscriptionGenerator,
+    SubscriptionTable,
+    TransitStubGenerator,
+    publication_distribution,
+)
+from repro.analysis import format_table
+from repro.core import MATCHER_BACKENDS
+from repro.workload import PublicationGenerator
+
+
+def main() -> None:
+    topology = TransitStubGenerator(seed=31).generate()
+    placed = StockSubscriptionGenerator(topology, seed=32).generate(8000)
+    density = publication_distribution(9)
+    points, _ = PublicationGenerator(
+        density, topology.all_stub_nodes(), seed=33
+    ).generate(300)
+
+    rows = []
+    for k in (100, 1000, 8000):
+        table = SubscriptionTable.from_placed(placed[:k])
+        lows, highs = table.to_arrays()
+        reference = None
+        for backend, matcher_cls in MATCHER_BACKENDS.items():
+            start = time.perf_counter()
+            matcher = matcher_cls.build(lows, highs)
+            build_ms = (time.perf_counter() - start) * 1000
+
+            matcher.stats.reset()
+            start = time.perf_counter()
+            matches = [tuple(matcher.match(p)) for p in points]
+            query_us = (time.perf_counter() - start) / len(points) * 1e6
+
+            if reference is None:
+                reference = matches
+            assert matches == reference, f"{backend} disagrees!"
+
+            rows.append(
+                (
+                    k,
+                    backend,
+                    f"{build_ms:.1f}",
+                    f"{query_us:.0f}",
+                    f"{matcher.stats.entries_per_query:.0f}",
+                    f"{matcher.stats.entries_per_query / k * 100:.0f}%",
+                )
+            )
+
+    print("all backends agree on every query — now the costs:\n")
+    print(
+        format_table(
+            ("k", "backend", "build ms", "query us", "entries/q", "scanned"),
+            rows,
+        )
+    )
+    print(
+        "\nreading guide: 'scanned' is the fraction of all subscriptions "
+        "containment-tested per event.  The S-tree's packing keeps it "
+        "low and falling with scale; the linear scan is always 100%."
+    )
+
+
+if __name__ == "__main__":
+    main()

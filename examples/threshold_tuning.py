@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Tuning the distribution-method threshold for a deployment.
+
+Sweeps the unicast threshold ``t`` over [0, 1] for every clustering
+algorithm (the paper's Figure 6 methodology) and prints the resulting
+improvement curves, then recommends a threshold.  Useful as a template
+for tuning the scheme on your own topology and workload.
+
+Run:  python examples/threshold_tuning.py [--modes 9] [--groups 11]
+"""
+
+import argparse
+
+from repro import (
+    PublicationGenerator,
+    PubSubBroker,
+    StockSubscriptionGenerator,
+    SubscriptionTable,
+    TransitStubGenerator,
+    publication_distribution,
+)
+from repro.analysis import sparkline
+from repro.experiments import default_algorithms, sweep_thresholds
+
+THRESHOLDS = (0.0, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50, 0.75, 1.0)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--modes", type=int, default=9, choices=(1, 4, 9))
+    parser.add_argument("--groups", type=int, default=11)
+    parser.add_argument("--events", type=int, default=800)
+    args = parser.parse_args()
+
+    topology = TransitStubGenerator(seed=21).generate()
+    placed = StockSubscriptionGenerator(topology, seed=22).generate(1000)
+    table = SubscriptionTable.from_placed(placed)
+    density = publication_distribution(args.modes)
+    points, publishers = PublicationGenerator(
+        density, topology.all_stub_nodes(), seed=23
+    ).generate(args.events)
+
+    print(
+        f"workload: {args.events} events, {args.modes} hot spots, "
+        f"{args.groups} multicast groups\n"
+    )
+    header = "  ".join(f"{t:5.2f}" for t in THRESHOLDS)
+    print(f"{'algorithm':>9}  t->  {header}")
+
+    best_overall = None
+    for algorithm in default_algorithms():
+        broker = PubSubBroker.preprocess(
+            topology,
+            table,
+            algorithm,
+            num_groups=args.groups,
+            density=density,
+        )
+        curve = sweep_thresholds(broker, points, publishers, THRESHOLDS)
+        improvements = [p.improvement_percent for p in curve]
+        values = "  ".join(f"{v:5.1f}" for v in improvements)
+        print(
+            f"{algorithm.name:>9}       {values}  "
+            f"[{sparkline(improvements)}]"
+        )
+        top = max(curve, key=lambda p: p.improvement_percent)
+        if best_overall is None or (
+            top.improvement_percent > best_overall[2]
+        ):
+            best_overall = (
+                algorithm.name,
+                top.threshold,
+                top.improvement_percent,
+            )
+
+    name, threshold, improvement = best_overall
+    print(
+        f"\nrecommendation: {name} clustering with t = {threshold:.2f} "
+        f"({improvement:.1f}% improvement over unicast)"
+    )
+    print(
+        "note: t = 0.00 is the static scheme (always multicast); the "
+        "gap between it and the best t is the value of deciding "
+        "dynamically."
+    )
+
+
+if __name__ == "__main__":
+    main()

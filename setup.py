@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs to build an editable
+wheel, which requires the third-party `wheel` distribution; on offline
+hosts without it, `python setup.py develop` installs the same editable
+package through setuptools alone.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,133 @@
+"""repro — content-based publish-subscribe with spatial matching.
+
+A complete reproduction of Riabov, Liu, Wolf, Yu & Zhang, *New
+Algorithms for Content-Based Publication-Subscription Systems*
+(ICDCS 2003): the S-tree matching index, the grid-based subscription
+clustering framework (Forgy k-means / pairwise grouping / minimum
+spanning tree), the online multicast-vs-unicast distribution-method
+scheme, and the full simulation testbed (transit-stub topologies,
+stock-market workloads, delivery cost model) used in the paper's
+evaluation.
+
+Quickstart::
+
+    from repro import (
+        TransitStubGenerator, StockSubscriptionGenerator,
+        SubscriptionTable, PubSubBroker, ForgyKMeansClustering,
+        ThresholdPolicy, publication_distribution, PublicationGenerator,
+    )
+
+    topology = TransitStubGenerator(seed=7).generate()
+    placed = StockSubscriptionGenerator(topology, seed=7).generate(1000)
+    table = SubscriptionTable.from_placed(placed)
+    density = publication_distribution(modes=9)
+    broker = PubSubBroker.preprocess(
+        topology, table, ForgyKMeansClustering(), num_groups=11,
+        density=density, policy=ThresholdPolicy(threshold=0.15),
+    )
+    points, publishers = PublicationGenerator(
+        density, topology.all_stub_nodes(), seed=7,
+    ).generate(1000)
+    tally, _ = broker.run(points, publishers)
+    print(f"improvement over unicast: {tally.improvement_percent:.1f}%")
+"""
+
+from .clustering import (
+    CellClusteringAlgorithm,
+    ClusteringResult,
+    EventGrid,
+    ForgyKMeansClustering,
+    MinimumSpanningTreeClustering,
+    MulticastGroup,
+    PairwiseGroupingClustering,
+    SpacePartition,
+)
+from .core import (
+    DeliveryMethod,
+    DeliveryRecord,
+    DynamicPubSubBroker,
+    Event,
+    MatchingEngine,
+    MatchResult,
+    PerGroupThresholdPolicy,
+    PubSubBroker,
+    Subscription,
+    SubscriptionTable,
+    ThresholdPolicy,
+    ThresholdTuner,
+    oracle_tally,
+)
+from .io import load_testbed, save_testbed
+from .geometry import Interval, Point, Rectangle
+from .network import (
+    CostTally,
+    DeliveryCostModel,
+    RoutingTable,
+    Topology,
+    TransitStubGenerator,
+    TransitStubParams,
+)
+from .spatial import (
+    GridIndexMatcher,
+    HilbertRTree,
+    LinearScanMatcher,
+    PointMatcher,
+    STree,
+    STreeParams,
+)
+from .workload import (
+    PlacedSubscription,
+    PublicationGenerator,
+    StockMarketModel,
+    StockSubscriptionGenerator,
+    publication_distribution,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CellClusteringAlgorithm",
+    "ClusteringResult",
+    "EventGrid",
+    "ForgyKMeansClustering",
+    "MinimumSpanningTreeClustering",
+    "MulticastGroup",
+    "PairwiseGroupingClustering",
+    "SpacePartition",
+    "DeliveryMethod",
+    "DeliveryRecord",
+    "DynamicPubSubBroker",
+    "Event",
+    "MatchingEngine",
+    "MatchResult",
+    "PerGroupThresholdPolicy",
+    "PubSubBroker",
+    "Subscription",
+    "SubscriptionTable",
+    "ThresholdPolicy",
+    "ThresholdTuner",
+    "oracle_tally",
+    "load_testbed",
+    "save_testbed",
+    "Interval",
+    "Point",
+    "Rectangle",
+    "CostTally",
+    "DeliveryCostModel",
+    "RoutingTable",
+    "Topology",
+    "TransitStubGenerator",
+    "TransitStubParams",
+    "GridIndexMatcher",
+    "HilbertRTree",
+    "LinearScanMatcher",
+    "PointMatcher",
+    "STree",
+    "STreeParams",
+    "PlacedSubscription",
+    "PublicationGenerator",
+    "StockMarketModel",
+    "StockSubscriptionGenerator",
+    "publication_distribution",
+    "__version__",
+]

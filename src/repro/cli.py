@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Four subcommands cover the library's main workflows::
+
+    repro generate  --seed 7 --subscriptions 1000 --out testbed.json
+    repro run       --testbed testbed.json --algorithm forgy \\
+                    --groups 11 --modes 9 --threshold 0.15
+    repro tune      --testbed testbed.json --groups 11 --modes 9
+    repro experiments [--small]
+
+(Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import format_table
+from .clustering import (
+    BatchKMeansClustering,
+    ForgyKMeansClustering,
+    MinimumSpanningTreeClustering,
+    PairwiseGroupingClustering,
+)
+from .core import (
+    PubSubBroker,
+    SubscriptionTable,
+    ThresholdPolicy,
+    ThresholdTuner,
+    oracle_tally,
+)
+from .io import load_testbed, save_testbed
+from .network import TransitStubGenerator
+from .workload import (
+    PublicationGenerator,
+    StockSubscriptionGenerator,
+    publication_distribution,
+)
+
+__all__ = ["main"]
+
+ALGORITHMS = {
+    "forgy": ForgyKMeansClustering,
+    "kmeans": BatchKMeansClustering,
+    "pairwise": PairwiseGroupingClustering,
+    "mst": MinimumSpanningTreeClustering,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Content-based pub-sub simulation toolkit "
+        "(Riabov et al., ICDCS 2003 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a topology + subscription testbed"
+    )
+    generate.add_argument("--seed", type=int, default=2003)
+    generate.add_argument("--subscriptions", type=int, default=1000)
+    generate.add_argument("--out", required=True)
+
+    def add_run_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--testbed", required=True)
+        sub.add_argument(
+            "--algorithm", choices=sorted(ALGORITHMS), default="forgy"
+        )
+        sub.add_argument("--groups", type=int, default=11)
+        sub.add_argument("--modes", type=int, choices=(1, 4, 9), default=9)
+        sub.add_argument("--events", type=int, default=1000)
+        sub.add_argument("--seed", type=int, default=2003)
+
+    run = commands.add_parser(
+        "run", help="run one delivery campaign and print the tally"
+    )
+    add_run_options(run)
+    run.add_argument("--threshold", type=float, default=0.15)
+
+    tune = commands.add_parser(
+        "tune", help="learn per-group thresholds and compare policies"
+    )
+    add_run_options(tune)
+
+    experiments = commands.add_parser(
+        "experiments", help="reproduce every paper table and figure"
+    )
+    experiments.add_argument("--small", action="store_true")
+
+    dot = commands.add_parser(
+        "dot", help="export a testbed topology as Graphviz DOT"
+    )
+    dot.add_argument("--testbed", required=True)
+    dot.add_argument("--out", required=True)
+    dot.add_argument(
+        "--backbone-only",
+        action="store_true",
+        help="draw transit nodes + collapsed stubs (readable at scale)",
+    )
+    return parser
+
+
+def _prepare(args: argparse.Namespace):
+    """Load a testbed and preprocess a broker per the CLI options."""
+    topology, table = load_testbed(args.testbed)
+    density = publication_distribution(args.modes)
+    broker = PubSubBroker.preprocess(
+        topology,
+        table,
+        ALGORITHMS[args.algorithm](),
+        num_groups=args.groups,
+        density=density,
+    )
+    points, publishers = PublicationGenerator(
+        density, topology.all_stub_nodes(), seed=args.seed + args.modes
+    ).generate(args.events)
+    return broker, points, publishers
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    topology = TransitStubGenerator(seed=args.seed).generate()
+    placed = StockSubscriptionGenerator(
+        topology, seed=args.seed + 1
+    ).generate(args.subscriptions)
+    table = SubscriptionTable.from_placed(placed)
+    save_testbed(args.out, topology, table)
+    print(
+        f"wrote {args.out}: {topology.num_nodes} nodes, "
+        f"{topology.num_edges} edges, {len(table)} subscriptions"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    broker, points, publishers = _prepare(args)
+    tally, _ = broker.with_policy(ThresholdPolicy(args.threshold)).run(
+        points, publishers
+    )
+    print(
+        format_table(
+            ("metric", "value"),
+            [
+                ("events", tally.messages),
+                ("multicasts", tally.multicasts_sent),
+                ("unicasts", tally.unicasts_sent),
+                (
+                    "not sent",
+                    tally.messages
+                    - tally.multicasts_sent
+                    - tally.unicasts_sent,
+                ),
+                ("deliveries", tally.deliveries),
+                ("avg cost/message", round(tally.average_message_cost, 2)),
+                (
+                    "improvement over unicast",
+                    f"{tally.improvement_percent:.2f}%",
+                ),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    broker, points, publishers = _prepare(args)
+    report = ThresholdTuner(broker).tune(points, publishers)
+    print("per-group thresholds learned from the workload:\n")
+    print(
+        format_table(
+            ("group", "size", "events", "mc win rate", "t"),
+            [
+                (
+                    row.group,
+                    row.group_size,
+                    row.events,
+                    f"{row.multicast_win_rate:.2f}",
+                    f"{row.best_threshold:.2f}",
+                )
+                for row in report.per_group
+            ],
+        )
+    )
+    rows = []
+    for label, policy in [
+        ("global t=0.15", ThresholdPolicy(0.15)),
+        ("tuned per-group", report.policy),
+    ]:
+        tally, _ = broker.with_policy(policy).run(points, publishers)
+        rows.append((label, f"{tally.improvement_percent:.2f}%"))
+    oracle = oracle_tally(broker, points, publishers)
+    rows.append(("oracle bound", f"{oracle.improvement_percent:.2f}%"))
+    print()
+    print(format_table(("policy", "improvement"), rows))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.runner import main as runner_main
+
+    return runner_main(["--small"] if args.small else [])
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from .network.visualize import write_dot
+
+    topology, _ = load_testbed(args.testbed)
+    path = write_dot(
+        topology,
+        args.out,
+        include_stub_nodes=not args.backbone_only,
+    )
+    print(
+        f"wrote {path} ({topology.num_nodes} nodes); render with e.g. "
+        f"`dot -Kneato -Tsvg {path} -o topology.svg`"
+    )
+    return 0
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "run": _cmd_run,
+        "tune": _cmd_tune,
+        "experiments": _cmd_experiments,
+        "dot": _cmd_dot,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""From cell clusters to the space partition and multicast groups.
+
+The clustering output becomes (paper Section 4):
+
+- a partition of the event space into ``n`` subsets ``S_1 .. S_n``
+  (each the union of a cluster's grid cells) plus the catchall
+  ``S_0 = Omega \\ union(S_q)``;
+- one multicast group per subset, ``M_q = { subscribers with a
+  subscription overlapping S_q }`` — by construction this is the union
+  of the member lists ``l(g)`` of the cluster's cells.
+
+:class:`SpacePartition` resolves a publication point to its subset in
+O(N) (grid cell lookup plus one dict probe) and exposes each group's
+member nodes, which is everything the distribution-method scheme needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .base import ClusteringResult
+from .grid import EventGrid, GridCell
+from .waste import ClusterState
+
+__all__ = ["MulticastGroup", "SpacePartition"]
+
+
+@dataclass(frozen=True)
+class MulticastGroup:
+    """One precomputed multicast group ``M_q``.
+
+    ``members`` are subscriber identities (network node ids).  ``q`` is
+    1-based, matching the paper (0 is reserved for the catchall).
+    """
+
+    q: int
+    members: Tuple[int, ...]
+    expected_waste: float
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+class SpacePartition:
+    """The ``(n + 1)``-way partition of the event space plus its groups."""
+
+    def __init__(self, grid: EventGrid, result: ClusteringResult):
+        result.validate_disjoint()
+        self.grid = grid
+        self.algorithm = result.algorithm
+        self._cell_to_group: Dict[Tuple[int, ...], int] = {}
+        groups: List[MulticastGroup] = []
+        for position, cells in enumerate(result.clusters):
+            q = position + 1
+            state = ClusterState.from_cells(cells)
+            groups.append(
+                MulticastGroup(
+                    q=q,
+                    members=tuple(grid.members_of(state.members)),
+                    expected_waste=state.expected_waste,
+                )
+            )
+            for cell in cells:
+                self._cell_to_group[cell.index] = q
+        self.groups = groups
+
+    @property
+    def num_groups(self) -> int:
+        """``n`` — the number of real (non-catchall) groups."""
+        return len(self.groups)
+
+    def locate(self, point: Sequence[float]) -> int:
+        """Subset index of a publication: ``1..n``, or 0 for ``S_0``.
+
+        Points outside the grid frame, in unclustered cells, or in
+        cells with no subscribers all fall into the catchall.
+        """
+        cell = self.grid.locate(point)
+        if cell is None:
+            return 0
+        return self._cell_to_group.get(cell, 0)
+
+    def group(self, q: int) -> MulticastGroup:
+        """The group for subset ``S_q`` (``q`` must be 1-based)."""
+        if not 1 <= q <= len(self.groups):
+            raise IndexError(f"group index {q} out of range 1..{len(self.groups)}")
+        return self.groups[q - 1]
+
+    def group_sizes(self) -> List[int]:
+        """Member counts of all groups (diagnostics)."""
+        return [g.size for g in self.groups]
+
+    def add_subscription(self, rectangle, subscriber: int) -> "List[int]":
+        """Incrementally admit one new subscription (churn support).
+
+        Updates the grid's membership lists and enlarges every
+        multicast group whose subset the rectangle overlaps, preserving
+        the paper's invariant ``M_q ⊇ {interested subscribers of any
+        event in S_q}``.  Returns the (1-based) ids of the groups that
+        gained the subscriber.
+
+        This is the cheap half of churn; removals shrink groups and
+        therefore need a re-preprocess (see
+        :class:`repro.core.dynamic.DynamicPubSubBroker`).
+        """
+        affected_cells = self.grid.add_subscription(rectangle, subscriber)
+        grown: List[int] = []
+        for index in affected_cells:
+            q = self._cell_to_group.get(index)
+            if q is None:
+                continue
+            group = self.groups[q - 1]
+            if subscriber in group.members:
+                continue
+            self.groups[q - 1] = MulticastGroup(
+                q=q,
+                members=tuple(sorted(group.members + (subscriber,))),
+                expected_waste=group.expected_waste,
+            )
+            grown.append(q)
+        return grown
+
+    def covered_probability(self) -> float:
+        """Publication mass covered by ``S_1 .. S_n`` (vs the catchall).
+
+        Uses the grid's density; higher coverage means fewer events
+        fall back to pure unicast.
+        """
+        mass = 0.0
+        for index, q in self._cell_to_group.items():
+            cell = self.grid.cells[index]
+            mass += cell.probability
+        return mass

@@ -1,0 +1,82 @@
+"""Pairwise grouping: greedy agglomerative clustering (Appendix A.3).
+
+Starts from the ``T`` highest-weight cells as singleton clusters and
+repeatedly replaces the closest pair with its combination until only
+``n`` clusters remain.  "Closest" means the pair whose *merged* cluster
+has the smallest expected waste — distances involving a freshly merged
+cluster are recomputed after every merge, which is exactly what makes
+this algorithm slower (O(T^2) work per merge in the naive form; we keep
+a distance matrix and refresh just the merged row, O(T) per merge) yet
+often slightly better than k-means, matching the paper's observation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from .base import DEFAULT_MAX_CELLS, CellClusteringAlgorithm, ClusteringResult
+from .grid import EventGrid
+from .waste import ClusterState
+
+__all__ = ["PairwiseGroupingClustering"]
+
+
+class PairwiseGroupingClustering(CellClusteringAlgorithm):
+    """Agglomerative merging under the expected-waste objective."""
+
+    name = "pairwise"
+
+    def cluster(
+        self,
+        grid: EventGrid,
+        num_groups: int,
+        max_cells: int = DEFAULT_MAX_CELLS,
+    ) -> ClusteringResult:
+        cells = self._working_cells(grid, num_groups, max_cells)
+        if not cells:
+            return ClusteringResult(algorithm=self.name, clusters=[])
+        states: List[ClusterState] = [
+            ClusterState.from_cells([cell]) for cell in cells
+        ]
+        active = [True] * len(states)
+        remaining = len(states)
+        merges = 0
+
+        # Full symmetric distance matrix; inf marks dead/diagonal slots.
+        size = len(states)
+        distance = np.full((size, size), math.inf)
+        for i in range(size):
+            for j in range(i + 1, size):
+                distance[i, j] = distance[j, i] = states[i].waste_if_merged(
+                    states[j]
+                )
+
+        while remaining > num_groups:
+            flat = int(np.argmin(distance))
+            i, j = divmod(flat, size)
+            if not math.isfinite(distance[i, j]):
+                break  # no mergeable pair left (degenerate input)
+            keep, drop = (i, j) if i < j else (j, i)
+            states[keep].merge(states[drop])
+            active[drop] = False
+            distance[drop, :] = math.inf
+            distance[:, drop] = math.inf
+            for other in range(size):
+                if other != keep and active[other]:
+                    d = states[keep].waste_if_merged(states[other])
+                    distance[keep, other] = distance[other, keep] = d
+            remaining -= 1
+            merges += 1
+
+        return ClusteringResult(
+            algorithm=self.name,
+            clusters=[
+                list(state.cells)
+                for state, alive in zip(states, active)
+                if alive and state.cells
+            ],
+            iterations=merges,
+        )

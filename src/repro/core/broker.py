@@ -1,0 +1,211 @@
+"""The end-to-end content-based pub-sub broker.
+
+Composes everything the paper describes into one object:
+
+1. **preprocessing** — cluster the subscriptions' grid cells into
+   multicast groups (:mod:`repro.clustering`);
+2. **matching** — locate each event's interested subscribers with a
+   spatial index (:mod:`repro.spatial` via
+   :class:`~repro.core.matching.MatchingEngine`);
+3. **distribution method** — apply the threshold rule
+   (:class:`~repro.core.distribution.ThresholdPolicy`);
+4. **cost accounting** — charge the delivery to network links
+   (:mod:`repro.network`), tracking the paper's unicast/ideal
+   references alongside.
+
+The broker is deliberately deterministic: same inputs, same decisions,
+same costs — all randomness lives in the workload generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clustering.base import DEFAULT_MAX_CELLS, CellClusteringAlgorithm
+from ..clustering.grid import CellProbability, EventGrid
+from ..clustering.groups import SpacePartition
+from ..network.multicast import CostTally, DeliveryCostModel
+from ..network.topology import Topology
+from .distribution import (
+    DeliveryMethod,
+    DistributionDecision,
+    DistributionPolicy,
+    ThresholdPolicy,
+)
+from .event import Event
+from .matching import MatchingEngine, MatchResult
+from .subscription import SubscriptionTable
+
+__all__ = ["DeliveryRecord", "PubSubBroker"]
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """Everything that happened to one published event."""
+
+    event: Event
+    match: MatchResult
+    decision: DistributionDecision
+    scheme_cost: float
+    unicast_cost: float
+    ideal_cost: float
+
+    @property
+    def method(self) -> DeliveryMethod:
+        return self.decision.method
+
+
+class PubSubBroker:
+    """A complete simulated content-based pub-sub system."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        table: SubscriptionTable,
+        partition: SpacePartition,
+        policy: Optional[DistributionPolicy] = None,
+        matcher_backend: str = "stree",
+        cost_model: Optional[DeliveryCostModel] = None,
+    ):
+        self.topology = topology
+        self.table = table
+        self.partition = partition
+        self.policy = policy or ThresholdPolicy()
+        self.engine = MatchingEngine(table, backend=matcher_backend)
+        self.costs = cost_model or DeliveryCostModel(topology)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def preprocess(
+        cls,
+        topology: Topology,
+        table: SubscriptionTable,
+        algorithm: CellClusteringAlgorithm,
+        num_groups: int,
+        density: Optional[CellProbability] = None,
+        cells_per_dim: int = 10,
+        max_cells: int = DEFAULT_MAX_CELLS,
+        policy: Optional[DistributionPolicy] = None,
+        matcher_backend: str = "stree",
+        cost_model: Optional[DeliveryCostModel] = None,
+        grid_frame: "Optional[tuple[Sequence[float], Sequence[float]]]" = None,
+    ) -> "PubSubBroker":
+        """Run the full preprocessing stage and return a ready broker.
+
+        This is the paper's static phase: impose the grid, cluster the
+        top-``max_cells`` cells into ``num_groups`` groups, and derive
+        the space partition.
+
+        ``grid_frame`` optionally pins the grid's bounding box to the
+        known event domain; by default the frame is fitted to the
+        subscriptions' finite coordinates, which is right for dense
+        generated workloads but can under-cover hand-built ones.
+        """
+        grid = EventGrid(
+            table.rectangles(),
+            [s.subscriber for s in table],
+            density=density,
+            cells_per_dim=cells_per_dim,
+            frame=grid_frame,
+        )
+        result = algorithm.cluster(grid, num_groups, max_cells=max_cells)
+        partition = SpacePartition(grid, result)
+        return cls(
+            topology,
+            table,
+            partition,
+            policy=policy,
+            matcher_backend=matcher_backend,
+            cost_model=cost_model,
+        )
+
+    # -- the dynamic path --------------------------------------------------------
+
+    def publish(self, event: Event) -> DeliveryRecord:
+        """Match, decide and cost one event (paper Section 4's loop)."""
+        match = self.engine.match(event)
+        q = self.partition.locate(event.point)
+        group_size = (
+            self.partition.group(q).size if q > 0 else 0
+        )
+        decision = self.policy.decide(
+            interested=match.num_subscribers,
+            group_size=group_size,
+            group=q,
+        )
+
+        if decision.method is DeliveryMethod.NOT_SENT:
+            return DeliveryRecord(event, match, decision, 0.0, 0.0, 0.0)
+
+        recipients = [
+            node for node in match.subscribers if node != event.publisher
+        ]
+        unicast_cost = self.costs.unicast_cost(event.publisher, recipients)
+        ideal_cost = self.costs.ideal_cost(event.publisher, recipients)
+        if decision.method is DeliveryMethod.UNICAST:
+            scheme_cost = unicast_cost
+        else:
+            members = self.partition.group(q).members
+            scheme_cost = self.costs.multicast_cost(event.publisher, members)
+        return DeliveryRecord(
+            event, match, decision, scheme_cost, unicast_cost, ideal_cost
+        )
+
+    def run(
+        self,
+        points: np.ndarray,
+        publishers: Sequence[int],
+        collect_records: bool = False,
+    ) -> "Tuple[CostTally, List[DeliveryRecord]]":
+        """Publish a whole workload and tally the costs.
+
+        Returns the tally and (when ``collect_records``) the
+        per-event records for detailed inspection.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] != len(publishers):
+            raise ValueError(
+                "points must be (m, N) with one publisher per row"
+            )
+        tally = CostTally()
+        records: List[DeliveryRecord] = []
+        for sequence, (row, publisher) in enumerate(zip(points, publishers)):
+            event = Event.create(sequence, int(publisher), row)
+            record = self.publish(event)
+            if record.method is DeliveryMethod.NOT_SENT:
+                tally.skip()
+            else:
+                tally.add(
+                    scheme_cost=record.scheme_cost,
+                    unicast_cost=record.unicast_cost,
+                    ideal_cost=record.ideal_cost,
+                    recipients=record.match.num_subscribers,
+                    used_multicast=(
+                        record.method is DeliveryMethod.MULTICAST
+                    ),
+                )
+            if collect_records:
+                records.append(record)
+        return tally, records
+
+    # -- maintenance ------------------------------------------------------------
+
+    def with_policy(self, policy: DistributionPolicy) -> "PubSubBroker":
+        """A sibling broker sharing all state except the threshold.
+
+        Threshold sweeps (Figure 6) reuse the expensive pieces — the
+        index, the partition, the routing tables and the memoized
+        group trees — and vary only the decision rule.
+        """
+        return PubSubBroker(
+            topology=self.topology,
+            table=self.table,
+            partition=self.partition,
+            policy=policy,
+            matcher_backend=self.engine.backend,
+            cost_model=self.costs,
+        )

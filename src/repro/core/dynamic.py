@@ -1,0 +1,363 @@
+"""Subscription churn: matching and group maintenance under updates.
+
+The paper treats preprocessing as static, acknowledging (via the
+related work it cites, Wong/Katz/McCanne's initial + incremental
+algorithms) that real systems face "ongoing and inevitable changes" in
+subscriptions.  This module provides the standard production pattern
+for a bulk-packed index under churn:
+
+- **inserts** go to a small *overflow* side table scanned linearly at
+  query time, and incrementally widen the affected multicast groups
+  (cheap: group membership is a union, so adding never breaks the
+  ``M_q ⊇ interested`` invariant);
+- **deletes** become *tombstones* filtered out of match results
+  (groups are left as supersets — deliveries stay correct, just
+  slightly more wasteful, exactly like stale members in a real
+  multicast group);
+- once churn exceeds a configurable fraction of the index, the whole
+  static preprocessing (S-tree packing + clustering) is **rebuilt**,
+  amortizing its cost over many updates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..clustering.base import DEFAULT_MAX_CELLS, CellClusteringAlgorithm
+from ..clustering.grid import CellProbability
+from ..geometry.rectangle import Rectangle
+from ..network.multicast import DeliveryCostModel
+from ..network.topology import Topology
+from ..spatial.base import QueryStats
+from .broker import PubSubBroker
+from .distribution import DistributionPolicy
+from .event import Event
+from .matching import MATCHER_BACKENDS, MatchingEngine, MatchResult
+from .subscription import Subscription, SubscriptionTable
+
+__all__ = ["DynamicMatchingEngine", "DynamicPubSubBroker"]
+
+#: Rebuild once pending churn exceeds this fraction of the base index.
+DEFAULT_REBUILD_FRACTION = 0.25
+
+
+class DynamicMatchingEngine:
+    """A matching engine that accepts subscribes and unsubscribes.
+
+    Query semantics are identical to a freshly built
+    :class:`~repro.core.matching.MatchingEngine` over the live
+    subscription set; the overflow/tombstone machinery is invisible to
+    callers.
+    """
+
+    def __init__(
+        self,
+        table: SubscriptionTable,
+        backend: str = "stree",
+        rebuild_fraction: float = DEFAULT_REBUILD_FRACTION,
+        **backend_options,
+    ):
+        if not 0.0 < rebuild_fraction <= 1.0:
+            raise ValueError("rebuild_fraction must lie in (0, 1]")
+        if backend not in MATCHER_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from "
+                f"{sorted(MATCHER_BACKENDS)}"
+            )
+        self.table = table
+        self.backend = backend
+        self.rebuild_fraction = rebuild_fraction
+        self._backend_options = backend_options
+        self._removed: Set[int] = set()
+        self._removals_since_rebuild = 0
+        self._overflow_ids: List[int] = []
+        self._overflow_lows: List[np.ndarray] = []
+        self._overflow_highs: List[np.ndarray] = []
+        self.rebuilds = 0
+        self._build_base()
+
+    def _build_base(self) -> None:
+        """(Re)pack the base index over all live subscriptions."""
+        live = [
+            s for s in self.table
+            if s.subscription_id not in self._removed
+        ]
+        if live:
+            lows = np.array([s.rectangle.lows for s in live])
+            highs = np.array([s.rectangle.highs for s in live])
+            ids = [s.subscription_id for s in live]
+            self._base = MATCHER_BACKENDS[self.backend].build(
+                lows, highs, ids=ids, **self._backend_options
+            )
+        else:
+            self._base = None
+        self._overflow_ids.clear()
+        self._overflow_lows.clear()
+        self._overflow_highs.clear()
+        self._removals_since_rebuild = 0
+
+    # -- updates -------------------------------------------------------------
+
+    def add(self, subscriber: int, rectangle: Rectangle) -> Subscription:
+        """Register a new subscription; visible to queries immediately."""
+        subscription = self.table.add(subscriber, rectangle)
+        self._overflow_ids.append(subscription.subscription_id)
+        lows, highs = rectangle.to_arrays()
+        self._overflow_lows.append(lows)
+        self._overflow_highs.append(highs)
+        self._maybe_rebuild()
+        return subscription
+
+    def remove(self, subscription_id: int) -> None:
+        """Withdraw a subscription; it stops matching immediately."""
+        if not 0 <= subscription_id < len(self.table):
+            raise KeyError(f"unknown subscription id {subscription_id}")
+        if subscription_id in self._removed:
+            raise KeyError(
+                f"subscription {subscription_id} already removed"
+            )
+        self._removed.add(subscription_id)
+        self._removals_since_rebuild += 1
+        self._maybe_rebuild()
+
+    def _maybe_rebuild(self) -> None:
+        base_size = len(self._base) if self._base is not None else 0
+        churn = len(self._overflow_ids) + self._removals_since_rebuild
+        if base_size == 0 or churn > self.rebuild_fraction * base_size:
+            self._build_base()
+            self.rebuilds += 1
+
+    def rebuild(self) -> None:
+        """Force an immediate repack (e.g. during an idle period)."""
+        self._build_base()
+        self.rebuilds += 1
+
+    # -- queries -----------------------------------------------------------------
+
+    def match_point(self, point: Sequence[float]) -> MatchResult:
+        """All live subscriptions (and subscribers) containing a point."""
+        matched: List[int] = []
+        if self._base is not None:
+            matched.extend(self._base.match(point))
+        if self._overflow_ids:
+            lows = np.stack(self._overflow_lows)
+            highs = np.stack(self._overflow_highs)
+            p = np.asarray(point, dtype=np.float64)
+            mask = np.all((lows < p) & (p <= highs), axis=1)
+            matched.extend(
+                self._overflow_ids[i] for i in np.flatnonzero(mask)
+            )
+        live = sorted(
+            sid for sid in matched if sid not in self._removed
+        )
+        return MatchResult(
+            subscription_ids=tuple(live),
+            subscribers=tuple(self.table.subscribers_of(live)),
+        )
+
+    def match(self, event: Event) -> MatchResult:
+        """Event-typed wrapper around :meth:`match_point`."""
+        if event.ndim != self.table.ndim:
+            raise ValueError(
+                f"event has {event.ndim} dimensions, table has "
+                f"{self.table.ndim}"
+            )
+        return self.match_point(event.point)
+
+    @property
+    def stats(self) -> QueryStats:
+        """Work counters of the base index (overflow scans excluded)."""
+        if self._base is None:
+            return QueryStats()
+        return self._base.stats
+
+    @property
+    def pending_churn(self) -> int:
+        """Inserts + deletes absorbed since the last repack."""
+        return len(self._overflow_ids) + self._removals_since_rebuild
+
+
+class DynamicPubSubBroker(PubSubBroker):
+    """A broker that accepts subscription churn between events.
+
+    ``subscribe`` is fully incremental: the new rectangle joins the
+    overflow index and widens overlapping multicast groups in place.
+    ``unsubscribe`` tombstones the subscription (matching is exact
+    immediately); groups keep the stale member until the next
+    re-preprocess, mirroring how real deployments drain multicast
+    groups lazily.  ``repreprocess`` reruns clustering from the live
+    subscription set.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        table: SubscriptionTable,
+        partition,
+        algorithm: CellClusteringAlgorithm,
+        num_groups: int,
+        density: Optional[CellProbability] = None,
+        cells_per_dim: int = 10,
+        max_cells: int = DEFAULT_MAX_CELLS,
+        policy: Optional[DistributionPolicy] = None,
+        matcher_backend: str = "stree",
+        cost_model: Optional[DeliveryCostModel] = None,
+        rebuild_fraction: float = DEFAULT_REBUILD_FRACTION,
+    ):
+        super().__init__(
+            topology,
+            table,
+            partition,
+            policy=policy,
+            matcher_backend=matcher_backend,
+            cost_model=cost_model,
+        )
+        # Swap in the churn-capable engine (same query interface).
+        self.engine = DynamicMatchingEngine(
+            table, backend=matcher_backend,
+            rebuild_fraction=rebuild_fraction,
+        )
+        self._algorithm = algorithm
+        self._num_groups = num_groups
+        self._density = density
+        self._cells_per_dim = cells_per_dim
+        self._max_cells = max_cells
+        self._removed: Set[int] = set()
+
+    @classmethod
+    def preprocess_dynamic(
+        cls,
+        topology: Topology,
+        table: SubscriptionTable,
+        algorithm: CellClusteringAlgorithm,
+        num_groups: int,
+        **options,
+    ) -> "DynamicPubSubBroker":
+        """Static preprocessing plus churn plumbing."""
+        static = PubSubBroker.preprocess(
+            topology,
+            table,
+            algorithm,
+            num_groups,
+            density=options.get("density"),
+            cells_per_dim=options.get("cells_per_dim", 10),
+            max_cells=options.get("max_cells", DEFAULT_MAX_CELLS),
+            policy=options.get("policy"),
+            matcher_backend=options.get("matcher_backend", "stree"),
+            cost_model=options.get("cost_model"),
+            grid_frame=options.get("grid_frame"),
+        )
+        return cls(
+            topology,
+            table,
+            static.partition,
+            algorithm,
+            num_groups,
+            density=options.get("density"),
+            cells_per_dim=options.get("cells_per_dim", 10),
+            max_cells=options.get("max_cells", DEFAULT_MAX_CELLS),
+            policy=options.get("policy"),
+            matcher_backend=options.get("matcher_backend", "stree"),
+            cost_model=static.costs,
+            rebuild_fraction=options.get(
+                "rebuild_fraction", DEFAULT_REBUILD_FRACTION
+            ),
+        )
+
+    # -- churn -----------------------------------------------------------------
+
+    def subscribe(
+        self, subscriber: int, rectangle: Rectangle
+    ) -> Subscription:
+        """Admit a new subscription; effective for the next event."""
+        subscription = self.engine.add(subscriber, rectangle)
+        grown = self.partition.add_subscription(rectangle, subscriber)
+        if grown:
+            # Group membership changed: memoized trees are stale.
+            self.costs.clear_cache()
+        return subscription
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        """Withdraw a subscription; it stops matching immediately.
+
+        The subscriber stays in its multicast groups (a harmless
+        superset) until :meth:`repreprocess`.
+        """
+        self.engine.remove(subscription_id)
+        self._removed.add(subscription_id)
+
+    def rebalance_partition(self, max_moves: int = 20) -> int:
+        """Incrementally refresh and improve the live partition.
+
+        The cheap alternative to :meth:`repreprocess` after a batch of
+        ``subscribe`` calls: re-derive cluster statistics from the
+        mutated grid cells, admit newly relevant top-weight cells, run
+        a bounded number of rebalance moves, and swap the improved
+        partition into service.  Returns the number of moves applied.
+
+        (Tombstoned *removals* still require :meth:`repreprocess` —
+        membership is only ever widened incrementally.)
+        """
+        from ..clustering.incremental import IncrementalClusterMaintainer
+
+        grid = self.partition.grid
+        maintainer = IncrementalClusterMaintainer(
+            grid, self._snapshot_clusters()
+        )
+        maintainer.refresh()
+        fresh = [
+            cell
+            for cell in grid.top_cells(self._max_cells)
+            if not maintainer.contains(cell.index)
+        ]
+        maintainer.admit(fresh)
+        moves = maintainer.rebalance(max_moves=max_moves)
+        self.partition = maintainer.to_partition()
+        self.costs.clear_cache()
+        return moves
+
+    def _snapshot_clusters(self):
+        """Rebuild a ClusteringResult view of the current partition."""
+        from ..clustering.base import ClusteringResult
+
+        grid = self.partition.grid
+        clusters: "dict[int, list]" = {}
+        for index, q in self.partition._cell_to_group.items():
+            clusters.setdefault(q, []).append(grid.cells[index])
+        return ClusteringResult(
+            algorithm=self.partition.algorithm,
+            clusters=[clusters[q] for q in sorted(clusters)],
+        )
+
+    def repreprocess(self) -> None:
+        """Re-run the static stage over the live subscription set."""
+        live = SubscriptionTable(self.table.ndim)
+        for subscription in self.table:
+            if subscription.subscription_id not in self._removed:
+                live.add(subscription.subscriber, subscription.rectangle)
+        fresh = PubSubBroker.preprocess(
+            self.topology,
+            live,
+            self._algorithm,
+            self._num_groups,
+            density=self._density,
+            cells_per_dim=self._cells_per_dim,
+            max_cells=self._max_cells,
+            policy=self.policy,
+            matcher_backend=self.engine.backend,
+            cost_model=self.costs,
+        )
+        self.table = live
+        self.partition = fresh.partition
+        self.engine = DynamicMatchingEngine(
+            live, backend=fresh.engine.backend
+        )
+        self._removed.clear()
+        self.costs.clear_cache()
+
+    @property
+    def live_subscriptions(self) -> int:
+        """Number of currently active subscriptions."""
+        return len(self.table) - len(self._removed)

@@ -1,0 +1,39 @@
+"""Publication events.
+
+An event is a point ``omega`` in the event space, published from a
+network node.  Events carry a sequence number so delivery records can
+be traced back through the experiment logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..geometry.point import as_point
+
+__all__ = ["Event"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One published event."""
+
+    sequence: int
+    publisher: int
+    point: Tuple[float, ...]
+
+    @classmethod
+    def create(
+        cls, sequence: int, publisher: int, coords: Sequence[float]
+    ) -> "Event":
+        """Validating constructor (finite coordinates enforced)."""
+        return cls(
+            sequence=int(sequence),
+            publisher=int(publisher),
+            point=as_point(coords),
+        )
+
+    @property
+    def ndim(self) -> int:
+        return len(self.point)

@@ -1,0 +1,96 @@
+"""The matching engine: subscriptions in, interested subscribers out.
+
+Wraps one of the spatial point-query indexes around a
+:class:`~repro.core.subscription.SubscriptionTable` and answers, for a
+published event, both the matched subscription ids and the distinct
+interested subscribers (a subscriber with several matching
+subscriptions is still delivered to once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Type
+
+from ..spatial.base import PointMatcher, QueryStats
+from ..spatial.counting import CountingMatcher
+from ..spatial.grid_index import GridIndexMatcher
+from ..spatial.linear import LinearScanMatcher
+from ..spatial.rtree import HilbertRTree
+from ..spatial.stree import STree
+from .event import Event
+from .subscription import SubscriptionTable
+
+__all__ = ["MatchResult", "MatchingEngine", "MATCHER_BACKENDS"]
+
+#: Selectable index implementations.
+MATCHER_BACKENDS: "Dict[str, Type[PointMatcher]]" = {
+    "stree": STree,
+    "rtree": HilbertRTree,
+    "linear": LinearScanMatcher,
+    "grid": GridIndexMatcher,
+    "counting": CountingMatcher,
+}
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching one event."""
+
+    subscription_ids: Tuple[int, ...]
+    subscribers: Tuple[int, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.subscription_ids
+
+    @property
+    def num_subscribers(self) -> int:
+        return len(self.subscribers)
+
+
+class MatchingEngine:
+    """Point-query front end over a subscription table."""
+
+    def __init__(
+        self,
+        table: SubscriptionTable,
+        backend: str = "stree",
+        **backend_options,
+    ):
+        if len(table) == 0:
+            raise ValueError("cannot build a matching engine over no subscriptions")
+        try:
+            matcher_cls = MATCHER_BACKENDS[backend]
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from "
+                f"{sorted(MATCHER_BACKENDS)}"
+            ) from None
+        self.table = table
+        self.backend = backend
+        lows, highs = table.to_arrays()
+        self.matcher = matcher_cls.build(lows, highs, **backend_options)
+
+    def match_point(self, point: Sequence[float]) -> MatchResult:
+        """Match raw coordinates (most callers use :meth:`match`)."""
+        subscription_ids = self.matcher.match(point)
+        subscribers = self.table.subscribers_of(subscription_ids)
+        return MatchResult(
+            subscription_ids=tuple(subscription_ids),
+            subscribers=tuple(subscribers),
+        )
+
+    def match(self, event: Event) -> MatchResult:
+        """All subscriptions (and distinct subscribers) for an event."""
+        if event.ndim != self.table.ndim:
+            raise ValueError(
+                f"event has {event.ndim} dimensions, table has "
+                f"{self.table.ndim}"
+            )
+        return self.match_point(event.point)
+
+    @property
+    def stats(self) -> QueryStats:
+        """The underlying index's work counters."""
+        return self.matcher.stats

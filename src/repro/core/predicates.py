@@ -1,0 +1,223 @@
+"""A small predicate language for human-written subscriptions.
+
+The paper's subscriptions are conjunctions of per-attribute range
+predicates ("name=IBM and 75 < price <= 80 and volume >= 1000").  This
+module parses exactly that class of expressions into interval lists
+ready for :meth:`~repro.core.subscription.SubscriptionTable.
+add_predicates`:
+
+>>> schema = ("bst", "name", "price", "volume")
+>>> parse_subscription(
+...     "name == 5 and price > 75 and price <= 80 and volume >= 1000",
+...     schema,
+... )   # doctest: +SKIP
+
+Grammar (case-insensitive keywords, no parentheses — the language is
+deliberately exactly as expressive as one rectangle disjunction):
+
+- expression := clause ("and" clause)*
+- clause := comparison | membership | wildcard
+- comparison := NAME OP NUMBER | NUMBER OP NAME (OP in
+  ``== != < <= > >=``; ``!=`` splits into two ranges)
+- membership := NAME "in" "(" NUMBER ("," NUMBER)* ")" — a
+  multi-range predicate, decomposed downstream
+- wildcard := "any" NAME (or simply omitting the attribute)
+
+Unmentioned attributes are wildcards.  ``A != v`` and ``in`` produce
+multiple intervals on one attribute; the subscription table's
+decomposition turns them into several rectangles.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Sequence, Tuple
+
+from ..geometry.interval import FULL_LINE, Interval
+
+__all__ = ["PredicateError", "parse_subscription"]
+
+
+class PredicateError(ValueError):
+    """Raised on syntax or schema errors in a predicate expression."""
+
+
+_TOKEN = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><=|>=|==|!=|<|>)"
+    r"|(?P<punct>[(),])"
+    r")"
+)
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise PredicateError(
+                f"cannot tokenize near: {remainder[:20]!r}"
+            )
+        position = match.end()
+        for kind in ("number", "name", "op", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+def _split_clauses(
+    tokens: List[Tuple[str, str]]
+) -> List[List[Tuple[str, str]]]:
+    clauses: List[List[Tuple[str, str]]] = [[]]
+    for kind, value in tokens:
+        if kind == "name" and value.lower() == "and":
+            if not clauses[-1]:
+                raise PredicateError("empty clause before 'and'")
+            clauses.append([])
+        else:
+            clauses[-1].append((kind, value))
+    if not clauses[-1]:
+        raise PredicateError("trailing 'and' with no clause")
+    return clauses
+
+
+def _comparison_interval(op: str, value: float) -> List[Interval]:
+    prev = math.nextafter(value, -math.inf)
+    if op == "==":
+        return [Interval(prev, value)]
+    if op == "!=":
+        return [Interval(-math.inf, prev), Interval(value, math.inf)]
+    if op == ">":
+        return [Interval(value, math.inf)]
+    if op == ">=":
+        return [Interval(prev, math.inf)]
+    if op == "<":
+        return [Interval(-math.inf, prev)]
+    if op == "<=":
+        return [Interval(-math.inf, value)]
+    raise PredicateError(f"unknown operator {op!r}")
+
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+def parse_subscription(
+    expression: str, schema: Sequence[str]
+) -> List[List[Interval]]:
+    """Parse a conjunction into per-attribute interval lists.
+
+    The result has one entry per schema attribute, suitable for
+    :meth:`SubscriptionTable.add_predicates`; attributes with several
+    constraints get the *intersection* of their comparisons (and the
+    union of their ``in``/``!=`` alternatives within one clause).
+    """
+    names = {name.lower(): i for i, name in enumerate(schema)}
+    # Per attribute: a list of alternative intervals (the disjunction),
+    # intersected across clauses.
+    per_attribute: Dict[int, List[Interval]] = {}
+
+    def combine(dim: int, alternatives: List[Interval]) -> None:
+        current = per_attribute.get(dim)
+        if current is None:
+            per_attribute[dim] = alternatives
+            return
+        merged = [
+            a.intersection(b)
+            for a in current
+            for b in alternatives
+        ]
+        merged = [iv for iv in merged if not iv.is_empty]
+        if not merged:
+            raise PredicateError(
+                f"contradictory constraints on {schema[dim]!r}"
+            )
+        per_attribute[dim] = merged
+
+    for clause in _split_clauses(_tokenize(expression)):
+        kinds = [kind for kind, _ in clause]
+        values = [value for _, value in clause]
+        # wildcard: "any NAME"
+        if (
+            len(clause) == 2
+            and kinds == ["name", "name"]
+            and values[0].lower() == "any"
+        ):
+            dim = _resolve(values[1], names)
+            combine(dim, [FULL_LINE])
+            continue
+        # membership: NAME in ( v , v , ... )
+        if (
+            len(clause) >= 5
+            and kinds[0] == "name"
+            and values[1].lower() == "in"
+        ):
+            dim = _resolve(values[0], names)
+            if values[2] != "(" or values[-1] != ")":
+                raise PredicateError("'in' requires a parenthesized list")
+            body = clause[3:-1]
+            alternatives: List[Interval] = []
+            expect_number = True
+            for kind, value in body:
+                if expect_number:
+                    if kind != "number":
+                        raise PredicateError(
+                            f"expected a number in 'in' list, got {value!r}"
+                        )
+                    alternatives.extend(
+                        _comparison_interval("==", float(value))
+                    )
+                    expect_number = False
+                else:
+                    if (kind, value) != ("punct", ","):
+                        raise PredicateError(
+                            f"expected ',' in 'in' list, got {value!r}"
+                        )
+                    expect_number = True
+            if expect_number or not alternatives:
+                raise PredicateError("malformed 'in' list")
+            combine(dim, alternatives)
+            continue
+        # comparison: NAME OP NUMBER or NUMBER OP NAME
+        if len(clause) == 3 and kinds == ["name", "op", "number"]:
+            dim = _resolve(values[0], names)
+            combine(
+                dim,
+                _comparison_interval(values[1], float(values[2])),
+            )
+            continue
+        if len(clause) == 3 and kinds == ["number", "op", "name"]:
+            dim = _resolve(values[2], names)
+            combine(
+                dim,
+                _comparison_interval(
+                    _FLIP[values[1]], float(values[0])
+                ),
+            )
+            continue
+        raise PredicateError(
+            "clause not understood: "
+            + " ".join(value for _, value in clause)
+        )
+
+    return [
+        per_attribute.get(dim, [FULL_LINE])
+        for dim in range(len(schema))
+    ]
+
+
+def _resolve(name: str, names: Dict[str, int]) -> int:
+    try:
+        return names[name.lower()]
+    except KeyError:
+        raise PredicateError(
+            f"unknown attribute {name!r}; schema has {sorted(names)}"
+        ) from None

@@ -1,0 +1,66 @@
+"""Experiment drivers: one module per paper table/figure.
+
+=================  ==============================================
+module             reproduces
+=================  ==============================================
+``figure3``        the generated transit-stub topology
+``table1``         the subscription parameter table (Section 5)
+``figure4``        trade price / popularity / amount distributions
+``figure5``        per-stock panels for the top-3 stocks
+``figure6``        the threshold sweeps (the headline result)
+``matching_*``     the S-tree vs baseline index comparison (§3)
+``clustering_*``   the Appendix algorithm comparison
+=================  ==============================================
+
+``python -m repro.experiments.runner`` runs everything.
+"""
+
+from .clustering_experiment import ClusteringRow, run_clustering_comparison
+from .config import SMALL_CONFIG, ExperimentConfig
+from .figure3 import TopologySummary, run_figure3, summarize_topology
+from .figure4 import Figure4Result, run_figure4
+from .figure5 import StockPanel, run_figure5
+from .figure6 import (
+    SweepResult,
+    ThresholdPoint,
+    default_algorithms,
+    run_figure6,
+    sweep_thresholds,
+)
+from .latency_experiment import LatencyRow, run_latency_experiment
+from .matching_experiment import MatchingRow, run_matching_comparison
+from .replication import Replicate, ReplicationSummary, run_replication
+from .table1 import BranchFrequencies, Table1Row, measure_field, run_table1
+from .testbed import Testbed, build_testbed
+
+__all__ = [
+    "ClusteringRow",
+    "run_clustering_comparison",
+    "SMALL_CONFIG",
+    "ExperimentConfig",
+    "TopologySummary",
+    "run_figure3",
+    "summarize_topology",
+    "Figure4Result",
+    "run_figure4",
+    "StockPanel",
+    "run_figure5",
+    "SweepResult",
+    "ThresholdPoint",
+    "default_algorithms",
+    "run_figure6",
+    "sweep_thresholds",
+    "LatencyRow",
+    "run_latency_experiment",
+    "MatchingRow",
+    "run_matching_comparison",
+    "Replicate",
+    "ReplicationSummary",
+    "run_replication",
+    "BranchFrequencies",
+    "Table1Row",
+    "measure_field",
+    "run_table1",
+    "Testbed",
+    "build_testbed",
+]

@@ -1,0 +1,144 @@
+"""CSV export of experiment results.
+
+Every experiment driver returns typed rows; these helpers flatten them
+into CSV files so the figures can be re-plotted with any external
+tool.  (The evaluation environment is plot-free by design — series and
+fits are asserted numerically — but downstream users will want the
+data.)
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from .figure4 import Figure4Result
+from .figure6 import SweepResult
+from .matching_experiment import MatchingRow
+
+__all__ = [
+    "write_csv",
+    "figure4_to_csv",
+    "figure6_to_csv",
+    "matching_to_csv",
+]
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> int:
+    """Write one CSV file; returns the number of data rows written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row has {len(row)} cells, expected {len(headers)}"
+                )
+            writer.writerow(list(row))
+            count += 1
+    return count
+
+
+def figure4_to_csv(result: Figure4Result, directory: Union[str, Path]) -> List[Path]:
+    """Write the three Figure 4 panels as separate CSV files."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    price = directory / "figure4a_price_histogram.csv"
+    write_csv(
+        price,
+        ("center", "density"),
+        zip(
+            result.price_histogram.centers.tolist(),
+            result.price_histogram.density.tolist(),
+        ),
+    )
+    popularity = directory / "figure4b_popularity.csv"
+    write_csv(
+        popularity,
+        ("rank", "trades"),
+        zip(
+            result.popularity_ranks.tolist(),
+            result.popularity_counts.tolist(),
+        ),
+    )
+    amounts = directory / "figure4c_amount_survival.csv"
+    write_csv(
+        amounts,
+        ("amount", "survival"),
+        zip(
+            result.amount_values.tolist(),
+            result.amount_survival.tolist(),
+        ),
+    )
+    return [price, popularity, amounts]
+
+
+def figure6_to_csv(
+    results: Sequence[SweepResult], path: Union[str, Path]
+) -> int:
+    """Write every Figure 6 curve point as one long-format CSV."""
+    rows = [
+        (
+            sweep.algorithm,
+            sweep.modes,
+            sweep.num_groups,
+            point.threshold,
+            point.improvement_percent,
+            point.multicasts,
+            point.unicasts,
+            point.not_sent,
+        )
+        for sweep in results
+        for point in sweep.points
+    ]
+    return write_csv(
+        path,
+        (
+            "algorithm",
+            "modes",
+            "groups",
+            "threshold",
+            "improvement_percent",
+            "multicasts",
+            "unicasts",
+            "not_sent",
+        ),
+        rows,
+    )
+
+
+def matching_to_csv(
+    rows: Sequence[MatchingRow], path: Union[str, Path]
+) -> int:
+    """Write the matching comparison table."""
+    return write_csv(
+        path,
+        (
+            "backend",
+            "subscriptions",
+            "build_seconds",
+            "query_microseconds",
+            "nodes_per_query",
+            "entries_per_query",
+            "mean_matches",
+        ),
+        [
+            (
+                r.backend,
+                r.num_subscriptions,
+                r.build_seconds,
+                r.query_microseconds,
+                r.nodes_per_query,
+                r.entries_per_query,
+                r.mean_matches,
+            )
+            for r in rows
+        ],
+    )

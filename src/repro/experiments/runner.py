@@ -1,0 +1,235 @@
+"""Run the whole experimental campaign and print the paper's tables.
+
+Usage::
+
+    python -m repro.experiments.runner            # full-scale campaign
+    python -m repro.experiments.runner --small    # quick sanity run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from ..analysis.report import format_table, sparkline
+from .clustering_experiment import run_clustering_comparison
+from .config import SMALL_CONFIG, ExperimentConfig
+from .figure3 import run_figure3
+from .figure4 import run_figure4
+from .figure5 import run_figure5
+from .figure6 import run_figure6
+from .matching_experiment import run_matching_comparison
+from .table1 import run_table1
+from .testbed import build_testbed
+
+__all__ = ["main"]
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    parser.add_argument(
+        "--small",
+        action="store_true",
+        help="scaled-down configuration (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--extensions",
+        action="store_true",
+        help="also run the beyond-the-paper extension experiments",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also export the figure series as CSV files into DIR",
+    )
+    args = parser.parse_args(argv)
+    config = SMALL_CONFIG if args.small else ExperimentConfig()
+    testbed = build_testbed(config)
+
+    print("== Figure 3: generated network topology ==")
+    summary = run_figure3(config)
+    print(format_table(("property", "value"), summary.rows()))
+
+    print("\n== Section 5 parameter table: workload verification ==")
+    rows = []
+    for row in run_table1(config, testbed):
+        rows.append(
+            (
+                row.field,
+                f"{row.measured.wildcard:.3f}/{row.expected.q0:.2f}",
+                f"{row.measured.lower_ray:.3f}/{row.expected.q1:.2f}",
+                f"{row.measured.upper_ray:.3f}/{row.expected.q2:.2f}",
+                f"{row.measured.bounded:.3f}/"
+                f"{row.expected.bounded_probability:.2f}",
+                "ok" if row.within_tolerance() else "OFF-SPEC",
+            )
+        )
+    print(
+        format_table(
+            ("field", "wildcard", "lower-ray", "upper-ray", "bounded", "check"),
+            rows,
+        )
+    )
+
+    print("\n== Figure 4: stock trade distributions ==")
+    fig4 = run_figure4(config)
+    print(
+        format_table(
+            ("panel", "fit", "goodness"),
+            [
+                (
+                    "(a) normalized price",
+                    f"N({fig4.price_fit.mean:.3f}, {fig4.price_fit.std:.3f})",
+                    f"KS={fig4.price_fit.ks_statistic:.3f}",
+                ),
+                (
+                    "(b) popularity",
+                    f"rank^{fig4.popularity_fit.slope:.2f}",
+                    f"R2={fig4.popularity_fit.r_squared:.3f}",
+                ),
+                (
+                    "(c) amounts",
+                    f"tail x^{fig4.amount_fit.slope:.2f}",
+                    f"R2={fig4.amount_fit.r_squared:.3f}",
+                ),
+            ],
+        )
+    )
+
+    print("\n== Figure 5: top-3 most traded stocks ==")
+    rows = []
+    for panel in run_figure5(config):
+        rows.append(
+            (
+                panel.stock,
+                panel.num_trades,
+                f"N({panel.price_fit.mean:.3f}, {panel.price_fit.std:.3f})",
+                f"x^{panel.amount_fit.slope:.2f}",
+            )
+        )
+    print(format_table(("stock", "trades", "price fit", "amount tail"), rows))
+
+    print("\n== Figure 6: threshold sweeps ==")
+    figure6_results = run_figure6(config, testbed)
+    for sweep in figure6_results:
+        improvements = [p.improvement_percent for p in sweep.points]
+        best = sweep.best()
+        print(
+            f"{sweep.algorithm:>9}  modes={sweep.modes}  "
+            f"groups={sweep.num_groups:>3}  "
+            f"[{sparkline(improvements)}]  "
+            f"static={sweep.static_improvement:6.2f}%  "
+            f"best={best.improvement_percent:6.2f}% @ t={best.threshold:.2f}"
+        )
+
+    print("\n== Clustering comparison ==")
+    rows = [
+        (
+            r.algorithm,
+            r.num_groups,
+            f"{r.cluster_seconds * 1000:.0f}ms",
+            f"{r.expected_waste:.1f}",
+            f"{r.covered_probability:.2f}",
+            f"{r.improvement_static:.1f}%",
+            f"{r.improvement_at_15:.1f}%",
+        )
+        for r in run_clustering_comparison(config, testbed)
+    ]
+    print(
+        format_table(
+            ("algorithm", "groups", "time", "EW", "coverage", "t=0", "t=0.15"),
+            rows,
+        )
+    )
+
+    print("\n== Matching comparison ==")
+    matching_rows = run_matching_comparison(config, testbed)
+    rows = [
+        (
+            r.backend,
+            r.num_subscriptions,
+            f"{r.build_seconds * 1000:.1f}ms",
+            f"{r.query_microseconds:.0f}us",
+            f"{r.nodes_per_query:.1f}",
+            f"{r.entries_per_query:.0f}",
+        )
+        for r in matching_rows
+    ]
+    print(
+        format_table(
+            ("backend", "k", "build", "query", "nodes/q", "entries/q"), rows
+        )
+    )
+
+    if args.csv:
+        from pathlib import Path
+
+        from .export import figure4_to_csv, figure6_to_csv, matching_to_csv
+
+        directory = Path(args.csv)
+        directory.mkdir(parents=True, exist_ok=True)
+        figure4_to_csv(fig4, directory)
+        figure6_to_csv(figure6_results, directory / "figure6.csv")
+        matching_to_csv(matching_rows, directory / "matching.csv")
+        print(f"\nCSV series written to {directory}/")
+
+    if args.extensions:
+        _run_extensions(config, testbed)
+    return 0
+
+
+def _run_extensions(config, testbed) -> None:
+    """The beyond-the-paper experiments (see EXPERIMENTS.md)."""
+    from .latency_experiment import run_latency_experiment
+    from .replication import run_replication
+
+    print("\n== Extension: packet-level transport ==")
+    rows = [
+        (
+            row.label,
+            row.report.deliveries,
+            f"{row.report.transmissions_per_delivery:.2f}",
+            f"{row.report.latency.p95:.1f}",
+            f"{row.report.queueing_delay:.0f}",
+        )
+        for row in run_latency_experiment(
+            config,
+            testbed,
+            thresholds=(0.0, 0.10, 1.0),
+            num_events=min(config.num_events, 150),
+        )
+    ]
+    print(
+        format_table(
+            ("policy", "deliveries", "tx/delivery", "p95", "queueing"),
+            rows,
+        )
+    )
+
+    print("\n== Extension: replication across seeds ==")
+    summary = run_replication(config, seeds=(11, 23, 47))
+    print(
+        format_table(
+            ("seed", "static", "best", "best t"),
+            [
+                (
+                    r.seed,
+                    f"{r.static_improvement:.1f}%",
+                    f"{r.best_improvement:.1f}%",
+                    f"{r.best_threshold:.2f}",
+                )
+                for r in summary.replicates
+            ],
+        )
+    )
+    print(
+        f"shapes hold on every replicate: {summary.all_shapes_hold()}"
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

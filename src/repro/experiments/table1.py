@@ -1,0 +1,117 @@
+"""Section 5's parameter table — workload verification.
+
+The paper's only table specifies the parametric interval distribution
+for the ``price`` and ``volume`` subscription fields (branch
+probabilities q0/q1/q2 and the normal/Pareto parameters).  This
+experiment regenerates the subscription workload and *measures* the
+realized branch frequencies and moments against the table — the
+reproduction's check that the generator implements the spec.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..workload.schema import DIM_QUOTE, DIM_VOLUME
+from ..workload.subscriptions import (
+    IntervalDistributionParams,
+    PlacedSubscription,
+)
+from .config import ExperimentConfig
+from .testbed import Testbed, build_testbed
+
+__all__ = ["BranchFrequencies", "Table1Row", "measure_field", "run_table1"]
+
+
+@dataclass(frozen=True)
+class BranchFrequencies:
+    """Realized frequencies of the four interval branches."""
+
+    wildcard: float       # ``*``           (expected: q0)
+    lower_ray: float      # ``[n, +inf)``   (expected: q1)
+    upper_ray: float      # ``(-inf, n]``   (expected: q2)
+    bounded: float        # ``[n1, n2]``    (expected: 1 - q0 - q1 - q2)
+    bounded_center_mean: float
+    bounded_min_length: float
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Expected-vs-measured comparison for one field."""
+
+    field: str
+    expected: IntervalDistributionParams
+    measured: BranchFrequencies
+
+    def within_tolerance(self, tol: float = 0.05) -> bool:
+        """Whether every branch frequency is within ``tol`` of spec."""
+        return (
+            abs(self.measured.wildcard - self.expected.q0) <= tol
+            and abs(self.measured.lower_ray - self.expected.q1) <= tol
+            and abs(self.measured.upper_ray - self.expected.q2) <= tol
+            and abs(
+                self.measured.bounded - self.expected.bounded_probability
+            )
+            <= tol
+        )
+
+
+def measure_field(
+    placed: Sequence[PlacedSubscription], dim: int
+) -> BranchFrequencies:
+    """Classify one dimension of every subscription into its branch."""
+    if not placed:
+        raise ValueError("no subscriptions to measure")
+    wildcard = lower = upper = bounded = 0
+    centers: List[float] = []
+    lengths: List[float] = []
+    for sub in placed:
+        lo = sub.rectangle.lows[dim]
+        hi = sub.rectangle.highs[dim]
+        lo_inf = math.isinf(lo)
+        hi_inf = math.isinf(hi)
+        if lo_inf and hi_inf:
+            wildcard += 1
+        elif hi_inf:
+            lower += 1
+        elif lo_inf:
+            upper += 1
+        else:
+            bounded += 1
+            centers.append((lo + hi) / 2.0)
+            lengths.append(hi - lo)
+    total = len(placed)
+    return BranchFrequencies(
+        wildcard=wildcard / total,
+        lower_ray=lower / total,
+        upper_ray=upper / total,
+        bounded=bounded / total,
+        bounded_center_mean=float(np.mean(centers)) if centers else math.nan,
+        bounded_min_length=float(min(lengths)) if lengths else math.nan,
+    )
+
+
+def run_table1(
+    config: ExperimentConfig, testbed: Optional[Testbed] = None
+) -> List[Table1Row]:
+    """Measure the generated workload against the paper's table."""
+    if testbed is None:
+        testbed = build_testbed(config)
+    from ..workload.subscriptions import PRICE_PARAMS, VOLUME_PARAMS
+
+    return [
+        Table1Row(
+            field="price",
+            expected=PRICE_PARAMS,
+            measured=measure_field(testbed.placed, DIM_QUOTE),
+        ),
+        Table1Row(
+            field="volume",
+            expected=VOLUME_PARAMS,
+            measured=measure_field(testbed.placed, DIM_VOLUME),
+        ),
+    ]

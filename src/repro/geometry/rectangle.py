@@ -1,0 +1,246 @@
+"""Axis-aligned rectangles in N-dimensional space.
+
+A subscription in a content-based pub-sub system is the conjunction of
+one range predicate per attribute, which is exactly an axis-aligned
+("aligned", in the paper's terminology) rectangle in the event space
+``Omega ⊆ R^N``.  Each side is a half-open interval ``(lo, hi]`` (see
+:mod:`repro.geometry.interval`), and a published event is a point.
+
+This module also provides the measures the S-tree packing algorithm
+needs: volume, (semi-)perimeter and minimum bounding rectangles.
+Because unbounded predicates are common (``volume >= 1000``), volumes
+are computed against a *clipping frame* when one is supplied; an
+unclipped unbounded rectangle has infinite volume, which is a legal but
+rarely useful answer during packing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from .interval import Interval
+
+__all__ = ["Rectangle", "bounding_rectangle"]
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """An axis-aligned rectangle: the Cartesian product of half-open intervals.
+
+    Stored as two tuples ``lows`` and ``highs`` so instances are
+    hashable and safely shareable.  A rectangle is *empty* when any side
+    is empty.
+    """
+
+    lows: Tuple[float, ...]
+    highs: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lows) != len(self.highs):
+            raise ValueError(
+                f"dimension mismatch: {len(self.lows)} lows vs "
+                f"{len(self.highs)} highs"
+            )
+        if len(self.lows) == 0:
+            raise ValueError("rectangles must have at least one dimension")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_intervals(cls, intervals: Sequence[Interval]) -> "Rectangle":
+        """Build from one :class:`Interval` per dimension."""
+        return cls(
+            tuple(i.lo for i in intervals),
+            tuple(i.hi for i in intervals),
+        )
+
+    @classmethod
+    def from_bounds(
+        cls, lows: Sequence[float], highs: Sequence[float]
+    ) -> "Rectangle":
+        """Build from parallel low/high sequences (e.g. numpy rows)."""
+        return cls(tuple(float(x) for x in lows), tuple(float(x) for x in highs))
+
+    @classmethod
+    def cube(cls, lo: float, hi: float, ndim: int) -> "Rectangle":
+        """The N-dimensional cube ``(lo, hi]^ndim``."""
+        return cls((lo,) * ndim, (hi,) * ndim)
+
+    @classmethod
+    def full(cls, ndim: int) -> "Rectangle":
+        """The whole space ``R^ndim`` (every side is the full line)."""
+        return cls.cube(-math.inf, math.inf, ndim)
+
+    # -- structure -----------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        """Number of dimensions (attributes)."""
+        return len(self.lows)
+
+    def side(self, dim: int) -> Interval:
+        """The interval forming dimension ``dim``."""
+        return Interval(self.lows[dim], self.highs[dim])
+
+    @property
+    def sides(self) -> Tuple[Interval, ...]:
+        """All per-dimension intervals."""
+        return tuple(Interval(lo, hi) for lo, hi in zip(self.lows, self.highs))
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.sides)
+
+    # -- predicates ------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when any side is empty, i.e. the set contains no points."""
+        return any(hi <= lo for lo, hi in zip(self.lows, self.highs))
+
+    @property
+    def is_bounded(self) -> bool:
+        """True when every endpoint is finite."""
+        return all(math.isfinite(x) for x in self.lows) and all(
+            math.isfinite(x) for x in self.highs
+        )
+
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """Point query membership: ``lo < x <= hi`` in every dimension."""
+        if len(point) != self.ndim:
+            raise ValueError(
+                f"point has {len(point)} coordinates, rectangle has "
+                f"{self.ndim} dimensions"
+            )
+        return all(
+            lo < x <= hi for lo, hi, x in zip(self.lows, self.highs, point)
+        )
+
+    def __contains__(self, point: Sequence[float]) -> bool:
+        return self.contains_point(point)
+
+    def intersects(self, other: "Rectangle") -> bool:
+        """Whether the two rectangles share at least one point."""
+        self._check_ndim(other)
+        if self.is_empty or other.is_empty:
+            return False
+        return all(
+            max(a_lo, b_lo) < min(a_hi, b_hi)
+            for a_lo, a_hi, b_lo, b_hi in zip(
+                self.lows, self.highs, other.lows, other.highs
+            )
+        )
+
+    def contains_rectangle(self, other: "Rectangle") -> bool:
+        """Whether ``other ⊆ self``."""
+        self._check_ndim(other)
+        if other.is_empty:
+            return True
+        if self.is_empty:
+            return False
+        return all(
+            a_lo <= b_lo and b_hi <= a_hi
+            for a_lo, a_hi, b_lo, b_hi in zip(
+                self.lows, self.highs, other.lows, other.highs
+            )
+        )
+
+    # -- set operations ----------------------------------------------------------
+
+    def intersection(self, other: "Rectangle") -> "Rectangle":
+        """The (possibly empty) intersection rectangle."""
+        self._check_ndim(other)
+        return Rectangle(
+            tuple(max(a, b) for a, b in zip(self.lows, other.lows)),
+            tuple(min(a, b) for a, b in zip(self.highs, other.highs)),
+        )
+
+    def hull(self, other: "Rectangle") -> "Rectangle":
+        """Minimum bounding rectangle of the two (ignoring empties)."""
+        self._check_ndim(other)
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Rectangle(
+            tuple(min(a, b) for a, b in zip(self.lows, other.lows)),
+            tuple(max(a, b) for a, b in zip(self.highs, other.highs)),
+        )
+
+    def clip(self, frame: "Rectangle") -> "Rectangle":
+        """Intersect with a bounded clipping frame (alias of intersection)."""
+        return self.intersection(frame)
+
+    # -- measures -------------------------------------------------------------------
+
+    @property
+    def volume(self) -> float:
+        """Product of side lengths; 0 if empty, inf if unbounded."""
+        if self.is_empty:
+            return 0.0
+        result = 1.0
+        for lo, hi in zip(self.lows, self.highs):
+            result *= hi - lo
+        return result
+
+    def clipped_volume(self, frame: "Rectangle") -> float:
+        """Volume of the intersection with a (typically bounded) frame."""
+        return self.intersection(frame).volume
+
+    @property
+    def semi_perimeter(self) -> float:
+        """Sum of side lengths (the S-tree packing tie-breaker measure)."""
+        if self.is_empty:
+            return 0.0
+        return float(sum(hi - lo for lo, hi in zip(self.lows, self.highs)))
+
+    @property
+    def center(self) -> Tuple[float, ...]:
+        """Geometric center (per-dimension :attr:`Interval.center`)."""
+        return tuple(side.center for side in self.sides)
+
+    def longest_dimension(self) -> int:
+        """Index of the dimension with the longest side.
+
+        Used by S-tree binarization to pick the sweep axis; unbounded
+        sides count as infinitely long, and ties resolve to the lowest
+        index for determinism.
+        """
+        lengths = [hi - lo for lo, hi in zip(self.lows, self.highs)]
+        return int(max(range(self.ndim), key=lambda d: (lengths[d], -d)))
+
+    # -- conversions -------------------------------------------------------------
+
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(lows, highs)`` as float64 numpy arrays."""
+        return (
+            np.asarray(self.lows, dtype=np.float64),
+            np.asarray(self.highs, dtype=np.float64),
+        )
+
+    def _check_ndim(self, other: "Rectangle") -> None:
+        if self.ndim != other.ndim:
+            raise ValueError(
+                f"dimension mismatch: {self.ndim} vs {other.ndim}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sides = " x ".join(
+            f"({lo}, {hi}]" for lo, hi in zip(self.lows, self.highs)
+        )
+        return f"Rectangle[{sides}]"
+
+
+def bounding_rectangle(rectangles: Iterable[Rectangle]) -> Rectangle:
+    """Minimum bounding rectangle of a non-empty collection."""
+    iterator = iter(rectangles)
+    try:
+        result = next(iterator)
+    except StopIteration:
+        raise ValueError("bounding_rectangle() requires at least one rectangle")
+    for rect in iterator:
+        result = result.hull(rect)
+    return result

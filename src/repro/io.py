@@ -1,0 +1,152 @@
+"""Persistence: save and load testbeds as JSON.
+
+A simulation campaign is defined by its topology and its subscription
+set; this module serializes both (plus enough metadata to rebuild
+routing and indexes, which are always derived, never stored) so a
+testbed can be generated once and shared or replayed elsewhere.
+
+Infinities are JSON-unfriendly, so rectangle bounds are encoded with
+the string sentinels ``"-inf"`` / ``"inf"``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Union
+
+import networkx as nx
+
+from .core.subscription import SubscriptionTable
+from .geometry.rectangle import Rectangle
+from .network.topology import Topology
+
+__all__ = [
+    "topology_to_dict",
+    "topology_from_dict",
+    "table_to_dict",
+    "table_from_dict",
+    "save_testbed",
+    "load_testbed",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_bound(value: float) -> Union[float, str]:
+    if value == math.inf:
+        return "inf"
+    if value == -math.inf:
+        return "-inf"
+    return float(value)
+
+
+def _decode_bound(value: Union[float, str]) -> float:
+    if value == "inf":
+        return math.inf
+    if value == "-inf":
+        return -math.inf
+    return float(value)
+
+
+def topology_to_dict(topology: Topology) -> Dict:
+    """JSON-ready encoding of a transit-stub topology."""
+    return {
+        "nodes": [
+            {"id": int(node), **data}
+            for node, data in sorted(topology.graph.nodes(data=True))
+        ],
+        "edges": [
+            {"u": int(u), "v": int(v), "cost": float(data["cost"])}
+            for u, v, data in topology.graph.edges(data=True)
+        ],
+        "transit_nodes": [
+            [int(n) for n in block] for block in topology.transit_nodes
+        ],
+        "stub_members": [
+            [int(n) for n in stub] for stub in topology.stub_members
+        ],
+        "stub_block": [int(b) for b in topology.stub_block],
+        "stub_owner": [int(o) for o in topology.stub_owner],
+    }
+
+
+def topology_from_dict(data: Dict) -> Topology:
+    """Inverse of :func:`topology_to_dict` (validates the result)."""
+    graph = nx.Graph()
+    for node in data["nodes"]:
+        attrs = {k: v for k, v in node.items() if k != "id"}
+        graph.add_node(int(node["id"]), **attrs)
+    for edge in data["edges"]:
+        graph.add_edge(
+            int(edge["u"]), int(edge["v"]), cost=float(edge["cost"])
+        )
+    topology = Topology(
+        graph=graph,
+        transit_nodes=[[int(n) for n in b] for b in data["transit_nodes"]],
+        stub_members=[[int(n) for n in s] for s in data["stub_members"]],
+        stub_block=[int(b) for b in data["stub_block"]],
+        stub_owner=[int(o) for o in data.get("stub_owner", [])],
+    )
+    topology.validate()
+    return topology
+
+
+def table_to_dict(table: SubscriptionTable) -> Dict:
+    """JSON-ready encoding of a subscription table."""
+    return {
+        "ndim": table.ndim,
+        "subscriptions": [
+            {
+                "subscriber": s.subscriber,
+                "lows": [_encode_bound(x) for x in s.rectangle.lows],
+                "highs": [_encode_bound(x) for x in s.rectangle.highs],
+            }
+            for s in table
+        ],
+    }
+
+
+def table_from_dict(data: Dict) -> SubscriptionTable:
+    """Inverse of :func:`table_to_dict` (ids are re-assigned in order)."""
+    table = SubscriptionTable(int(data["ndim"]))
+    for entry in data["subscriptions"]:
+        table.add(
+            int(entry["subscriber"]),
+            Rectangle(
+                tuple(_decode_bound(x) for x in entry["lows"]),
+                tuple(_decode_bound(x) for x in entry["highs"]),
+            ),
+        )
+    return table
+
+
+def save_testbed(
+    path: Union[str, Path],
+    topology: Topology,
+    table: SubscriptionTable,
+) -> None:
+    """Write a topology + subscription set to a JSON file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "topology": topology_to_dict(topology),
+        "subscriptions": table_to_dict(table),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_testbed(
+    path: Union[str, Path]
+) -> "tuple[Topology, SubscriptionTable]":
+    """Read a testbed written by :func:`save_testbed`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported testbed format version: {version!r}"
+        )
+    return (
+        topology_from_dict(payload["topology"]),
+        table_from_dict(payload["subscriptions"]),
+    )

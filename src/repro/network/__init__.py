@@ -1,0 +1,19 @@
+"""Network substrate: transit-stub topologies, routing, delivery costs.
+
+Replaces the paper's GT-ITM-generated testbed (Section 5, Figure 3)
+with a faithful in-Python transit-stub generator, plus the dense-mode
+multicast cost model used to score distribution schemes.
+"""
+
+from .multicast import CostTally, DeliveryCostModel
+from .routing import RoutingTable
+from .topology import Topology, TransitStubGenerator, TransitStubParams
+
+__all__ = [
+    "CostTally",
+    "DeliveryCostModel",
+    "RoutingTable",
+    "Topology",
+    "TransitStubGenerator",
+    "TransitStubParams",
+]

@@ -1,0 +1,166 @@
+"""Shortest-path routing over a generated topology.
+
+The experiments charge every delivery to network links: a unicast pays
+the shortest-path cost from publisher to subscriber, and a dense-mode
+multicast pays each edge of the shortest-path tree (rooted at the
+publisher) that carries the message.  This module precomputes the
+all-pairs shortest-path machinery — distance and predecessor matrices
+via ``scipy.sparse.csgraph.dijkstra`` — once per topology, so per-event
+cost evaluation during the Figure 6 sweeps is just array walks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+from .topology import Topology
+
+__all__ = ["RoutingTable"]
+
+
+class RoutingTable:
+    """All-pairs shortest paths with predecessor tracking.
+
+    Node ids are assumed to be ``0..n-1`` (as produced by
+    :class:`~repro.network.topology.TransitStubGenerator`); arbitrary
+    graphs are relabelled on entry.
+    """
+
+    def __init__(self, graph: nx.Graph):
+        nodes = sorted(graph.nodes())
+        if nodes != list(range(len(nodes))):
+            graph = nx.convert_node_labels_to_integers(
+                graph, ordering="sorted"
+            )
+            nodes = sorted(graph.nodes())
+        self.num_nodes = len(nodes)
+        rows: List[int] = []
+        cols: List[int] = []
+        costs: List[float] = []
+        for u, v, data in graph.edges(data=True):
+            cost = float(data["cost"])
+            if cost <= 0:
+                raise ValueError(f"edge ({u},{v}) has non-positive cost")
+            rows.extend((u, v))
+            cols.extend((v, u))
+            costs.extend((cost, cost))
+        matrix = csr_matrix(
+            (costs, (rows, cols)), shape=(self.num_nodes, self.num_nodes)
+        )
+        self._dist, self._pred = dijkstra(
+            matrix, directed=False, return_predecessors=True
+        )
+        self._cost_lookup: Dict[Tuple[int, int], float] = {}
+        for u, v, data in graph.edges(data=True):
+            cost = float(data["cost"])
+            self._cost_lookup[(u, v)] = cost
+            self._cost_lookup[(v, u)] = cost
+
+    @classmethod
+    def from_topology(cls, topology: Topology) -> "RoutingTable":
+        return cls(topology.graph)
+
+    # -- primitives --------------------------------------------------------
+
+    def distance(self, source: int, target: int) -> float:
+        """Shortest-path cost between two nodes."""
+        return float(self._dist[source, target])
+
+    def path(self, source: int, target: int) -> List[int]:
+        """One shortest path, as a node list from ``source`` to ``target``."""
+        if source == target:
+            return [source]
+        if not np.isfinite(self._dist[source, target]):
+            raise ValueError(f"no path from {source} to {target}")
+        path = [target]
+        node = target
+        while node != source:
+            node = int(self._pred[source, node])
+            path.append(node)
+        path.reverse()
+        return path
+
+    def edge_cost(self, u: int, v: int) -> float:
+        """Cost of a direct edge (raises for non-edges)."""
+        try:
+            return self._cost_lookup[(u, v)]
+        except KeyError:
+            raise ValueError(f"({u}, {v}) is not an edge") from None
+
+    # -- aggregate costs ------------------------------------------------------
+
+    def unicast_cost(self, source: int, targets: Iterable[int]) -> float:
+        """Total cost of separate unicasts from ``source`` to each target.
+
+        Each unicast traverses its own shortest path and pays every
+        link on it, even links shared with other unicasts — that is
+        precisely what makes multicast attractive.
+        """
+        targets = list(targets)
+        if not targets:
+            return 0.0
+        return float(self._dist[source, np.asarray(targets, dtype=np.int64)].sum())
+
+    def shortest_path_tree_cost(
+        self, source: int, targets: Iterable[int]
+    ) -> float:
+        """Cost of the dense-mode multicast tree reaching ``targets``.
+
+        Dense-mode multicast routes over the shortest-path tree rooted
+        at the publisher; each tree edge carrying the message is paid
+        once, regardless of how many group members sit behind it.  The
+        cost is the summed cost of the union of root→target shortest
+        paths.
+        """
+        cost = 0.0
+        visited = {source}
+        pred_row = self._pred[source]
+        for target in targets:
+            node = int(target)
+            walk: List[int] = []
+            while node not in visited:
+                walk.append(node)
+                parent = int(pred_row[node])
+                if parent < 0:
+                    raise ValueError(
+                        f"no path from {source} to {target}"
+                    )
+                node = parent
+            # ``node`` is the first already-covered ancestor; pay the
+            # new edges from there out to the target.
+            prev = node
+            for fresh in reversed(walk):
+                cost += self._cost_lookup[(prev, fresh)]
+                visited.add(fresh)
+                prev = fresh
+        return cost
+
+    def tree_edges(
+        self, source: int, targets: Iterable[int]
+    ) -> List[Tuple[int, int]]:
+        """The edges of the dense-mode tree (for inspection/tests)."""
+        edges: List[Tuple[int, int]] = []
+        visited = {source}
+        pred_row = self._pred[source]
+        for target in targets:
+            node = int(target)
+            walk: List[int] = []
+            while node not in visited:
+                walk.append(node)
+                node = int(pred_row[node])
+            prev = node
+            for fresh in reversed(walk):
+                edges.append((prev, fresh))
+                visited.add(fresh)
+                prev = fresh
+        return edges
+
+    def eccentricity(self, source: int) -> float:
+        """Largest finite shortest-path cost out of ``source``."""
+        row = self._dist[source]
+        return float(row[np.isfinite(row)].max())

@@ -1,0 +1,19 @@
+"""Content-based routing over a broker overlay (Siena/Gryphon style).
+
+The architectural baseline the paper's approach competes with: instead
+of precomputing multicast groups and deciding unicast-vs-multicast per
+event, relay brokers form a tree and filter events hop by hop against
+per-link subscription summaries.  Provided so the benchmarks can put
+the two architectures side by side on the same testbed.
+"""
+
+from .delivery import RelayDeliveryService
+from .overlay import BrokerOverlay
+from .router import ContentRouter, RoutingOutcome
+
+__all__ = [
+    "RelayDeliveryService",
+    "BrokerOverlay",
+    "ContentRouter",
+    "RoutingOutcome",
+]

@@ -1,0 +1,236 @@
+"""Content-based routing over the broker overlay.
+
+Each broker holds, per overlay link, a summary of every subscription
+whose subscriber lives *behind* that link; an event is forwarded on
+exactly the links whose summary it matches, and delivered to local
+clients whose subscriptions match.  This is the Siena-style
+"filtering tree" architecture, built here as a baseline against the
+paper's precomputed-multicast-groups approach.
+
+Three summary representations:
+
+- ``"exact"`` — the full rectangle set per link, matched with the
+  vectorized point kernel.  No false forwarding, maximal state.
+- ``"covering"`` — the exact set minus every rectangle covered by
+  another rectangle *on the same link*.  Forwarding only asks "does
+  anything behind this link match?", so dropping covered entries is
+  lossless — same zero false positives, less state.  (This is the
+  subscription-aggregation idea of Siena-style systems.)
+- ``"mbr"`` — one minimum bounding rectangle per link (the classic
+  lossy aggregation).  Tiny state, but any event inside the hull of a
+  link's subscriptions is forwarded — false positives that cost
+  traffic.  Deliveries remain exact because home brokers always match
+  their local clients' real subscriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.subscription import SubscriptionTable
+from ..geometry.arrays import point_membership_mask
+from .overlay import BrokerOverlay
+
+__all__ = ["RoutingOutcome", "ContentRouter"]
+
+
+@dataclass(frozen=True)
+class RoutingOutcome:
+    """What routing one event through the overlay did."""
+
+    subscribers: Tuple[int, ...]  # delivered (distinct, sorted)
+    total_cost: float             # physical cost, end to end
+    brokers_visited: int
+    links_crossed: int
+
+    @property
+    def delivered(self) -> int:
+        return len(self.subscribers)
+
+
+class _LinkSummary:
+    """Per-link forwarding state under one aggregation policy."""
+
+    def __init__(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        aggregation: str,
+    ):
+        self.entries = int(lows.shape[0])
+        if aggregation == "mbr":
+            self._lows = lows.min(axis=0, keepdims=True)
+            self._highs = highs.max(axis=0, keepdims=True)
+            self.state_size = 1
+        elif aggregation == "covering":
+            keep = _uncovered_mask(lows, highs)
+            self._lows = lows[keep]
+            self._highs = highs[keep]
+            self.state_size = int(keep.sum())
+        else:
+            self._lows = lows
+            self._highs = highs
+            self.state_size = self.entries
+
+    def matches(self, point: np.ndarray) -> bool:
+        return bool(
+            point_membership_mask(self._lows, self._highs, point).any()
+        )
+
+
+def _uncovered_mask(lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+    """Rows not contained in any other row (ties keep the first).
+
+    All-pairs containment via broadcasting; the sets here are per-link
+    slices of the subscription table, small enough that the O(k^2 N)
+    boolean tensor is cheap.
+    """
+    k = lows.shape[0]
+    if k <= 1:
+        return np.ones(k, dtype=bool)
+    # contains[i, j] == True  <=>  rectangle i contains rectangle j.
+    contains = np.all(
+        (lows[:, None, :] <= lows[None, :, :])
+        & (highs[:, None, :] >= highs[None, :, :]),
+        axis=2,
+    )
+    np.fill_diagonal(contains, False)
+    identical = np.all(
+        (lows[:, None, :] == lows[None, :, :])
+        & (highs[:, None, :] == highs[None, :, :]),
+        axis=2,
+    )
+    np.fill_diagonal(identical, False)
+    # Row i is covered when some j strictly contains it (contains.T:
+    # [i, j] == "j contains i"), or an identical earlier row exists.
+    earlier = np.arange(k)[:, None] > np.arange(k)[None, :]
+    covered_by = (contains.T & ~identical) | (identical & earlier)
+    return ~covered_by.any(axis=1)
+
+
+class ContentRouter:
+    """Forwarding state for a whole overlay, plus the routing loop."""
+
+    AGGREGATIONS = ("exact", "covering", "mbr")
+
+    def __init__(
+        self,
+        overlay: BrokerOverlay,
+        table: SubscriptionTable,
+        aggregation: str = "exact",
+    ):
+        if aggregation not in self.AGGREGATIONS:
+            raise ValueError(
+                f"aggregation must be one of {self.AGGREGATIONS}, got "
+                f"{aggregation!r}"
+            )
+        self.overlay = overlay
+        self.table = table
+        self.aggregation = aggregation
+
+        # Home broker of every subscription's subscriber.
+        self._home: Dict[int, int] = {}
+        subscriptions_by_home: Dict[int, List[int]] = {}
+        for subscription in table:
+            home = overlay.broker_of(subscription.subscriber)
+            self._home[subscription.subscription_id] = home
+            subscriptions_by_home.setdefault(home, []).append(
+                subscription.subscription_id
+            )
+
+        lows, highs = table.to_arrays()
+
+        # Local delivery state: per broker, its clients' subscriptions.
+        self._local: Dict[int, "tuple[np.ndarray, np.ndarray, np.ndarray]"] = {}
+        for broker, ids in subscriptions_by_home.items():
+            idx = np.asarray(ids, dtype=np.int64)
+            self._local[broker] = (lows[idx], highs[idx], idx)
+
+        # Forwarding state: per (broker, neighbor), the subscriptions
+        # homed in the subtree entered through that neighbor.
+        behind: Dict[Tuple[int, int], List[int]] = {}
+        for subscription in table:
+            home = self._home[subscription.subscription_id]
+            for broker in overlay.brokers:
+                if broker == home:
+                    continue
+                hop = overlay.next_hop(broker, home)
+                behind.setdefault((broker, hop), []).append(
+                    subscription.subscription_id
+                )
+        self._links: Dict[Tuple[int, int], _LinkSummary] = {}
+        for key, ids in behind.items():
+            idx = np.asarray(ids, dtype=np.int64)
+            self._links[key] = _LinkSummary(
+                lows[idx], highs[idx], aggregation
+            )
+
+    # -- introspection -------------------------------------------------------
+
+    def state_entries(self) -> int:
+        """Total summary entries across all broker links.
+
+        The state-vs-traffic trade-off's state side: ``exact`` stores
+        every subscription once per link it lies behind; ``mbr`` one
+        box per link.
+        """
+        return sum(summary.state_size for summary in self._links.values())
+
+    # -- the routing loop --------------------------------------------------------
+
+    def route(
+        self, point: Sequence[float], publisher: int
+    ) -> RoutingOutcome:
+        """Flood-with-filtering from the publisher's broker."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.table.ndim,):
+            raise ValueError(
+                f"point must have {self.table.ndim} coordinates"
+            )
+        entry_broker = self.overlay.broker_of(publisher)
+        total_cost = self.overlay.routing.distance(publisher, entry_broker)
+
+        delivered: Set[int] = set()
+        brokers_visited = 0
+        links_crossed = 0
+        # (broker, came_from) pairs; the tree guarantees no revisits.
+        frontier: List[Tuple[int, Optional[int]]] = [(entry_broker, None)]
+        while frontier:
+            broker, came_from = frontier.pop()
+            brokers_visited += 1
+            local = self._local.get(broker)
+            if local is not None:
+                local_lows, local_highs, local_ids = local
+                mask = point_membership_mask(local_lows, local_highs, point)
+                for subscription_id in local_ids[mask]:
+                    subscriber = self.table.subscriber_of(
+                        int(subscription_id)
+                    )
+                    # The publisher needs no delivery of its own event
+                    # (consistent with the broker's recipient rule).
+                    if subscriber == publisher:
+                        continue
+                    if subscriber not in delivered:
+                        delivered.add(subscriber)
+                        total_cost += self.overlay.routing.distance(
+                            broker, subscriber
+                        )
+            for neighbor in self.overlay.neighbors(broker):
+                if neighbor == came_from:
+                    continue
+                summary = self._links.get((broker, neighbor))
+                if summary is None or not summary.matches(point):
+                    continue
+                links_crossed += 1
+                total_cost += self.overlay.link_cost(broker, neighbor)
+                frontier.append((neighbor, broker))
+
+        return RoutingOutcome(
+            subscribers=tuple(sorted(delivered)),
+            total_cost=total_cost,
+            brokers_visited=brokers_visited,
+            links_crossed=links_crossed,
+        )

@@ -1,0 +1,20 @@
+"""Packet-level discrete-event simulation of deliveries.
+
+Extends the paper's edge-cost accounting with the *time* dimension:
+store-and-forward links with serialization, per-recipient latency, and
+congestion under bursty publication — the operational case for the
+multicast groups the clustering stage precomputes.
+"""
+
+from .delivery import DeliverySimulation, LatencyStats, SimulationReport
+from .engine import DiscreteEventSimulator
+from .packet_network import PacketNetwork, TransferLog
+
+__all__ = [
+    "DeliverySimulation",
+    "LatencyStats",
+    "SimulationReport",
+    "DiscreteEventSimulator",
+    "PacketNetwork",
+    "TransferLog",
+]

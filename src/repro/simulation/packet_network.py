@@ -1,0 +1,176 @@
+"""Store-and-forward packet transport over the testbed topology.
+
+Models what the edge-cost accounting abstracts away:
+
+- every link has a **propagation delay** proportional to its cost
+  (the same quantity the paper sums for delivery cost), and
+- putting a message onto a link takes a **transmission time**, during
+  which the link (per direction) is busy — later messages queue.
+
+A unicast traverses its shortest path hop by hop.  A multicast flows
+down a tree: each relay node forwards one copy per child link.  With
+these two rules the classic effect emerges naturally: a unicast storm
+from one publisher serializes on the publisher's access links, while a
+multicast tree crosses each link once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..network.routing import RoutingTable
+from ..network.topology import Topology
+from .engine import DiscreteEventSimulator
+
+__all__ = ["PacketNetwork", "TransferLog"]
+
+
+@dataclass
+class TransferLog:
+    """Aggregate transport statistics of one simulation."""
+
+    transmissions: int = 0  # link-level message copies sent
+    queueing_delay: float = 0.0  # total time spent waiting for links
+    max_link_queue: float = 0.0  # worst single wait
+
+    def record_wait(self, wait: float) -> None:
+        self.queueing_delay += wait
+        self.max_link_queue = max(self.max_link_queue, wait)
+
+
+class PacketNetwork:
+    """Per-link serialized transport bound to one simulator instance."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        simulator: DiscreteEventSimulator,
+        routing: "RoutingTable | None" = None,
+        transmission_time: float = 0.25,
+        propagation_scale: float = 1.0,
+    ):
+        if transmission_time < 0:
+            raise ValueError("transmission_time must be non-negative")
+        if propagation_scale <= 0:
+            raise ValueError("propagation_scale must be positive")
+        self.topology = topology
+        self.simulator = simulator
+        self.routing = routing or RoutingTable.from_topology(topology)
+        self.transmission_time = transmission_time
+        self.propagation_scale = propagation_scale
+        self._busy_until: Dict[Tuple[int, int], float] = {}
+        self.log = TransferLog()
+
+    # -- link primitive ------------------------------------------------------
+
+    def _forward(
+        self,
+        u: int,
+        v: int,
+        ready_time: float,
+        on_arrival: Callable[[float], None],
+    ) -> None:
+        """Send one copy over the directed link (u, v).
+
+        ``ready_time`` is when the message is available at ``u``; the
+        copy departs when the link frees up, occupies it for the
+        transmission time, and arrives after the propagation delay.
+        """
+        key = (u, v)
+        depart = max(ready_time, self._busy_until.get(key, 0.0))
+        wait = depart - ready_time
+        if wait > 0:
+            self.log.record_wait(wait)
+        self._busy_until[key] = depart + self.transmission_time
+        propagation = (
+            self.routing.edge_cost(u, v) * self.propagation_scale
+        )
+        arrival = depart + self.transmission_time + propagation
+        self.log.transmissions += 1
+        self.simulator.schedule_at(arrival, lambda: on_arrival(arrival))
+
+    # -- delivery patterns -------------------------------------------------------
+
+    def send_unicast(
+        self,
+        source: int,
+        target: int,
+        on_delivered: Callable[[int, float], None],
+    ) -> None:
+        """Route one message hop-by-hop along the shortest path.
+
+        ``on_delivered(target, time)`` fires at arrival.  Sending to
+        oneself delivers immediately at the current time.
+        """
+        if source == target:
+            now = self.simulator.now
+            self.simulator.schedule(0.0, lambda: on_delivered(target, now))
+            return
+        path = self.routing.path(source, target)
+
+        def hop(position: int, ready_time: float) -> None:
+            if position == len(path) - 1:
+                on_delivered(target, ready_time)
+                return
+            self._forward(
+                path[position],
+                path[position + 1],
+                ready_time,
+                lambda arrival: hop(position + 1, arrival),
+            )
+
+        hop(0, self.simulator.now)
+
+    def send_multicast(
+        self,
+        source: int,
+        members: Sequence[int],
+        on_delivered: Callable[[int, float], None],
+        via: Optional[int] = None,
+    ) -> None:
+        """Flow one message down a multicast tree to every member.
+
+        Dense mode (default): the tree is the shortest-path tree rooted
+        at the publisher.  Sparse mode: pass ``via`` (the rendezvous
+        point) — the message first travels publisher→rendezvous as a
+        unicast, then flows down the shared tree rooted there.  Each
+        relay forwards one copy per child link; members interior to the
+        tree are delivered when the message passes them.
+        """
+        members = [int(m) for m in members]
+        member_set = set(members)
+        root = source if via is None else int(via)
+        children: Dict[int, List[int]] = {}
+        for u, v in self.routing.tree_edges(root, members):
+            children.setdefault(u, []).append(v)
+
+        def relay(node: int, ready_time: float) -> None:
+            for child in children.get(node, []):
+                def arrived(arrival: float, child: int = child) -> None:
+                    if child in member_set:
+                        on_delivered(child, arrival)
+                    relay(child, arrival)
+
+                self._forward(node, child, ready_time, arrived)
+
+        def start_tree(ready_time: float) -> None:
+            if root in member_set and root != source:
+                on_delivered(root, ready_time)
+            relay(root, ready_time)
+
+        if root in member_set and root == source:
+            now = self.simulator.now
+            self.simulator.schedule(0.0, lambda: on_delivered(source, now))
+        if via is None or root == source:
+            relay(root, self.simulator.now)
+        else:
+            # Publisher -> rendezvous leg, then the shared tree.
+            self.send_unicast(
+                source, root, lambda _node, time: start_tree(time)
+            )
+
+    def reset_links(self) -> None:
+        """Clear link occupancy and statistics (fresh run, same tables)."""
+        self._busy_until.clear()
+        self.log = TransferLog()

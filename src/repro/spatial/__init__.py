@@ -1,0 +1,32 @@
+"""Spatial point-query indexes for the matching problem (paper Section 3).
+
+The headline structure is the :class:`~repro.spatial.stree.STree`; the
+:class:`~repro.spatial.rtree.HilbertRTree`,
+:class:`~repro.spatial.linear.LinearScanMatcher` and
+:class:`~repro.spatial.grid_index.GridIndexMatcher` serve as baselines
+for the matching benchmarks.
+"""
+
+from .base import PointMatcher, QueryStats
+from .counting import CountingMatcher
+from .grid_index import GridIndexMatcher
+from .intervaltree import StaticIntervalTree
+from .hilbert import hilbert_index, quantize_to_lattice
+from .linear import LinearScanMatcher
+from .rtree import HilbertRTree
+from .stree import STree, STreeParams, TreeShape
+
+__all__ = [
+    "PointMatcher",
+    "QueryStats",
+    "CountingMatcher",
+    "StaticIntervalTree",
+    "GridIndexMatcher",
+    "hilbert_index",
+    "quantize_to_lattice",
+    "LinearScanMatcher",
+    "HilbertRTree",
+    "STree",
+    "STreeParams",
+    "TreeShape",
+]

@@ -1,0 +1,131 @@
+"""Hilbert-packed R-tree: the bottom-up packed baseline index.
+
+Kamel & Faloutsos (VLDB 1994, reference [8] of the paper) bulk-load an
+R-tree by sorting data rectangles along a Hilbert curve through their
+centers, slicing the sorted order into capacity-``M`` leaves, and then
+recursively packing the leaves' MBR records the same way.  Unlike the
+S-tree's top-down binarization this is a *bottom-up* packing (the paper
+draws this exact contrast in Section 3.1), and the result is perfectly
+height balanced.
+
+Queries are identical to the S-tree's: descend from the root, pruning
+every child whose MBR misses the query point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..geometry.arrays import bulk_centers
+from .base import PointMatcher
+from .hilbert import hilbert_indices, quantize_to_lattice
+
+__all__ = ["HilbertRTree"]
+
+#: Default curve order (bits per dimension) for center quantization.
+DEFAULT_CURVE_BITS = 10
+
+
+class _RNode:
+    """R-tree node; same stacked-MBR layout as the S-tree's nodes."""
+
+    __slots__ = ("child_lows", "child_highs", "children", "entry_ids")
+
+    def __init__(self) -> None:
+        self.child_lows: Optional[np.ndarray] = None
+        self.child_highs: Optional[np.ndarray] = None
+        self.children: List["_RNode"] = []
+        self.entry_ids: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entry_ids is not None
+
+
+class HilbertRTree(PointMatcher):
+    """Height-balanced packed R-tree over subscription rectangles."""
+
+    def __init__(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        ids: np.ndarray,
+        branch_factor: int = 40,
+        curve_bits: int = DEFAULT_CURVE_BITS,
+    ):
+        super().__init__(lows, highs, ids)
+        if branch_factor < 2:
+            raise ValueError("branch_factor must be at least 2")
+        if curve_bits < 1:
+            raise ValueError("curve_bits must be positive")
+        self.branch_factor = branch_factor
+        self.curve_bits = curve_bits
+        self._root = self._pack()
+
+    def _pack(self) -> _RNode:
+        """Bottom-up bulk load along the Hilbert order of the centers."""
+        centers = bulk_centers(self._lows, self._highs)
+        lattice = quantize_to_lattice(centers, self.curve_bits)
+        order = np.argsort(hilbert_indices(lattice, self.curve_bits))
+        m = self.branch_factor
+
+        # Level 0: slice the Hilbert order into leaves of capacity M.
+        leaves: List[_RNode] = []
+        for start in range(0, self.size, m):
+            chunk = order[start : start + m]
+            leaf = _RNode()
+            leaf.entry_ids = self._ids[chunk]
+            leaf.child_lows = self._lows[chunk]
+            leaf.child_highs = self._highs[chunk]
+            leaves.append(leaf)
+
+        # Upper levels: pack M consecutive nodes under one parent.
+        level = leaves
+        while len(level) > 1:
+            parents: List[_RNode] = []
+            for start in range(0, len(level), m):
+                group = level[start : start + m]
+                parent = _RNode()
+                parent.children = group
+                parent.child_lows = np.stack(
+                    [child.child_lows.min(axis=0) for child in group]
+                )
+                parent.child_highs = np.stack(
+                    [child.child_highs.max(axis=0) for child in group]
+                )
+                parents.append(parent)
+            level = parents
+        return level[0]
+
+    def _match_ids(self, point: np.ndarray) -> List[int]:
+        result: List[int] = []
+        stack = [self._root]
+        stats = self.stats
+        while stack:
+            node = stack.pop()
+            mask = np.all(
+                (node.child_lows < point) & (point <= node.child_highs),
+                axis=1,
+            )
+            if node.is_leaf:
+                stats.leaves_visited += 1
+                stats.entries_tested += len(node.entry_ids)
+                if mask.any():
+                    result.extend(int(i) for i in node.entry_ids[mask])
+            else:
+                stats.nodes_visited += 1
+                for i in np.flatnonzero(mask):
+                    stack.append(node.children[i])
+        return result
+
+    @property
+    def height(self) -> int:
+        """Number of edges from root to any leaf (balanced by design)."""
+        height = 0
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height

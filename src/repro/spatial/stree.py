@@ -1,0 +1,490 @@
+"""The S-tree: an unbalanced spatial index packed for point queries.
+
+This is the paper's matching structure (Section 3), following
+Aggarwal, Wolf, Yu and Epelman, *Using unbalanced trees for indexing
+multidimensional objects* (KAIS 1999).  Leaf and internal node records
+look exactly like R-tree records — ``(MBR, subscription-id)`` at the
+leaves and ``(MBR, child)`` internally — but the packing is different
+and the tree is deliberately *not* height balanced.
+
+Construction proceeds in the paper's two stages:
+
+1. **Binarization** — a top-down recursive split.  A node holding
+   ``N_A`` objects becomes a leaf when ``N_A <= M``.  Otherwise we take
+   the node's minimum bounding rectangle, choose its *longest*
+   dimension, order the objects by their centers along that dimension,
+   and sweep candidate split positions ``q`` with
+   ``p*N_A <= q <= (1-p)*N_A`` in increments of ``M`` (``p`` is the
+   *skew factor*, typically 0.3).  The split minimizing the sum of the
+   two child MBR volumes wins; ties go to the smaller total perimeter.
+
+2. **Compression** — turn the binary tree into an M-ary tree.  First,
+   every deepest internal node whose number of *leaf-node* descendants
+   is at most ``M`` (while its parent's exceeds ``M``) swallows all
+   internal nodes beneath it, becoming a *penultimate* node that
+   directly parents its leaves.  Then, walking the remaining internal
+   nodes top-down (breadth-first), each parent repeatedly collapses
+   with its non-leaf child of highest *leaf number* (descendant object
+   count) — growing its branch factor one child at a time — until the
+   branch factor reaches ``M`` or all children are leaves.
+
+Volumes of unbounded subscriptions (``volume >= 1000`` has an infinite
+side) are measured against a bounded *packing frame* derived from the
+finite coordinates present in the data, so the sweep objective stays
+informative; query-time MBRs always use the true, unclipped bounds, so
+correctness never depends on the frame.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.arrays import (
+    bulk_centers,
+    running_mbr_backward,
+    running_mbr_forward,
+)
+from .base import PointMatcher
+
+__all__ = ["STree", "STreeParams", "TreeShape"]
+
+#: Default maximum branch factor ("about 40" in the paper).
+DEFAULT_BRANCH_FACTOR = 40
+#: Default skew factor ("typically p is chosen to be about 0.3").
+DEFAULT_SKEW_FACTOR = 0.3
+#: Relative margin added around the data when deriving the packing frame.
+_FRAME_MARGIN = 0.5
+
+
+@dataclass(frozen=True)
+class STreeParams:
+    """Build-time knobs of the S-tree.
+
+    Parameters
+    ----------
+    branch_factor:
+        Maximum fanout ``M`` (also the leaf capacity).
+    skew_factor:
+        ``p ∈ (0, 1/2]``; smaller values allow more skew.
+    sweep_increment:
+        Stride of the binarization sweep.  ``None`` uses the paper's
+        choice of ``M``; 1 evaluates every legal split (slower, used by
+        the ablation benchmark).
+    split_dimension:
+        ``"best"`` (default) sweeps every dimension and keeps the
+        globally volume-minimizing split; ``"longest"`` is the ICDCS
+        text's literal heuristic — sweep only the dimension in which
+        the node's MBR is longest.  On workloads mixing wildcards and
+        rays into a few wide dimensions, ``"longest"`` spends every
+        level on those dimensions and prunes poorly; the ablation
+        benchmark quantifies the gap.
+    """
+
+    branch_factor: int = DEFAULT_BRANCH_FACTOR
+    skew_factor: float = DEFAULT_SKEW_FACTOR
+    sweep_increment: Optional[int] = None
+    split_dimension: str = "best"
+
+    def __post_init__(self) -> None:
+        if self.branch_factor < 2:
+            raise ValueError("branch_factor must be at least 2")
+        if not 0.0 < self.skew_factor <= 0.5:
+            raise ValueError("skew_factor must lie in (0, 1/2]")
+        if self.sweep_increment is not None and self.sweep_increment < 1:
+            raise ValueError("sweep_increment must be positive")
+        if self.split_dimension not in ("best", "longest"):
+            raise ValueError(
+                "split_dimension must be 'best' or 'longest', got "
+                f"{self.split_dimension!r}"
+            )
+
+    @property
+    def effective_sweep_increment(self) -> int:
+        """The stride actually used (defaults to the branch factor)."""
+        return self.sweep_increment or self.branch_factor
+
+
+@dataclass(frozen=True)
+class TreeShape:
+    """Structural summary of a built tree (for benchmarks and tests)."""
+
+    height: int
+    internal_nodes: int
+    leaf_nodes: int
+    entries: int
+    min_leaf_depth: int
+    max_leaf_depth: int
+    mean_branch_factor: float
+
+    @property
+    def skewness(self) -> int:
+        """Depth spread between the shallowest and deepest leaf."""
+        return self.max_leaf_depth - self.min_leaf_depth
+
+
+class _BinaryNode:
+    """Intermediate node used during binarization and compression."""
+
+    __slots__ = ("children", "indices", "leaf_number")
+
+    def __init__(
+        self,
+        indices: Optional[np.ndarray] = None,
+        children: Optional[List["_BinaryNode"]] = None,
+        leaf_number: int = 0,
+    ):
+        self.indices = indices  # set only on leaves
+        self.children = children if children is not None else []
+        self.leaf_number = leaf_number
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.indices is not None
+
+    def leaf_node_count(self) -> int:
+        """Number of leaf *nodes* (not objects) in this subtree."""
+        if self.is_leaf:
+            return 1
+        return sum(child.leaf_node_count() for child in self.children)
+
+    def collect_leaves(self) -> "List[_BinaryNode]":
+        """All leaf nodes in this subtree, left to right."""
+        if self.is_leaf:
+            return [self]
+        result: List[_BinaryNode] = []
+        for child in self.children:
+            result.extend(child.collect_leaves())
+        return result
+
+
+class _Node:
+    """Final S-tree node with stacked child MBRs for vectorized descent."""
+
+    __slots__ = (
+        "child_lows",
+        "child_highs",
+        "children",
+        "entry_lows",
+        "entry_highs",
+        "entry_ids",
+    )
+
+    def __init__(self) -> None:
+        self.child_lows: Optional[np.ndarray] = None
+        self.child_highs: Optional[np.ndarray] = None
+        self.children: List["_Node"] = []
+        self.entry_lows: Optional[np.ndarray] = None
+        self.entry_highs: Optional[np.ndarray] = None
+        self.entry_ids: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entry_ids is not None
+
+
+class STree(PointMatcher):
+    """Point-query index over subscription rectangles (paper Section 3)."""
+
+    def __init__(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        ids: np.ndarray,
+        params: Optional[STreeParams] = None,
+    ):
+        super().__init__(lows, highs, ids)
+        self.params = params or STreeParams()
+        pack_lows, pack_highs = _packing_frame_clip(lows, highs)
+        self._pack_lows = pack_lows
+        self._pack_highs = pack_highs
+        # Centers of the *clipped* rectangles drive the sweep ordering.
+        # On the finite domains the S-tree paper assumes, a half-open
+        # ray's center is the midpoint of its clipped extent — far from
+        # the bounded population — so rays and wildcards sort to the
+        # edges and get segregated into their own subtrees instead of
+        # poisoning every leaf MBR with an unbounded side.
+        self._pack_centers = bulk_centers(pack_lows, pack_highs)
+        binary_root = self._binarize(np.arange(self.size, dtype=np.int64))
+        _compress(binary_root, self.params.branch_factor)
+        self._root = self._materialize(binary_root)
+
+    # -- binarization -------------------------------------------------------
+
+    def _binarize(self, indices: np.ndarray) -> _BinaryNode:
+        """Recursively split ``indices`` per the sweep rule."""
+        count = len(indices)
+        if count <= self.params.branch_factor:
+            return _BinaryNode(indices=indices, leaf_number=count)
+        left_idx, right_idx = self._best_split(indices)
+        left = self._binarize(left_idx)
+        right = self._binarize(right_idx)
+        return _BinaryNode(children=[left, right], leaf_number=count)
+
+    def _best_split(
+        self, indices: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """One binarization step.
+
+        Sweeps candidate split positions (respecting the skew bounds,
+        in strides of the sweep increment) along each candidate
+        dimension's center order, and returns the split minimizing the
+        summed child-MBR volumes, ties broken by total perimeter.
+        """
+        lows = self._pack_lows[indices]
+        highs = self._pack_highs[indices]
+        count = len(indices)
+
+        if self.params.split_dimension == "longest":
+            extents = highs.max(axis=0) - lows.min(axis=0)
+            dims = [int(np.argmax(extents))]
+        else:
+            dims = list(range(self.ndim))
+
+        p = self.params.skew_factor
+        q_min = max(1, math.ceil(p * count))
+        q_max = min(count - 1, math.floor((1 - p) * count))
+        if q_min > q_max:
+            q_min = q_max = count // 2
+        step = self.params.effective_sweep_increment
+        candidates = np.arange(q_min, q_max + 1, step, dtype=np.int64)
+        if candidates[-1] != q_max:
+            # Always consider the last legal split so the sweep covers
+            # the whole admissible range regardless of the stride.
+            candidates = np.append(candidates, q_max)
+
+        best_key = None
+        best_q = 0
+        best_order: Optional[np.ndarray] = None
+        for dim in dims:
+            order = np.argsort(
+                self._pack_centers[indices, dim], kind="stable"
+            )
+            lo = lows[order]
+            hi = highs[order]
+            fwd_lo, fwd_hi = running_mbr_forward(lo, hi)
+            bwd_lo, bwd_hi = running_mbr_backward(lo, hi)
+            left_ext = fwd_hi[candidates - 1] - fwd_lo[candidates - 1]
+            right_ext = bwd_hi[candidates] - bwd_lo[candidates]
+            volumes = np.prod(left_ext, axis=1) + np.prod(right_ext, axis=1)
+            perimeters = left_ext.sum(axis=1) + right_ext.sum(axis=1)
+            pick = int(np.lexsort((perimeters, volumes))[0])
+            key = (float(volumes[pick]), float(perimeters[pick]))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_q = int(candidates[pick])
+                best_order = order
+        sorted_indices = indices[best_order]
+        return sorted_indices[:best_q], sorted_indices[best_q:]
+
+    # -- materialization ---------------------------------------------------------
+
+    def _materialize(self, binary: _BinaryNode) -> _Node:
+        """Turn the compressed node graph into query-ready nodes."""
+        node = _Node()
+        if binary.is_leaf:
+            idx = binary.indices
+            node.entry_lows = self._lows[idx]
+            node.entry_highs = self._highs[idx]
+            node.entry_ids = self._ids[idx]
+            return node
+        node.children = [self._materialize(c) for c in binary.children]
+        child_lows = np.empty((len(node.children), self.ndim))
+        child_highs = np.empty((len(node.children), self.ndim))
+        for i, child in enumerate(node.children):
+            if child.is_leaf:
+                child_lows[i] = child.entry_lows.min(axis=0)
+                child_highs[i] = child.entry_highs.max(axis=0)
+            else:
+                child_lows[i] = child.child_lows.min(axis=0)
+                child_highs[i] = child.child_highs.max(axis=0)
+        node.child_lows = child_lows
+        node.child_highs = child_highs
+        return node
+
+    # -- queries --------------------------------------------------------------------
+
+    def _match_ids(self, point: np.ndarray) -> List[int]:
+        result: List[int] = []
+        stack = [self._root]
+        stats = self.stats
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                stats.leaves_visited += 1
+                stats.entries_tested += len(node.entry_ids)
+                mask = np.all(
+                    (node.entry_lows < point) & (point <= node.entry_highs),
+                    axis=1,
+                )
+                if mask.any():
+                    result.extend(int(i) for i in node.entry_ids[mask])
+            else:
+                stats.nodes_visited += 1
+                mask = np.all(
+                    (node.child_lows < point) & (point <= node.child_highs),
+                    axis=1,
+                )
+                for i in np.flatnonzero(mask):
+                    stack.append(node.children[i])
+        return result
+
+    def region_query(self, lows: Sequence[float], highs: Sequence[float]) -> List[int]:
+        """All rectangle ids intersecting the query rectangle ``(lows, highs]``.
+
+        Point queries are the special case ``lows == highs``; region
+        queries are used by the clustering grid to compute cell
+        membership lists.
+        """
+        q_lo = np.asarray(lows, dtype=np.float64)
+        q_hi = np.asarray(highs, dtype=np.float64)
+        if q_lo.shape != (self.ndim,) or q_hi.shape != (self.ndim,):
+            raise ValueError("query bounds must have one value per dimension")
+        self.stats.queries += 1
+        result: List[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                self.stats.leaves_visited += 1
+                self.stats.entries_tested += len(node.entry_ids)
+                mask = np.all(
+                    (np.maximum(node.entry_lows, q_lo)
+                     < np.minimum(node.entry_highs, q_hi)),
+                    axis=1,
+                )
+                if mask.any():
+                    result.extend(int(i) for i in node.entry_ids[mask])
+            else:
+                self.stats.nodes_visited += 1
+                mask = np.all(
+                    (np.maximum(node.child_lows, q_lo)
+                     < np.minimum(node.child_highs, q_hi)),
+                    axis=1,
+                )
+                for i in np.flatnonzero(mask):
+                    stack.append(node.children[i])
+        result.sort()
+        return result
+
+    # -- introspection ----------------------------------------------------------------
+
+    def shape(self) -> TreeShape:
+        """Structural summary (height, node counts, balance)."""
+        internal = 0
+        leaves = 0
+        entries = 0
+        branch_total = 0
+        min_depth = math.inf
+        max_depth = 0
+        stack: List["tuple[_Node, int]"] = [(self._root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if node.is_leaf:
+                leaves += 1
+                entries += len(node.entry_ids)
+                min_depth = min(min_depth, depth)
+                max_depth = max(max_depth, depth)
+            else:
+                internal += 1
+                branch_total += len(node.children)
+                for child in node.children:
+                    stack.append((child, depth + 1))
+        return TreeShape(
+            height=max_depth,
+            internal_nodes=internal,
+            leaf_nodes=leaves,
+            entries=entries,
+            min_leaf_depth=int(min_depth),
+            max_leaf_depth=max_depth,
+            mean_branch_factor=(branch_total / internal) if internal else 0.0,
+        )
+
+
+def _packing_frame_clip(
+    lows: np.ndarray, highs: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Clip bounds to a finite frame for packing-geometry purposes.
+
+    The frame spans the finite coordinates present in the data,
+    extended by a relative margin so clipped unbounded sides remain
+    strictly larger than any bounded side they dominate.
+    """
+    finite_lo = np.where(np.isfinite(lows), lows, np.nan)
+    finite_hi = np.where(np.isfinite(highs), highs, np.nan)
+    stacked = np.concatenate([finite_lo, finite_hi], axis=0)
+    with warnings.catch_warnings():
+        # Dimensions with no finite coordinate yield all-NaN slices;
+        # they are patched to a unit frame right below.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        frame_lo = np.nanmin(stacked, axis=0)
+        frame_hi = np.nanmax(stacked, axis=0)
+    # Dimensions with no finite coordinate at all get a unit frame.
+    missing = ~np.isfinite(frame_lo)
+    frame_lo[missing] = 0.0
+    frame_hi[missing] = 1.0
+    span = np.maximum(frame_hi - frame_lo, 1.0)
+    frame_lo = frame_lo - _FRAME_MARGIN * span
+    frame_hi = frame_hi + _FRAME_MARGIN * span
+    return np.maximum(lows, frame_lo), np.minimum(highs, frame_hi)
+
+
+def _compress(root: _BinaryNode, branch_factor: int) -> None:
+    """Compression stage: binary tree -> M-ary tree, in place."""
+    if root.is_leaf:
+        return
+    _form_penultimate_nodes(root, branch_factor)
+    _collapse_top_down(root, branch_factor)
+
+
+def _form_penultimate_nodes(root: _BinaryNode, branch_factor: int) -> None:
+    """First compression pass (bottom-up one level).
+
+    Every highest node whose subtree contains at most ``M`` leaf nodes
+    swallows all internal structure beneath it and directly parents its
+    leaves.
+    """
+    def visit(node: _BinaryNode) -> int:
+        """Return the subtree's leaf-node count, collapsing when <= M."""
+        if node.is_leaf:
+            return 1
+        count = sum(visit(child) for child in node.children)
+        if count <= branch_factor and any(
+            not child.is_leaf for child in node.children
+        ):
+            node.children = node.collect_leaves()
+        return count
+
+    visit(root)
+
+
+def _collapse_top_down(root: _BinaryNode, branch_factor: int) -> None:
+    """Second compression pass: grow branch factors toward ``M``.
+
+    Processes internal nodes in breadth-first order; each repeatedly
+    splices in the non-leaf child with the highest leaf number, one
+    child at a time, while its branch factor stays within ``M``.
+    """
+    queue: List[_BinaryNode] = [root]
+    while queue:
+        node = queue.pop(0)
+        if node.is_leaf:
+            continue
+        while len(node.children) < branch_factor:
+            eligible = [
+                child
+                for child in node.children
+                if not child.is_leaf
+                and len(node.children) - 1 + len(child.children)
+                <= branch_factor
+            ]
+            if not eligible:
+                break
+            best = max(eligible, key=lambda c: c.leaf_number)
+            position = node.children.index(best)
+            node.children[position : position + 1] = best.children
+        queue.extend(child for child in node.children if not child.is_leaf)

@@ -1,0 +1,72 @@
+"""Workload generation: subscriptions, publications, placement, market data.
+
+Reproduces the paper's Section 5 experimental inputs — the stock
+subscription recipe with its parameter table, the 1/4/9-mode
+publication mixtures, the Zipf placement of subscribers over the
+transit-stub topology, and a synthetic NYSE-like trading day standing
+in for the proprietary data study of Section 5.1.
+"""
+
+from .pareto import ParetoSampler
+from .placement import DEFAULT_BLOCK_SHARES, SubscriberPlacement
+from .publications import (
+    GaussianMixture1D,
+    ProductMixtureDistribution,
+    PublicationGenerator,
+    four_mode_distribution,
+    nine_mode_distribution,
+    publication_distribution,
+    single_mode_distribution,
+)
+from .schema import (
+    BST_CODES,
+    BST_PROBABILITIES,
+    DIM_BST,
+    DIM_NAME,
+    DIM_QUOTE,
+    DIM_VOLUME,
+    STOCK_DIMENSIONS,
+    bst_interval,
+)
+from .stock import StockMarketModel, StockMarketParams, TradingDay
+from .subscriptions import (
+    PRICE_PARAMS,
+    VOLUME_PARAMS,
+    IntervalDistributionParams,
+    NameFieldParams,
+    PlacedSubscription,
+    StockSubscriptionGenerator,
+)
+from .zipf import ZipfSampler, zipf_weights
+
+__all__ = [
+    "ParetoSampler",
+    "DEFAULT_BLOCK_SHARES",
+    "SubscriberPlacement",
+    "GaussianMixture1D",
+    "ProductMixtureDistribution",
+    "PublicationGenerator",
+    "four_mode_distribution",
+    "nine_mode_distribution",
+    "publication_distribution",
+    "single_mode_distribution",
+    "BST_CODES",
+    "BST_PROBABILITIES",
+    "DIM_BST",
+    "DIM_NAME",
+    "DIM_QUOTE",
+    "DIM_VOLUME",
+    "STOCK_DIMENSIONS",
+    "bst_interval",
+    "StockMarketModel",
+    "StockMarketParams",
+    "TradingDay",
+    "PRICE_PARAMS",
+    "VOLUME_PARAMS",
+    "IntervalDistributionParams",
+    "NameFieldParams",
+    "PlacedSubscription",
+    "StockSubscriptionGenerator",
+    "ZipfSampler",
+    "zipf_weights",
+]

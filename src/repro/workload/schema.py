@@ -1,0 +1,58 @@
+"""The stock-event schema used throughout the paper's experiments.
+
+Events are points in a 4-dimensional space (Section 5):
+
+===========  ===  =======================================================
+dimension    idx  meaning
+===========  ===  =======================================================
+``bst``      0    buy / sell / transaction, linearized to codes 1 / 2 / 3
+``name``     1    stock name, indexed ("linearized in some fashion", §1)
+``quote``    2    trade price
+``volume``   3    trade volume
+===========  ===  =======================================================
+
+The categorical ``bst`` attribute illustrates the paper's point that
+even non-numeric attributes can be indexed and therefore treated as
+ranges: code ``v`` becomes the half-open unit interval ``(v-1, v]``.
+"""
+
+from __future__ import annotations
+
+from ..geometry.interval import Interval
+
+__all__ = [
+    "STOCK_DIMENSIONS",
+    "DIM_BST",
+    "DIM_NAME",
+    "DIM_QUOTE",
+    "DIM_VOLUME",
+    "BST_CODES",
+    "BST_PROBABILITIES",
+    "bst_interval",
+]
+
+#: Attribute names in dimension order.
+STOCK_DIMENSIONS = ("bst", "name", "quote", "volume")
+
+DIM_BST = 0
+DIM_NAME = 1
+DIM_QUOTE = 2
+DIM_VOLUME = 3
+
+#: Linearized codes for the categorical attribute.
+BST_CODES = {"B": 1, "S": 2, "T": 3}
+
+#: Paper Section 5: "took value B, S and T with probabilities
+#: 0.4, 0.4, and 0.2".
+BST_PROBABILITIES = {"B": 0.4, "S": 0.4, "T": 0.2}
+
+
+def bst_interval(symbol: str) -> Interval:
+    """The unit interval selecting one bst category."""
+    try:
+        code = BST_CODES[symbol]
+    except KeyError:
+        raise ValueError(
+            f"bst symbol must be one of {sorted(BST_CODES)}, got {symbol!r}"
+        ) from None
+    return Interval(code - 1.0, float(code))

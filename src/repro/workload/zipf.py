@@ -1,0 +1,71 @@
+"""Zipf-like distributions over finite ranked sets.
+
+The paper leans on Zipf-like laws in three places (all Section 5):
+subscription counts across the stubs of a transit block, subscription
+counts across the nodes of a stub, and the empirical popularity of
+stocks in the NYSE data study (Figure 4(b), citing Knuth [9]).
+
+A *Zipf-like* distribution over ranks ``1..n`` assigns
+``P(rank = i) ∝ 1 / i**theta``; the classic Zipf law is ``theta = 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["zipf_weights", "ZipfSampler"]
+
+
+def zipf_weights(n: int, theta: float = 1.0) -> np.ndarray:
+    """Normalized Zipf-like probabilities for ranks ``1..n``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if theta < 0:
+        raise ValueError("theta must be non-negative")
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-theta)
+    return weights / weights.sum()
+
+
+class ZipfSampler:
+    """Draws ranks ``0..n-1`` with Zipf-like probabilities.
+
+    Ranks are returned zero-based so they can index Python sequences
+    directly; rank 0 is the most popular.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        theta: float = 1.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.n = n
+        self.theta = theta
+        self.probabilities = zipf_weights(n, theta)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    def sample(self, size: Optional[int] = None):
+        """One rank (``size=None``) or an array of ranks."""
+        return self._rng.choice(self.n, size=size, p=self.probabilities)
+
+    def sample_shuffled(
+        self, items: Sequence, size: int
+    ) -> list:
+        """Draw ``size`` items Zipf-weighted by their position.
+
+        Convenience for "popularity follows a Zipf-like distribution":
+        ``items[0]`` is the most popular.
+        """
+        ranks = self.sample(size)
+        if len(items) != self.n:
+            raise ValueError(
+                f"items has {len(items)} entries but sampler covers {self.n}"
+            )
+        return [items[int(r)] for r in np.atleast_1d(ranks)]
+
+    def expected_counts(self, total: int) -> np.ndarray:
+        """Expected number of draws per rank out of ``total`` draws."""
+        return self.probabilities * total

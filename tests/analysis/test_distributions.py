@@ -1,0 +1,84 @@
+"""Unit tests for the distribution fitters."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_normal, fit_pareto_tail, fit_zipf
+from repro.workload import ParetoSampler, zipf_weights
+
+
+class TestFitNormal:
+    def test_recovers_parameters(self, rng):
+        data = rng.normal(5.0, 2.0, size=20_000)
+        fit = fit_normal(data)
+        assert fit.mean == pytest.approx(5.0, abs=0.05)
+        assert fit.std == pytest.approx(2.0, abs=0.05)
+        assert fit.looks_normal
+
+    def test_rejects_uniform(self, rng):
+        data = rng.uniform(0.0, 1.0, size=20_000)
+        assert not fit_normal(data).looks_normal
+
+    def test_rejects_bimodal(self, rng):
+        data = np.concatenate(
+            [rng.normal(0, 1, 10_000), rng.normal(20, 1, 10_000)]
+        )
+        assert not fit_normal(data).looks_normal
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(ValueError):
+            fit_normal(np.zeros(4))
+
+    def test_degenerate_sample_rejected(self):
+        with pytest.raises(ValueError):
+            fit_normal(np.full(100, 3.0))
+
+
+class TestFitZipf:
+    def test_recovers_exponent(self, rng):
+        weights = zipf_weights(500, theta=1.0)
+        counts = rng.multinomial(500_000, weights)
+        fit = fit_zipf(np.sort(counts)[::-1])
+        assert fit.slope == pytest.approx(-1.0, abs=0.15)
+        assert fit.looks_power_law
+
+    def test_steeper_theta_steeper_slope(self, rng):
+        shallow = rng.multinomial(300_000, zipf_weights(200, 0.7))
+        steep = rng.multinomial(300_000, zipf_weights(200, 1.5))
+        fit_shallow = fit_zipf(np.sort(shallow)[::-1])
+        fit_steep = fit_zipf(np.sort(steep)[::-1])
+        assert fit_steep.slope < fit_shallow.slope
+
+    def test_uniform_counts_flat(self):
+        fit = fit_zipf(np.full(100, 500.0))
+        assert fit.slope == pytest.approx(0.0, abs=0.01)
+
+    def test_too_few_counts_rejected(self):
+        with pytest.raises(ValueError):
+            fit_zipf(np.array([5.0, 3.0]))
+
+
+class TestFitParetoTail:
+    def test_recovers_alpha(self, rng):
+        draws = ParetoSampler(2.0, 1.5, rng=rng).sample(100_000)
+        fit = fit_pareto_tail(draws)
+        assert fit.slope == pytest.approx(-1.5, abs=0.15)
+        assert fit.looks_power_law
+
+    def test_exponential_is_not_power_law(self, rng):
+        draws = rng.exponential(1.0, size=50_000) + 1.0
+        fit = fit_pareto_tail(draws)
+        # Exponential tails fall much faster than any power law over
+        # the sampled range; the log-log fit ends up steep.
+        assert fit.slope < -3.0
+
+    def test_tail_fraction_validation(self, rng):
+        draws = ParetoSampler(1.0, 1.0, rng=rng).sample(1000)
+        with pytest.raises(ValueError):
+            fit_pareto_tail(draws, tail_fraction=0.0)
+        with pytest.raises(ValueError):
+            fit_pareto_tail(draws, tail_fraction=1.5)
+
+    def test_small_sample_rejected(self):
+        with pytest.raises(ValueError):
+            fit_pareto_tail(np.ones(8))

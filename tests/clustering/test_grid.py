@@ -1,0 +1,233 @@
+"""Unit tests for the event grid."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import EventGrid, UniformCellProbability
+from repro.geometry import Interval, Rectangle
+from repro.workload import nine_mode_distribution
+
+
+def rect2(x0, x1, y0, y1):
+    return Rectangle.from_intervals([Interval(x0, x1), Interval(y0, y1)])
+
+
+@pytest.fixture()
+def simple_grid():
+    """Two subscribers in a 4x4 grid over (0,4]x(0,4]."""
+    rectangles = [
+        rect2(0.0, 2.0, 0.0, 2.0),   # subscriber 100, lower-left block
+        rect2(2.0, 4.0, 2.0, 4.0),   # subscriber 200, upper-right block
+        rect2(1.0, 3.0, 1.0, 3.0),   # subscriber 100 again, center
+    ]
+    return EventGrid(
+        rectangles,
+        [100, 200, 100],
+        cells_per_dim=4,
+        frame=((0.0, 0.0), (4.0, 4.0)),
+    )
+
+
+class TestConstruction:
+    def test_subscriber_indexing(self, simple_grid):
+        assert simple_grid.subscribers == [100, 200]
+        assert simple_grid.num_subscribers == 2
+
+    def test_cells_have_membership(self, simple_grid):
+        # Cell (0,0) covers (0,1]x(0,1]: only the first rectangle.
+        cell = simple_grid.cells[(0, 0)]
+        assert simple_grid.members_of(cell.members) == [100]
+        # Cell (3,3): only subscriber 200.
+        cell = simple_grid.cells[(3, 3)]
+        assert simple_grid.members_of(cell.members) == [200]
+        # Cell (1,1) covers (1,2]x(1,2]: only subscriber 100's
+        # rectangles reach it — (2,4]x(2,4] is half-open and starts
+        # strictly after 2.
+        cell = simple_grid.cells[(1, 1)]
+        assert simple_grid.members_of(cell.members) == [100]
+        # Cell (2,2) covers (2,3]x(2,3]: touched by subscriber 200's
+        # block and by 100's center rectangle (1,3]x(1,3].
+        cell = simple_grid.cells[(2, 2)]
+        assert simple_grid.members_of(cell.members) == [100, 200]
+
+    def test_member_count_and_weight(self, simple_grid):
+        cell = simple_grid.cells[(2, 2)]
+        assert cell.member_count == 2
+        assert cell.weight == pytest.approx(
+            cell.probability * cell.member_count
+        )
+
+    def test_uniform_density_by_default(self, simple_grid):
+        # 16 equal cells, uniform density: 1/16 each.
+        for cell in simple_grid.cells.values():
+            assert cell.probability == pytest.approx(1.0 / 16.0)
+
+    def test_cell_rectangle(self, simple_grid):
+        cell = simple_grid.cells[(0, 0)]
+        assert cell.rectangle().contains_point((0.5, 0.5))
+        assert not cell.rectangle().contains_point((1.5, 0.5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventGrid([], [])
+        with pytest.raises(ValueError):
+            EventGrid([rect2(0, 1, 0, 1)], [1, 2])
+        with pytest.raises(ValueError):
+            EventGrid([rect2(0, 1, 0, 1)], [1], cells_per_dim=0)
+        with pytest.raises(ValueError):
+            EventGrid(
+                [rect2(0, 1, 0, 1)],
+                [1],
+                frame=((0.0,), (1.0,)),
+            )
+        with pytest.raises(ValueError):
+            EventGrid(
+                [rect2(0, 1, 0, 1)],
+                [1],
+                frame=((0.0, 0.0), (0.0, 1.0)),
+            )
+
+    def test_empty_rectangle_ignored(self):
+        grid = EventGrid(
+            [rect2(1.0, 0.0, 0.0, 1.0), rect2(0.0, 1.0, 0.0, 1.0)],
+            [1, 2],
+            cells_per_dim=2,
+            frame=((0.0, 0.0), (2.0, 2.0)),
+        )
+        cell = grid.cells[(0, 0)]
+        assert grid.members_of(cell.members) == [2]
+
+    def test_unbounded_rectangle_clipped_to_frame(self):
+        grid = EventGrid(
+            [
+                Rectangle.from_intervals(
+                    [Interval(1.0, np.inf), Interval(-np.inf, np.inf)]
+                )
+            ],
+            [7],
+            cells_per_dim=4,
+            frame=((0.0, 0.0), (4.0, 4.0)),
+        )
+        # Covers x-cells 1..3 in every y.
+        assert (0, 0) not in grid.cells
+        for x in (1, 2, 3):
+            for y in range(4):
+                assert grid.members_of(grid.cells[(x, y)].members) == [7]
+
+    def test_fitted_frame_covers_data(self):
+        grid = EventGrid(
+            [rect2(-5.0, 5.0, 10.0, 30.0)], [1], cells_per_dim=3
+        )
+        assert grid.frame_lo[0] <= -5.0
+        assert grid.frame_hi[1] >= 30.0
+
+
+class TestLocate:
+    def test_locate_interior(self, simple_grid):
+        assert simple_grid.locate((0.5, 0.5)) == (0, 0)
+        assert simple_grid.locate((3.5, 1.5)) == (3, 1)
+
+    def test_locate_half_open_boundaries(self, simple_grid):
+        # A point on a cell's high edge belongs to that cell.
+        assert simple_grid.locate((1.0, 1.0)) == (0, 0)
+        # The frame's low edge is outside.
+        assert simple_grid.locate((0.0, 0.5)) is None
+        # The frame's high edge is in the last cell.
+        assert simple_grid.locate((4.0, 4.0)) == (3, 3)
+
+    def test_locate_outside(self, simple_grid):
+        assert simple_grid.locate((5.0, 1.0)) is None
+        assert simple_grid.locate((-1.0, 1.0)) is None
+
+    def test_locate_arity(self, simple_grid):
+        with pytest.raises(ValueError):
+            simple_grid.locate((1.0,))
+
+    def test_locate_agrees_with_cell_bounds(self, simple_grid, rng):
+        for _ in range(100):
+            point = rng.uniform(0.01, 4.0, size=2)
+            index = simple_grid.locate(point)
+            cell = simple_grid._make_cell(index)
+            assert cell.rectangle().contains_point(tuple(point))
+
+
+class TestTopCells:
+    def test_ordering(self, simple_grid):
+        top = simple_grid.top_cells(100)
+        weights = [c.weight for c in top]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_count_limit(self, simple_grid):
+        assert len(simple_grid.top_cells(3)) == 3
+
+    def test_only_occupied_cells(self):
+        grid = EventGrid(
+            [rect2(0.0, 1.0, 0.0, 1.0)],
+            [1],
+            cells_per_dim=4,
+            frame=((0.0, 0.0), (4.0, 4.0)),
+        )
+        assert len(grid.top_cells(100)) == grid.num_occupied_cells == 1
+
+    def test_density_weighting_changes_ranking(self):
+        rectangles = [rect2(0.0, 1.0, 0.0, 1.0), rect2(3.0, 4.0, 3.0, 4.0)]
+        # Density concentrated near the origin.
+        class CornerDensity:
+            def cell_probability(self, lows, highs):
+                return 1.0 if highs[0] <= 2.0 else 0.001
+
+        grid = EventGrid(
+            rectangles,
+            [1, 2],
+            density=CornerDensity(),
+            cells_per_dim=4,
+            frame=((0.0, 0.0), (4.0, 4.0)),
+        )
+        top = grid.top_cells(2)
+        assert top[0].index == (0, 0)
+
+
+class TestMembersOf:
+    def test_roundtrip(self, simple_grid):
+        mask = (1 << 0) | (1 << 1)
+        assert simple_grid.members_of(mask) == [100, 200]
+        assert simple_grid.members_of(0) == []
+
+
+class TestUniformCellProbability:
+    def test_normalizes(self):
+        density = UniformCellProbability([0.0, 0.0], [4.0, 2.0])
+        assert density.cell_probability([0, 0], [4, 2]) == pytest.approx(1.0)
+        assert density.cell_probability([0, 0], [2, 1]) == pytest.approx(
+            0.25
+        )
+
+    def test_clips_to_frame(self):
+        density = UniformCellProbability([0.0], [10.0])
+        assert density.cell_probability([-5.0], [5.0]) == pytest.approx(0.5)
+
+    def test_zero_volume_frame_rejected(self):
+        with pytest.raises(ValueError):
+            UniformCellProbability([0.0, 0.0], [1.0, 0.0])
+
+    def test_per_dimension_masses(self):
+        density = UniformCellProbability([0.0, 0.0], [4.0, 4.0])
+        edges = [np.array([0.0, 2.0, 4.0]), np.array([0.0, 1.0, 4.0])]
+        masses = density.per_dimension_masses(edges)
+        assert np.allclose(masses[0], [0.5, 0.5])
+        assert np.allclose(masses[1], [0.25, 0.75])
+
+
+class TestFastPathConsistency:
+    def test_mixture_fast_path_equals_direct(self, small_table):
+        density = nine_mode_distribution()
+        grid = EventGrid(
+            small_table.rectangles(),
+            [s.subscriber for s in small_table],
+            density=density,
+            cells_per_dim=5,
+        )
+        for cell in list(grid.cells.values())[:40]:
+            assert cell.probability == pytest.approx(
+                density.cell_probability(cell.lows, cell.highs), abs=1e-12
+            )

@@ -1,0 +1,175 @@
+"""Unit tests for incremental clustering maintenance."""
+
+import pytest
+
+from repro.clustering import (
+    ClusteringResult,
+    EventGrid,
+    ForgyKMeansClustering,
+    IncrementalClusterMaintainer,
+)
+from repro.geometry import Interval, Rectangle
+
+
+def rect2(x0, x1, y0, y1):
+    return Rectangle.from_intervals([Interval(x0, x1), Interval(y0, y1)])
+
+
+@pytest.fixture()
+def grid_and_result(small_table, nine_mode_density):
+    grid = EventGrid(
+        small_table.rectangles(),
+        [s.subscriber for s in small_table],
+        density=nine_mode_density,
+        cells_per_dim=6,
+    )
+    result = ForgyKMeansClustering().cluster(grid, 5, max_cells=50)
+    return grid, result
+
+
+class TestConstruction:
+    def test_objective_matches_result(self, grid_and_result):
+        grid, result = grid_and_result
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        # objective == weighted-EW numerator of total_expected_waste
+        total_probability = sum(
+            c.probability for cells in result.clusters for c in cells
+        )
+        assert maintainer.objective() == pytest.approx(
+            result.total_expected_waste() * total_probability
+        )
+
+    def test_contains(self, grid_and_result):
+        grid, result = grid_and_result
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        clustered = result.clusters[0][0].index
+        assert maintainer.contains(clustered)
+        assert not maintainer.contains((99, 99))
+
+    def test_overlapping_result_rejected(self, grid_and_result):
+        grid, result = grid_and_result
+        cell = result.clusters[0][0]
+        bad = ClusteringResult(
+            algorithm="bad", clusters=[[cell], [cell]]
+        )
+        with pytest.raises(AssertionError):
+            IncrementalClusterMaintainer(grid, bad)
+
+
+class TestRefresh:
+    def test_refresh_tracks_in_place_mutation(self, grid_and_result):
+        grid, result = grid_and_result
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        new_bit_before = max(
+            state.members for state in maintainer._clusters
+        ).bit_length()
+        # A new universal subscriber joins every cell in place...
+        grid.add_subscription(Rectangle.full(4), subscriber=999_999)
+        # ...but cached cluster masks only follow after a refresh.
+        stale = max(state.members for state in maintainer._clusters)
+        assert stale.bit_length() == new_bit_before
+        maintainer.refresh()
+        fresh = max(state.members for state in maintainer._clusters)
+        assert fresh.bit_length() > new_bit_before
+
+    def test_universal_subscriber_changes_no_waste(self, grid_and_result):
+        """A subscriber interested in everything wastes nothing: both
+        |l(G)| and every |l(g)| grow by one, so EW is invariant."""
+        grid, result = grid_and_result
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        before = maintainer.objective()
+        grid.add_subscription(Rectangle.full(4), subscriber=999_999)
+        maintainer.refresh()
+        assert maintainer.objective() == pytest.approx(before)
+
+
+class TestAdmit:
+    def test_new_cells_admitted_once(self, grid_and_result):
+        grid, result = grid_and_result
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        unclustered = [
+            cell
+            for cell in grid.top_cells(80)
+            if not maintainer.contains(cell.index)
+        ][:5]
+        if not unclustered:
+            pytest.skip("grid too small to have unclustered cells")
+        admitted = maintainer.admit(unclustered)
+        assert admitted == len(unclustered)
+        assert maintainer.admit(unclustered) == 0  # idempotent
+        snapshot = maintainer.to_result()
+        snapshot.validate_disjoint()
+        assert snapshot.num_cells == result.num_cells + len(unclustered)
+
+    def test_admit_picks_cheapest_cluster(self):
+        # Two far-apart communities; a new cell in community A must
+        # join A's cluster.
+        rectangles = [rect2(0, 2, 0, 2), rect2(8, 10, 8, 10)]
+        grid = EventGrid(
+            rectangles,
+            [1, 2],
+            cells_per_dim=10,
+            frame=((0.0, 0.0), (10.0, 10.0)),
+        )
+        cells = {c.index: c for c in grid.cells.values()}
+        cluster_a = [cells[(0, 0)], cells[(0, 1)]]
+        cluster_b = [cells[(9, 9)], cells[(9, 8)]]
+        result = ClusteringResult("manual", [cluster_a, cluster_b])
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        new_cell = cells[(1, 1)]  # member set == subscriber 1 == A's
+        maintainer.admit([new_cell])
+        snapshot = maintainer.to_result()
+        a_indices = {c.index for c in snapshot.clusters[0]}
+        assert (1, 1) in a_indices
+
+
+class TestRebalance:
+    def test_rebalance_never_worsens(self, grid_and_result):
+        grid, result = grid_and_result
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        before = maintainer.objective()
+        maintainer.rebalance(max_moves=10)
+        assert maintainer.objective() <= before + 1e-9
+
+    def test_rebalance_respects_budget(self, grid_and_result):
+        grid, result = grid_and_result
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        assert maintainer.rebalance(max_moves=0) == 0
+        assert maintainer.rebalance(max_moves=3) <= 3
+
+    def test_rebalance_reaches_local_optimum(self, grid_and_result):
+        grid, result = grid_and_result
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        maintainer.rebalance(max_moves=500)
+        # A second pass finds nothing to move.
+        assert maintainer.rebalance(max_moves=500) == 0
+
+    def test_negative_budget_rejected(self, grid_and_result):
+        grid, result = grid_and_result
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        with pytest.raises(ValueError):
+            maintainer.rebalance(max_moves=-1)
+
+    def test_clusters_stay_disjoint_and_nonempty(self, grid_and_result):
+        grid, result = grid_and_result
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        maintainer.rebalance(max_moves=50)
+        snapshot = maintainer.to_result()
+        snapshot.validate_disjoint()
+        assert snapshot.num_clusters == result.num_clusters
+        assert all(cells for cells in snapshot.clusters)
+
+    def test_to_partition_is_serviceable(self, grid_and_result):
+        grid, result = grid_and_result
+        maintainer = IncrementalClusterMaintainer(grid, result)
+        maintainer.rebalance(max_moves=10)
+        partition = maintainer.to_partition()
+        assert partition.num_groups == result.num_clusters
+        # Every clustered cell resolves to its group.
+        snapshot = maintainer.to_result()
+        for q, cells in enumerate(snapshot.clusters, start=1):
+            for cell in cells:
+                point = tuple(
+                    (lo + hi) / 2 for lo, hi in zip(cell.lows, cell.highs)
+                )
+                assert partition.locate(point) == q

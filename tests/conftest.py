@@ -1,0 +1,68 @@
+"""Shared fixtures: small seeded testbeds reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SubscriptionTable
+from repro.network import DeliveryCostModel, TransitStubGenerator, TransitStubParams
+from repro.workload import (
+    PublicationGenerator,
+    StockSubscriptionGenerator,
+    publication_distribution,
+)
+
+
+@pytest.fixture(scope="session")
+def small_topology():
+    """A compact transit-stub network (~60 nodes) for fast tests."""
+    params = TransitStubParams(
+        transit_blocks=3,
+        transit_nodes_per_block=2,
+        stubs_per_transit_node=1,
+        nodes_per_stub=8,
+        size_spread=1,
+    )
+    return TransitStubGenerator(params, seed=11).generate()
+
+
+@pytest.fixture(scope="session")
+def paper_topology():
+    """The paper-scale ~600-node network (session-cached)."""
+    return TransitStubGenerator(seed=600).generate()
+
+
+@pytest.fixture(scope="session")
+def small_placed(small_topology):
+    """150 placed stock subscriptions on the small network."""
+    return StockSubscriptionGenerator(small_topology, seed=12).generate(150)
+
+
+@pytest.fixture(scope="session")
+def small_table(small_placed):
+    return SubscriptionTable.from_placed(small_placed)
+
+
+@pytest.fixture(scope="session")
+def nine_mode_density():
+    return publication_distribution(9)
+
+
+@pytest.fixture(scope="session")
+def small_events(small_topology, nine_mode_density):
+    """200 publications on the small network."""
+    generator = PublicationGenerator(
+        nine_mode_density, small_topology.all_stub_nodes(), seed=13
+    )
+    return generator.generate(200)
+
+
+@pytest.fixture(scope="session")
+def small_cost_model(small_topology):
+    return DeliveryCostModel(small_topology)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

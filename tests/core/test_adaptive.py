@@ -1,0 +1,135 @@
+"""Unit tests for the adaptive threshold controller."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import ForgyKMeansClustering
+from repro.core import (
+    AdaptiveThresholdPolicy,
+    DeliveryMethod,
+    PubSubBroker,
+    ThresholdPolicy,
+    run_adaptive,
+)
+
+
+@pytest.fixture(scope="module")
+def broker(small_topology, small_table, nine_mode_density):
+    return PubSubBroker.preprocess(
+        small_topology,
+        small_table,
+        ForgyKMeansClustering(),
+        num_groups=6,
+        density=nine_mode_density,
+        cells_per_dim=6,
+        max_cells=60,
+    )
+
+
+class TestPolicyMechanics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPolicy(initial_threshold=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPolicy(buckets=(0.5, 0.2))
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPolicy(buckets=(0.5,))
+        with pytest.raises(ValueError):
+            AdaptiveThresholdPolicy(exploration=0)
+
+    def test_basic_decisions(self):
+        policy = AdaptiveThresholdPolicy()
+        assert (
+            policy.decide(0, 10, group=1).method
+            is DeliveryMethod.NOT_SENT
+        )
+        assert (
+            policy.decide(3, 0, group=0).method
+            is DeliveryMethod.UNICAST
+        )
+
+    def test_cold_buckets_explore_both_arms(self):
+        policy = AdaptiveThresholdPolicy(exploration=2)
+        methods = {
+            policy.decide(5, 10, group=1).method for _ in range(4)
+        }
+        assert methods == {
+            DeliveryMethod.UNICAST,
+            DeliveryMethod.MULTICAST,
+        }
+
+    def test_learning_moves_threshold_down_when_multicast_wins(self):
+        policy = AdaptiveThresholdPolicy(exploration=1)
+        # Feed feedback where multicast is always cheaper at ratio~0.3.
+        for _ in range(10):
+            policy.observe(
+                group=1,
+                interested=3,
+                group_size=10,
+                unicast_cost=100.0,
+                multicast_cost=10.0,
+            )
+        assert policy.threshold_for(1) <= 0.25
+
+    def test_learning_moves_threshold_up_when_multicast_loses(self):
+        policy = AdaptiveThresholdPolicy(exploration=1)
+        for _ in range(10):
+            policy.observe(
+                group=1,
+                interested=3,
+                group_size=10,
+                unicast_cost=10.0,
+                multicast_cost=100.0,
+            )
+        assert policy.threshold_for(1) >= 0.4
+
+    def test_warm_policy_exploits(self):
+        policy = AdaptiveThresholdPolicy(exploration=1)
+        for _ in range(10):
+            policy.observe(1, 3, 10, unicast_cost=100.0, multicast_cost=10.0)
+        decisions = {
+            policy.decide(3, 10, group=1).method for _ in range(6)
+        }
+        assert decisions == {DeliveryMethod.MULTICAST}
+
+    def test_observe_ignores_catchall(self):
+        policy = AdaptiveThresholdPolicy()
+        policy.observe(0, 3, 10, 1.0, 1.0)
+        assert not policy._stats
+
+
+class TestRunAdaptive:
+    def test_warm_policy_beats_static_multicast(self, broker, small_events):
+        """On this testbed static multicast is strongly negative; a
+        warmed-up adaptive policy must have learned its way out."""
+        points, publishers = small_events
+        first, policy = run_adaptive(broker, points, publishers)
+        second, _ = run_adaptive(broker, points, publishers, policy)
+        static, _ = broker.with_policy(ThresholdPolicy(0.0)).run(
+            points, publishers
+        )
+        assert second.improvement_percent > static.improvement_percent
+        assert second.improvement_percent > first.improvement_percent
+
+    def test_second_pass_at_least_as_good(self, broker, small_events):
+        points, publishers = small_events
+        first, policy = run_adaptive(broker, points, publishers)
+        second, _ = run_adaptive(broker, points, publishers, policy)
+        # With warm estimates (no more forced exploration on seen
+        # buckets) the second pass must not regress materially.
+        assert (
+            second.improvement_percent
+            >= first.improvement_percent - 2.0
+        )
+
+    def test_message_accounting(self, broker, small_events):
+        points, publishers = small_events
+        tally, _ = run_adaptive(broker, points, publishers)
+        assert tally.messages == len(points)
+        assert (
+            tally.multicasts_sent + tally.unicasts_sent <= tally.messages
+        )
+
+    def test_input_validation(self, broker):
+        with pytest.raises(ValueError):
+            run_adaptive(broker, np.zeros((3, 4)), [1, 2])

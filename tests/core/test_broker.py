@@ -1,0 +1,182 @@
+"""Integration tests for the end-to-end broker."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import ForgyKMeansClustering
+from repro.core import (
+    DeliveryMethod,
+    Event,
+    PubSubBroker,
+    ThresholdPolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def broker(small_topology, small_table, nine_mode_density):
+    return PubSubBroker.preprocess(
+        small_topology,
+        small_table,
+        ForgyKMeansClustering(),
+        num_groups=6,
+        density=nine_mode_density,
+        cells_per_dim=6,
+        max_cells=60,
+        policy=ThresholdPolicy(0.15),
+    )
+
+
+class TestPublish:
+    def test_record_fields_consistent(self, broker, small_events):
+        points, publishers = small_events
+        for i in range(50):
+            event = Event.create(i, int(publishers[i]), points[i])
+            record = broker.publish(event)
+            if record.method is DeliveryMethod.NOT_SENT:
+                assert record.scheme_cost == 0.0
+                assert record.match.is_empty
+            else:
+                assert record.unicast_cost >= record.ideal_cost - 1e-9
+                assert record.scheme_cost > 0.0 or not record.match.subscribers
+
+    def test_unicast_decision_costs_unicast(self, broker, small_events):
+        points, publishers = small_events
+        seen = False
+        for i in range(len(points)):
+            event = Event.create(i, int(publishers[i]), points[i])
+            record = broker.publish(event)
+            if record.method is DeliveryMethod.UNICAST:
+                assert record.scheme_cost == pytest.approx(
+                    record.unicast_cost
+                )
+                seen = True
+        assert seen
+
+    def test_multicast_reaches_whole_group(self, broker, small_events):
+        points, publishers = small_events
+        seen = False
+        for i in range(len(points)):
+            event = Event.create(i, int(publishers[i]), points[i])
+            record = broker.publish(event)
+            if record.method is DeliveryMethod.MULTICAST:
+                q = record.decision.group
+                members = broker.partition.group(q).members
+                expected = broker.costs.multicast_cost(
+                    event.publisher, members
+                )
+                assert record.scheme_cost == pytest.approx(expected)
+                seen = True
+        assert seen
+
+    def test_matched_subscribers_inside_group(self, broker, small_events):
+        points, publishers = small_events
+        for i in range(len(points)):
+            event = Event.create(i, int(publishers[i]), points[i])
+            record = broker.publish(event)
+            q = record.decision.group
+            if q > 0:
+                members = set(broker.partition.group(q).members)
+                assert set(record.match.subscribers) <= members
+
+
+class TestRun:
+    def test_tally_counts(self, broker, small_events):
+        points, publishers = small_events
+        tally, records = broker.run(points, publishers, collect_records=True)
+        assert tally.messages == len(points)
+        assert len(records) == len(points)
+        assert (
+            tally.multicasts_sent + tally.unicasts_sent
+            == sum(
+                1
+                for r in records
+                if r.method is not DeliveryMethod.NOT_SENT
+            )
+        )
+
+    def test_run_without_records(self, broker, small_events):
+        points, publishers = small_events
+        tally, records = broker.run(points, publishers)
+        assert records == []
+        assert tally.messages == len(points)
+
+    def test_shape_validation(self, broker):
+        with pytest.raises(ValueError):
+            broker.run(np.zeros((3, 4)), [1, 2])
+
+    def test_deterministic(self, broker, small_events):
+        points, publishers = small_events
+        a, _ = broker.run(points, publishers)
+        b, _ = broker.run(points, publishers)
+        assert a.scheme == b.scheme
+        assert a.multicasts_sent == b.multicasts_sent
+
+
+class TestPolicySweep:
+    def test_with_policy_shares_state(self, broker):
+        sibling = broker.with_policy(ThresholdPolicy(0.5))
+        assert sibling.partition is broker.partition
+        assert sibling.costs is broker.costs
+        assert sibling.policy.threshold == 0.5
+
+    def test_threshold_one_always_at_least_as_good_as_unicast(
+        self, broker, small_events
+    ):
+        # At t slightly above any achievable ratio, the scheme is pure
+        # unicast: improvement must be ~0 (never negative).
+        points, publishers = small_events
+        tally, _ = broker.with_policy(ThresholdPolicy(1.0)).run(
+            points, publishers
+        )
+        assert tally.improvement_percent == pytest.approx(0.0, abs=1e-6)
+
+    def test_static_vs_dynamic(self, broker, small_events):
+        points, publishers = small_events
+        static, _ = broker.with_policy(ThresholdPolicy(0.0)).run(
+            points, publishers
+        )
+        best = max(
+            broker.with_policy(ThresholdPolicy(t))
+            .run(points, publishers)[0]
+            .improvement_percent
+            for t in (0.0, 0.05, 0.1, 0.2, 0.4)
+        )
+        # The dynamic optimum can never lose to the static scheme —
+        # t=0 is inside the swept set.
+        assert best >= static.improvement_percent
+
+    def test_monotone_multicast_count(self, broker, small_events):
+        # Raising the threshold can only reduce multicasts.
+        points, publishers = small_events
+        previous = None
+        for t in (0.0, 0.1, 0.3, 0.7, 1.0):
+            tally, _ = broker.with_policy(ThresholdPolicy(t)).run(
+                points, publishers
+            )
+            if previous is not None:
+                assert tally.multicasts_sent <= previous
+            previous = tally.multicasts_sent
+
+
+class TestPreprocessOptions:
+    def test_matcher_backend_choice(
+        self, small_topology, small_table, nine_mode_density, small_events
+    ):
+        points, publishers = small_events
+        tallies = []
+        for backend in ("stree", "linear"):
+            broker = PubSubBroker.preprocess(
+                small_topology,
+                small_table,
+                ForgyKMeansClustering(),
+                num_groups=4,
+                density=nine_mode_density,
+                cells_per_dim=5,
+                max_cells=40,
+                matcher_backend=backend,
+            )
+            tally, _ = broker.run(points[:80], publishers[:80])
+            tallies.append(tally)
+        # Identical semantics regardless of index backend.
+        assert tallies[0].scheme == pytest.approx(tallies[1].scheme)
+        assert tallies[0].multicasts_sent == tallies[1].multicasts_sent

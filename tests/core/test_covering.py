@@ -1,0 +1,93 @@
+"""Unit tests for redundant-subscription elimination."""
+
+import numpy as np
+import pytest
+
+from repro.core import MatchingEngine, SubscriptionTable
+from repro.core.covering import find_covered_subscriptions, prune_covered
+from repro.geometry import Interval, Rectangle
+
+
+def cube(lo, hi):
+    return Rectangle.cube(lo, hi, 2)
+
+
+class TestFindCovered:
+    def test_nested_same_subscriber(self):
+        table = SubscriptionTable(2)
+        table.add(1, cube(0, 10))
+        table.add(1, cube(2, 5))
+        report = find_covered_subscriptions(table)
+        assert report.covered == (1,)
+        assert report.redundancy_fraction == 0.5
+
+    def test_cross_subscriber_not_pruned(self):
+        table = SubscriptionTable(2)
+        table.add(1, cube(0, 10))
+        table.add(2, cube(2, 5))
+        assert find_covered_subscriptions(table).covered == ()
+
+    def test_duplicates_keep_one(self):
+        table = SubscriptionTable(2)
+        table.add(1, cube(0, 5))
+        table.add(1, cube(0, 5))
+        table.add(1, cube(0, 5))
+        report = find_covered_subscriptions(table)
+        assert report.covered == (1, 2)  # the lowest id survives
+
+    def test_partial_overlap_not_covered(self):
+        table = SubscriptionTable(2)
+        table.add(1, cube(0, 5))
+        table.add(1, cube(3, 8))
+        assert find_covered_subscriptions(table).covered == ()
+
+    def test_unbounded_covers_bounded(self):
+        table = SubscriptionTable(2)
+        table.add(1, Rectangle.full(2))
+        table.add(1, cube(0, 5))
+        assert find_covered_subscriptions(table).covered == (1,)
+
+    def test_empty_rectangle_is_redundant(self):
+        table = SubscriptionTable(2)
+        table.add(1, Rectangle((5.0, 0.0), (0.0, 5.0)))  # empty side
+        table.add(1, cube(0, 5))
+        assert find_covered_subscriptions(table).covered == (0,)
+
+    def test_empty_table(self):
+        report = find_covered_subscriptions(SubscriptionTable(2))
+        assert report.covered == ()
+        assert report.redundancy_fraction == 0.0
+
+
+class TestPruneCovered:
+    def test_matching_semantics_preserved(self, small_table, small_events):
+        pruned, report = prune_covered(small_table)
+        assert len(pruned) == len(small_table) - len(report.covered)
+        original = MatchingEngine(small_table)
+        reduced = MatchingEngine(pruned)
+        points, _ = small_events
+        for point in points[:80]:
+            assert (
+                original.match_point(point).subscribers
+                == reduced.match_point(point).subscribers
+            )
+
+    def test_decomposed_multirange_not_pruned(self):
+        # Decomposition produces disjoint rectangles — none covered.
+        table = SubscriptionTable(1)
+        table.add_predicates(
+            7, [[Interval(0.0, 1.0), Interval(5.0, 6.0)]]
+        )
+        pruned, report = prune_covered(table)
+        assert len(pruned) == 2
+        assert report.covered == ()
+
+    def test_prune_is_idempotent(self):
+        table = SubscriptionTable(2)
+        table.add(1, cube(0, 10))
+        table.add(1, cube(2, 5))
+        table.add(1, cube(3, 4))
+        once, _ = prune_covered(table)
+        twice, report = prune_covered(once)
+        assert len(once) == len(twice) == 1
+        assert report.covered == ()

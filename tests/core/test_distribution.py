@@ -1,0 +1,71 @@
+"""Unit tests for the distribution-method policy."""
+
+import pytest
+
+from repro.core import DeliveryMethod, ThresholdPolicy
+
+
+class TestThresholdPolicy:
+    def test_threshold_range(self):
+        ThresholdPolicy(0.0)
+        ThresholdPolicy(1.0)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(-0.1)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(1.1)
+
+    def test_no_interested_means_not_sent(self):
+        decision = ThresholdPolicy(0.15).decide(0, 100, group=3)
+        assert decision.method is DeliveryMethod.NOT_SENT
+        assert decision.interested == 0
+
+    def test_catchall_means_unicast(self):
+        decision = ThresholdPolicy(0.15).decide(5, 0, group=0)
+        assert decision.method is DeliveryMethod.UNICAST
+
+    def test_below_threshold_unicasts(self):
+        # 10/100 = 0.1 < 0.15
+        decision = ThresholdPolicy(0.15).decide(10, 100, group=1)
+        assert decision.method is DeliveryMethod.UNICAST
+        assert decision.interested_ratio == pytest.approx(0.1)
+
+    def test_at_threshold_multicasts(self):
+        # The rule is strict: unicast iff ratio < t.
+        decision = ThresholdPolicy(0.15).decide(15, 100, group=1)
+        assert decision.method is DeliveryMethod.MULTICAST
+
+    def test_above_threshold_multicasts(self):
+        decision = ThresholdPolicy(0.15).decide(60, 100, group=1)
+        assert decision.method is DeliveryMethod.MULTICAST
+
+    def test_zero_threshold_always_multicasts(self):
+        # t=0 is the static scheme: any nonzero interest multicasts.
+        policy = ThresholdPolicy.static_multicast()
+        decision = policy.decide(1, 10_000, group=2)
+        assert decision.method is DeliveryMethod.MULTICAST
+
+    def test_threshold_one_unicasts_unless_full(self):
+        policy = ThresholdPolicy(1.0)
+        assert (
+            policy.decide(99, 100, group=1).method
+            is DeliveryMethod.UNICAST
+        )
+        assert (
+            policy.decide(100, 100, group=1).method
+            is DeliveryMethod.MULTICAST
+        )
+
+    def test_decision_records_group(self):
+        decision = ThresholdPolicy(0.5).decide(4, 10, group=7)
+        assert decision.group == 7
+        assert decision.group_size == 10
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(0.5).decide(-1, 10, group=1)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(0.5).decide(1, -10, group=1)
+
+    def test_ratio_with_no_group(self):
+        decision = ThresholdPolicy(0.5).decide(5, 0, group=0)
+        assert decision.interested_ratio == 0.0

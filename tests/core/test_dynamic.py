@@ -1,0 +1,265 @@
+"""Unit tests for subscription churn support."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import ForgyKMeansClustering
+from repro.core import (
+    DynamicMatchingEngine,
+    DynamicPubSubBroker,
+    Event,
+    MatchingEngine,
+    SubscriptionTable,
+)
+from repro.geometry import Interval, Rectangle
+
+
+def rect4(lo, hi):
+    return Rectangle.cube(lo, hi, 4)
+
+
+@pytest.fixture()
+def engine(small_placed):
+    table = SubscriptionTable.from_placed(small_placed[:100])
+    return DynamicMatchingEngine(table, rebuild_fraction=0.3)
+
+
+def fresh_reference(engine):
+    """An independently built engine over the same live set."""
+    live = SubscriptionTable(engine.table.ndim)
+    live_ids = {
+        s.subscription_id
+        for s in engine.table
+        if s.subscription_id not in engine._removed
+    }
+    id_map = {}
+    for s in engine.table:
+        if s.subscription_id in live_ids:
+            added = live.add(s.subscriber, s.rectangle)
+            id_map[added.subscription_id] = s.subscription_id
+    return live, id_map
+
+
+class TestDynamicMatchingEngine:
+    def test_initial_queries_match_static(self, small_placed, small_events):
+        table = SubscriptionTable.from_placed(small_placed[:100])
+        dynamic = DynamicMatchingEngine(table)
+        static = MatchingEngine(
+            SubscriptionTable.from_placed(small_placed[:100])
+        )
+        points, _ = small_events
+        for point in points[:40]:
+            assert (
+                dynamic.match_point(point).subscription_ids
+                == static.match_point(point).subscription_ids
+            )
+
+    def test_add_visible_immediately(self, engine):
+        before = engine.match_point([1.0, 1.0, 1.0, 1.0])
+        sub = engine.add(9999, Rectangle.full(4))
+        after = engine.match_point([1.0, 1.0, 1.0, 1.0])
+        assert sub.subscription_id in after.subscription_ids
+        assert 9999 in after.subscribers
+        assert len(after.subscription_ids) == len(before.subscription_ids) + 1
+
+    def test_remove_hides_immediately(self, engine):
+        sub = engine.add(9999, Rectangle.full(4))
+        engine.remove(sub.subscription_id)
+        result = engine.match_point([1.0, 1.0, 1.0, 1.0])
+        assert sub.subscription_id not in result.subscription_ids
+
+    def test_remove_validation(self, engine):
+        with pytest.raises(KeyError):
+            engine.remove(10_000)
+        sub = engine.add(1, Rectangle.full(4))
+        engine.remove(sub.subscription_id)
+        with pytest.raises(KeyError):
+            engine.remove(sub.subscription_id)
+
+    def test_rebuild_triggered_by_churn(self, engine):
+        initial_rebuilds = engine.rebuilds
+        # rebuild_fraction=0.3 of 100 -> rebuild after >30 churn events.
+        for i in range(40):
+            engine.add(5000 + i, rect4(float(i), float(i) + 1.0))
+        assert engine.rebuilds > initial_rebuilds
+        assert engine.pending_churn < 40
+
+    def test_removed_subscriptions_stay_dead_across_rebuilds(self, engine):
+        sub = engine.add(7777, Rectangle.full(4))
+        engine.remove(sub.subscription_id)
+        engine.rebuild()  # must NOT resurrect the removed subscription
+        result = engine.match_point([5.0, 5.0, 5.0, 5.0])
+        assert sub.subscription_id not in result.subscription_ids
+        engine.rebuild()
+        result = engine.match_point([5.0, 5.0, 5.0, 5.0])
+        assert sub.subscription_id not in result.subscription_ids
+
+    def test_queries_match_fresh_engine_after_heavy_churn(
+        self, engine, small_events, rng
+    ):
+        # Random interleaved adds/removes, then compare against a
+        # from-scratch engine over the surviving set.
+        added = []
+        for i in range(60):
+            if added and rng.random() < 0.4:
+                victim = added.pop(int(rng.integers(len(added))))
+                engine.remove(victim)
+            else:
+                lo = rng.uniform(-5, 15, size=4)
+                sub = engine.add(
+                    6000 + i,
+                    Rectangle.from_bounds(lo, lo + rng.uniform(0.5, 8, 4)),
+                )
+                added.append(sub.subscription_id)
+        live, id_map = fresh_reference(engine)
+        reference = MatchingEngine(live)
+        points, _ = small_events
+        for point in points[:40]:
+            expected = sorted(
+                id_map[sid]
+                for sid in reference.match_point(point).subscription_ids
+            )
+            actual = list(engine.match_point(point).subscription_ids)
+            assert actual == expected
+
+    def test_empty_table_then_adds(self):
+        table = SubscriptionTable(2)
+        engine = DynamicMatchingEngine(table)
+        assert engine.match_point([0.0, 0.0]).is_empty
+        engine.add(1, Rectangle.cube(0.0, 1.0, 2))
+        assert engine.match_point([0.5, 0.5]).subscribers == (1,)
+
+    def test_parameter_validation(self, small_placed):
+        table = SubscriptionTable.from_placed(small_placed[:10])
+        with pytest.raises(ValueError):
+            DynamicMatchingEngine(table, rebuild_fraction=0.0)
+        with pytest.raises(ValueError):
+            DynamicMatchingEngine(table, backend="nope")
+
+
+class TestDynamicBroker:
+    @pytest.fixture()
+    def broker(self, small_topology, small_placed, nine_mode_density):
+        table = SubscriptionTable.from_placed(small_placed)
+        return DynamicPubSubBroker.preprocess_dynamic(
+            small_topology,
+            table,
+            ForgyKMeansClustering(),
+            6,
+            density=nine_mode_density,
+            cells_per_dim=6,
+            max_cells=60,
+        )
+
+    def test_subscribe_widens_groups(
+        self, broker, small_events, small_topology
+    ):
+        points, publishers = small_events
+        event = Event.create(0, int(publishers[0]), points[0])
+        q = broker.partition.locate(event.point)
+        # Subscribers are network nodes; pick a transit node, which the
+        # stock workload never uses, so it is guaranteed new.
+        new_node = small_topology.all_transit_nodes()[0]
+        broker.subscribe(new_node, Rectangle.full(4))
+        # The universal subscriber must now be in every group.
+        for group in broker.partition.groups:
+            assert new_node in group.members
+        record = broker.publish(event)
+        if not record.match.is_empty:
+            assert new_node in record.match.subscribers
+
+    def test_group_invariant_preserved_under_churn(
+        self, broker, small_events, small_topology, rng
+    ):
+        points, publishers = small_events
+        nodes = small_topology.all_stub_nodes()
+        for i in range(30):
+            lo = rng.uniform(-5, 15, size=4)
+            broker.subscribe(
+                int(rng.choice(nodes)),
+                Rectangle.from_bounds(lo, lo + rng.uniform(0.5, 10, 4)),
+            )
+        for i, point in enumerate(points[:60]):
+            event = Event.create(i, int(publishers[i]), point)
+            record = broker.publish(event)
+            q = record.decision.group
+            if q > 0:
+                members = set(broker.partition.group(q).members)
+                assert set(record.match.subscribers) <= members
+
+    def test_unsubscribe_stops_matching(self, broker, small_topology):
+        node = small_topology.all_transit_nodes()[1]
+        sub = broker.subscribe(node, Rectangle.full(4))
+        broker.unsubscribe(sub.subscription_id)
+        event = Event.create(0, 0, (1.0, 10.0, 9.0, 9.0))
+        record = broker.publish(event)
+        assert node not in record.match.subscribers
+
+    def test_live_subscriptions_counter(self, broker, small_topology):
+        initial = broker.live_subscriptions
+        sub = broker.subscribe(
+            small_topology.all_transit_nodes()[2], Rectangle.full(4)
+        )
+        assert broker.live_subscriptions == initial + 1
+        broker.unsubscribe(sub.subscription_id)
+        assert broker.live_subscriptions == initial
+
+    def test_repreprocess_drops_stale_members(self, broker, small_topology):
+        node = small_topology.all_transit_nodes()[3]
+        sub = broker.subscribe(node, Rectangle.full(4))
+        broker.unsubscribe(sub.subscription_id)
+        # Stale until re-preprocessing...
+        assert any(
+            node in g.members for g in broker.partition.groups
+        )
+        broker.repreprocess()
+        assert not any(
+            node in g.members for g in broker.partition.groups
+        )
+
+    def test_rebalance_partition_keeps_invariant(
+        self, broker, small_events, small_topology, rng
+    ):
+        """After churn + incremental rebalance, delivered groups still
+        cover every interested subscriber."""
+        nodes = small_topology.all_stub_nodes()
+        for i in range(20):
+            lo = rng.uniform(-5, 15, size=4)
+            broker.subscribe(
+                int(rng.choice(nodes)),
+                Rectangle.from_bounds(lo, lo + rng.uniform(0.5, 10, 4)),
+            )
+        moves = broker.rebalance_partition(max_moves=15)
+        assert moves >= 0
+        points, publishers = small_events
+        for i, point in enumerate(points[:60]):
+            event = Event.create(i, int(publishers[i]), point)
+            record = broker.publish(event)
+            q = record.decision.group
+            if q > 0:
+                members = set(broker.partition.group(q).members)
+                assert set(record.match.subscribers) <= members
+
+    def test_rebalance_partition_preserves_group_count(self, broker):
+        before = broker.partition.num_groups
+        broker.rebalance_partition(max_moves=5)
+        assert broker.partition.num_groups == before
+
+    def test_repreprocess_preserves_matching_semantics(
+        self, broker, small_events
+    ):
+        points, publishers = small_events
+        before = [
+            broker.publish(
+                Event.create(i, int(publishers[i]), points[i])
+            ).match.subscribers
+            for i in range(30)
+        ]
+        broker.repreprocess()
+        after = [
+            broker.publish(
+                Event.create(i, int(publishers[i]), points[i])
+            ).match.subscribers
+            for i in range(30)
+        ]
+        assert before == after

@@ -1,0 +1,99 @@
+"""Unit tests for events and the matching engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import Event, MatchingEngine, SubscriptionTable
+from repro.geometry import Interval, Rectangle
+
+
+class TestEvent:
+    def test_create(self):
+        event = Event.create(3, 17, [1.0, 2.0])
+        assert event.sequence == 3
+        assert event.publisher == 17
+        assert event.point == (1.0, 2.0)
+        assert event.ndim == 2
+
+    def test_create_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            Event.create(0, 0, [np.inf, 1.0])
+
+
+@pytest.fixture(scope="module")
+def engine_table(small_table):
+    return small_table
+
+
+class TestMatchingEngine:
+    @pytest.mark.parametrize(
+        "backend", ["stree", "rtree", "grid", "linear"]
+    )
+    def test_backends_agree(self, engine_table, small_events, backend):
+        reference = MatchingEngine(engine_table, backend="linear")
+        engine = MatchingEngine(engine_table, backend=backend)
+        points, publishers = small_events
+        for i, (point, publisher) in enumerate(
+            zip(points[:60], publishers)
+        ):
+            event = Event.create(i, int(publisher), point)
+            assert engine.match(event) == reference.match(event)
+
+    def test_unknown_backend(self, engine_table):
+        with pytest.raises(ValueError):
+            MatchingEngine(engine_table, backend="btree")
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            MatchingEngine(SubscriptionTable(2))
+
+    def test_match_returns_distinct_subscribers(self):
+        table = SubscriptionTable(1)
+        r = Rectangle((0.0,), (1.0,))
+        table.add(5, r)
+        table.add(5, r)  # same subscriber twice
+        table.add(6, r)
+        engine = MatchingEngine(table, backend="stree")
+        result = engine.match(Event.create(0, 0, [0.5]))
+        assert result.subscription_ids == (0, 1, 2)
+        assert result.subscribers == (5, 6)
+        assert result.num_subscribers == 2
+        assert not result.is_empty
+
+    def test_no_match_is_empty(self):
+        table = SubscriptionTable(1)
+        table.add(5, Rectangle((0.0,), (1.0,)))
+        engine = MatchingEngine(table)
+        result = engine.match(Event.create(0, 0, [9.0]))
+        assert result.is_empty
+        assert result.subscribers == ()
+
+    def test_dimension_mismatch(self, engine_table):
+        engine = MatchingEngine(engine_table)
+        with pytest.raises(ValueError):
+            engine.match(Event.create(0, 0, [1.0]))
+
+    def test_stats_exposed(self, engine_table, small_events):
+        engine = MatchingEngine(engine_table)
+        points, _ = small_events
+        engine.match_point(points[0])
+        assert engine.stats.queries == 1
+
+    def test_matches_are_semantically_correct(
+        self, engine_table, small_events
+    ):
+        engine = MatchingEngine(engine_table)
+        points, _ = small_events
+        for point in points[:40]:
+            result = engine.match_point(point)
+            for sid in result.subscription_ids:
+                assert engine_table[sid].rectangle.contains_point(
+                    tuple(point)
+                )
+            unmatched = set(range(len(engine_table))) - set(
+                result.subscription_ids
+            )
+            for sid in list(unmatched)[:20]:
+                assert not engine_table[sid].rectangle.contains_point(
+                    tuple(point)
+                )

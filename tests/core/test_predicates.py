@@ -1,0 +1,156 @@
+"""Unit tests for the predicate language."""
+
+import math
+
+import pytest
+
+from repro.core import SubscriptionTable
+from repro.core.predicates import PredicateError, parse_subscription
+from repro.geometry import FULL_LINE
+
+SCHEMA = ("bst", "name", "price", "volume")
+
+
+def matching_points(expression, points):
+    """Which of the points satisfy the parsed expression."""
+    table = SubscriptionTable(len(SCHEMA))
+    table.add_predicates(7, parse_subscription(expression, SCHEMA))
+    from repro.core import MatchingEngine
+
+    engine = MatchingEngine(table, backend="linear")
+    return [
+        point
+        for point in points
+        if engine.match_point(point).subscribers
+    ]
+
+
+class TestComparisons:
+    def test_paper_flagship_subscription(self):
+        predicates = parse_subscription(
+            "name == 5 and price > 75 and price <= 80 "
+            "and volume >= 1000",
+            SCHEMA,
+        )
+        table = SubscriptionTable(4)
+        subs = table.add_predicates(1, predicates)
+        assert len(subs) == 1
+        rectangle = subs[0].rectangle
+        assert rectangle.contains_point((2.0, 5.0, 78.0, 1000.0))
+        assert not rectangle.contains_point((2.0, 5.0, 75.0, 1000.0))
+        assert rectangle.contains_point((2.0, 5.0, 80.0, 1000.0))
+        assert not rectangle.contains_point((2.0, 5.0, 80.5, 1000.0))
+        assert not rectangle.contains_point((2.0, 5.0, 78.0, 999.0))
+        assert not rectangle.contains_point((2.0, 4.0, 78.0, 5000.0))
+
+    def test_unmentioned_attributes_are_wildcards(self):
+        predicates = parse_subscription("price > 10", SCHEMA)
+        assert predicates[0] == [FULL_LINE]
+        assert predicates[1] == [FULL_LINE]
+        assert predicates[3] == [FULL_LINE]
+
+    def test_reversed_operand_order(self):
+        forward = parse_subscription("price > 10", SCHEMA)
+        reversed_form = parse_subscription("10 < price", SCHEMA)
+        assert forward == reversed_form
+
+    def test_between_via_two_clauses(self):
+        predicates = parse_subscription(
+            "price > 75 and price <= 80", SCHEMA
+        )
+        (interval,) = predicates[2]
+        assert not interval.contains(75.0)
+        assert interval.contains(80.0)
+
+    def test_contradiction_detected(self):
+        with pytest.raises(PredicateError):
+            parse_subscription("price > 80 and price < 70", SCHEMA)
+
+    def test_case_insensitive(self):
+        predicates = parse_subscription("PRICE >= 9 AND Volume < 3", SCHEMA)
+        assert predicates[2][0].contains(9.0)
+        assert predicates[3][0].contains(2.0)
+
+
+class TestDisjunctions:
+    def test_in_list(self):
+        predicates = parse_subscription("name in (1, 3, 5)", SCHEMA)
+        assert len(predicates[1]) == 3
+        table = SubscriptionTable(4)
+        subs = table.add_predicates(1, predicates)
+        assert len(subs) == 3  # decomposed
+
+    def test_not_equals_splits(self):
+        predicates = parse_subscription("bst != 2", SCHEMA)
+        assert len(predicates[0]) == 2
+        values = [iv.contains(2.0) for iv in predicates[0]]
+        assert not any(values)
+        assert any(iv.contains(1.0) for iv in predicates[0])
+        assert any(iv.contains(3.0) for iv in predicates[0])
+
+    def test_in_combined_with_range(self):
+        predicates = parse_subscription(
+            "name in (1, 2) and name <= 1", SCHEMA
+        )
+        # The intersection kills the name == 2 alternative.
+        assert len(predicates[1]) == 1
+        assert predicates[1][0].contains(1.0)
+
+    def test_any_keyword(self):
+        predicates = parse_subscription(
+            "any price and volume > 5", SCHEMA
+        )
+        assert predicates[2] == [FULL_LINE]
+
+
+class TestErrors:
+    def test_unknown_attribute(self):
+        with pytest.raises(PredicateError):
+            parse_subscription("sideways > 3", SCHEMA)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PredicateError):
+            parse_subscription("price >> 3", SCHEMA)
+        with pytest.raises(PredicateError):
+            parse_subscription("price > 3 and", SCHEMA)
+        with pytest.raises(PredicateError):
+            parse_subscription("and price > 3", SCHEMA)
+        with pytest.raises(PredicateError):
+            parse_subscription("price 3 >", SCHEMA)
+
+    def test_malformed_in(self):
+        with pytest.raises(PredicateError):
+            parse_subscription("name in 1, 2", SCHEMA)
+        with pytest.raises(PredicateError):
+            parse_subscription("name in (1,, 2)", SCHEMA)
+        with pytest.raises(PredicateError):
+            parse_subscription("name in ()", SCHEMA)
+        with pytest.raises(PredicateError):
+            parse_subscription("name in (1,)", SCHEMA)
+
+    def test_unlexable(self):
+        with pytest.raises(PredicateError):
+            parse_subscription("price > $5", SCHEMA)
+
+
+class TestEndToEnd:
+    def test_matching_semantics(self):
+        points = [
+            (1.0, 5.0, 78.0, 2000.0),   # matches
+            (1.0, 5.0, 85.0, 2000.0),   # price out
+            (1.0, 4.0, 78.0, 2000.0),   # name out
+        ]
+        matched = matching_points(
+            "name == 5 and price > 75 and price <= 80", points
+        )
+        assert matched == [points[0]]
+
+    def test_scientific_notation(self):
+        predicates = parse_subscription("volume >= 1e3", SCHEMA)
+        assert predicates[3][0].contains(1000.0)
+        assert not predicates[3][0].contains(999.0)
+
+    def test_negative_numbers(self):
+        predicates = parse_subscription("price > -5.5", SCHEMA)
+        assert predicates[2][0].contains(-5.0)
+        assert not predicates[2][0].contains(-6.0)

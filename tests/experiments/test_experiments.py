@@ -1,0 +1,208 @@
+"""Tests for the experiment drivers (small-scale runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    SMALL_CONFIG,
+    ExperimentConfig,
+    build_testbed,
+    run_clustering_comparison,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_matching_comparison,
+    run_table1,
+    summarize_topology,
+    sweep_thresholds,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(SMALL_CONFIG)
+
+
+class TestConfig:
+    def test_default_matches_paper(self):
+        config = ExperimentConfig()
+        assert config.num_subscriptions == 1000
+        assert config.max_cells == 200
+        assert config.group_counts == (11, 61)
+        assert config.mode_counts == (1, 4, 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_subscriptions=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(thresholds=(0.5, 1.5))
+        with pytest.raises(ValueError):
+            ExperimentConfig(group_counts=(0,))
+
+
+class TestTestbed:
+    def test_builds_consistently(self, testbed):
+        assert len(testbed.placed) == SMALL_CONFIG.num_subscriptions
+        assert len(testbed.table) == SMALL_CONFIG.num_subscriptions
+
+    def test_publications_deterministic_per_mode(self, testbed):
+        a = testbed.publications(4)
+        b = testbed.publications(4)
+        assert np.array_equal(a[0], b[0])
+        c = testbed.publications(1)
+        assert not np.array_equal(a[0], c[0])
+
+    def test_make_broker(self, testbed):
+        from repro.clustering import ForgyKMeansClustering
+
+        broker = testbed.make_broker(
+            ForgyKMeansClustering(), num_groups=3, modes=4
+        )
+        assert broker.partition.num_groups <= 3
+
+
+class TestFigure3:
+    def test_summary_consistent(self, testbed):
+        summary = summarize_topology(testbed.topology)
+        assert summary.num_nodes == testbed.topology.num_nodes
+        assert (
+            summary.num_transit_nodes + summary.num_stub_nodes
+            == summary.num_nodes
+        )
+        assert summary.is_connected
+        assert summary.diameter_cost > 0
+        assert len(summary.rows()) == 11
+
+    def test_run(self):
+        summary = run_figure3(SMALL_CONFIG)
+        assert summary.num_transit_blocks == 3
+
+
+class TestTable1:
+    def test_within_tolerance_at_scale(self):
+        config = ExperimentConfig(num_subscriptions=2000, num_events=10)
+        rows = run_table1(config)
+        assert {r.field for r in rows} == {"price", "volume"}
+        for row in rows:
+            assert row.within_tolerance(0.05)
+
+    def test_measured_frequencies_sum_to_one(self, testbed):
+        for row in run_table1(SMALL_CONFIG, testbed):
+            total = (
+                row.measured.wildcard
+                + row.measured.lower_ray
+                + row.measured.upper_ray
+                + row.measured.bounded
+            )
+            assert total == pytest.approx(1.0)
+
+
+class TestFigure4:
+    def test_fits_recover_laws(self):
+        result = run_figure4(SMALL_CONFIG)
+        assert result.price_fit.looks_normal
+        assert result.price_fit.mean == pytest.approx(1.0, abs=0.01)
+        assert result.popularity_fit.looks_power_law
+        assert result.popularity_fit.slope == pytest.approx(-1.0, abs=0.2)
+        assert result.amount_fit.looks_power_law
+        assert result.amount_fit.slope == pytest.approx(-1.2, abs=0.2)
+
+    def test_series_shapes(self):
+        result = run_figure4(SMALL_CONFIG)
+        assert len(result.price_histogram.centers) == 60
+        assert len(result.popularity_ranks) == len(
+            result.popularity_counts
+        )
+        assert np.all(np.diff(result.amount_survival) <= 1e-12)
+
+
+class TestFigure5:
+    def test_top3_panels(self):
+        panels = run_figure5(SMALL_CONFIG)
+        assert len(panels) == 3
+        assert (
+            panels[0].num_trades
+            >= panels[1].num_trades
+            >= panels[2].num_trades
+        )
+        for panel in panels:
+            assert panel.price_fit.mean == pytest.approx(1.0, abs=0.01)
+            assert panel.amount_fit.slope < -0.8
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            run_figure5(SMALL_CONFIG, top_k=0)
+
+
+class TestFigure6:
+    def test_sweep_structure(self, testbed):
+        results = run_figure6(SMALL_CONFIG, testbed)
+        expected = (
+            len(SMALL_CONFIG.mode_counts)
+            * len(SMALL_CONFIG.group_counts)
+            * 3
+        )
+        assert len(results) == expected
+        for sweep in results:
+            assert len(sweep.points) == len(SMALL_CONFIG.thresholds)
+            assert sweep.algorithm in ("forgy", "pairwise", "mst")
+
+    def test_best_and_at_accessors(self, testbed):
+        sweep = run_figure6(SMALL_CONFIG, testbed)[0]
+        best = sweep.best()
+        assert best.improvement_percent == max(
+            p.improvement_percent for p in sweep.points
+        )
+        assert sweep.at(0.0).threshold == 0.0
+        with pytest.raises(KeyError):
+            sweep.at(0.123)
+        assert sweep.dynamic_gain >= 0.0
+
+    def test_sweep_thresholds_shares_broker(self, testbed):
+        from repro.clustering import ForgyKMeansClustering
+
+        broker = testbed.make_broker(
+            ForgyKMeansClustering(), num_groups=3, modes=4
+        )
+        points, publishers = testbed.publications(4)
+        curve = sweep_thresholds(
+            broker, points, publishers, (0.0, 0.5, 1.0)
+        )
+        assert [p.threshold for p in curve] == [0.0, 0.5, 1.0]
+        # Full unicast at t=1.0 unless some group is fully interested.
+        assert curve[-1].improvement_percent >= -1e-9
+
+
+class TestComparisons:
+    def test_clustering_rows(self, testbed):
+        rows = run_clustering_comparison(SMALL_CONFIG, testbed, modes=4)
+        assert len(rows) == 3 * len(SMALL_CONFIG.group_counts)
+        for row in rows:
+            assert row.cluster_seconds >= 0.0
+            assert row.expected_waste >= 0.0
+            assert 0.0 <= row.covered_probability <= 1.0
+
+    def test_matching_rows(self, testbed):
+        rows = run_matching_comparison(
+            SMALL_CONFIG,
+            testbed,
+            subscription_counts=(50, 150),
+            num_queries=30,
+        )
+        assert len(rows) == 2 * 5  # two scales x five backends
+        linear = [r for r in rows if r.backend == "linear"]
+        stree = [r for r in rows if r.backend == "stree"]
+        # The S-tree must test strictly fewer entries than brute force.
+        for lin_row, st_row in zip(linear, stree):
+            assert (
+                st_row.entries_per_query < lin_row.entries_per_query
+            )
+        # All backends agree on the average match count.
+        by_k = {}
+        for row in rows:
+            by_k.setdefault(row.num_subscriptions, set()).add(
+                round(row.mean_matches, 6)
+            )
+        for matches in by_k.values():
+            assert len(matches) == 1

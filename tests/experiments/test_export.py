@@ -1,0 +1,80 @@
+"""Tests for CSV export of experiment results."""
+
+import csv
+
+import pytest
+
+from repro.experiments import (
+    SMALL_CONFIG,
+    build_testbed,
+    run_figure4,
+    run_figure6,
+    run_matching_comparison,
+)
+from repro.experiments.export import (
+    figure4_to_csv,
+    figure6_to_csv,
+    matching_to_csv,
+    write_csv,
+)
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        count = write_csv(path, ("a", "b"), [(1, 2), (3, 4)])
+        assert count == 2
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_arity_checked(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "bad.csv", ("a", "b"), [(1,)])
+
+
+class TestExporters:
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        return build_testbed(SMALL_CONFIG)
+
+    def test_figure4_files(self, tmp_path):
+        result = run_figure4(SMALL_CONFIG)
+        files = figure4_to_csv(result, tmp_path / "fig4")
+        assert len(files) == 3
+        for path in files:
+            assert path.exists()
+            with path.open() as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) > 10  # header + data
+
+    def test_figure6_long_format(self, tmp_path, testbed):
+        results = run_figure6(SMALL_CONFIG, testbed)
+        path = tmp_path / "figure6.csv"
+        count = figure6_to_csv(results, path)
+        expected = sum(len(s.points) for s in results)
+        assert count == expected
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0][0] == "algorithm"
+        assert len(rows) == expected + 1
+
+    def test_matching_table(self, tmp_path, testbed):
+        rows = run_matching_comparison(
+            SMALL_CONFIG,
+            testbed,
+            subscription_counts=(50,),
+            num_queries=10,
+        )
+        path = tmp_path / "matching.csv"
+        count = matching_to_csv(rows, path)
+        assert count == len(rows)
+        with path.open() as handle:
+            parsed = list(csv.DictReader(handle))
+        assert {row["backend"] for row in parsed} == {
+            "stree",
+            "rtree",
+            "grid",
+            "counting",
+            "linear",
+        }

@@ -1,0 +1,116 @@
+"""Unit tests for the rounding-safe grid-cell arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.gridmath import covered_cell_range, locate_cell
+
+
+def unit_frame(c=16):
+    """Frame (0, c] with unit cells."""
+    return (
+        np.array([0.0]),
+        np.array([float(c)]),
+        np.array([1.0]),
+        c,
+    )
+
+
+class TestCoveredCellRange:
+    def test_interior_rectangle(self):
+        frame_lo, _, width, c = unit_frame()
+        first, last = covered_cell_range(
+            np.array([2.5]), np.array([5.5]), frame_lo, width, c
+        )
+        assert first[0] == 2
+        assert last[0] == 5
+
+    def test_exact_boundaries_include_adjacent_candidate(self):
+        # (2, 5]: true cells are 2..4; the low-side candidate widens to
+        # cell 1 by design (filtered by exact tests downstream).
+        frame_lo, _, width, c = unit_frame()
+        first, last = covered_cell_range(
+            np.array([2.0]), np.array([5.0]), frame_lo, width, c
+        )
+        assert first[0] == 1
+        assert last[0] == 4
+
+    def test_clipping(self):
+        frame_lo, _, width, c = unit_frame(4)
+        first, last = covered_cell_range(
+            np.array([-10.0]), np.array([10.0]), frame_lo, width, c
+        )
+        assert first[0] == 0
+        assert last[0] == 3
+
+    def test_registration_consistent_with_locate(self, rng):
+        """The load-bearing property: any point inside a rectangle
+        locates into the rectangle's registered cell range — including
+        endpoints within an ulp of cell boundaries."""
+        frame_lo = np.array([0.0, -50.0])
+        frame_hi = np.array([16.0, 50.0])
+        width = (frame_hi - frame_lo) / 16
+        for _ in range(300):
+            lo = rng.uniform(frame_lo, frame_hi)
+            hi = lo + rng.uniform(0.0, 5.0, size=2)
+            # Perturb endpoints onto/near boundaries half the time.
+            if rng.random() < 0.5:
+                lo = np.floor(lo)
+            if rng.random() < 0.5:
+                hi = np.ceil(hi)
+            first, last = covered_cell_range(lo, hi, frame_lo, width, 16)
+            for _ in range(5):
+                p = rng.uniform(
+                    np.maximum(lo, frame_lo),
+                    np.minimum(hi, frame_hi),
+                )
+                if np.any(p <= lo) or np.any(p > hi):
+                    continue
+                cell = locate_cell(p, frame_lo, frame_hi, width, 16)
+                if cell is None:
+                    continue
+                assert np.all(first <= cell) and np.all(cell <= last)
+
+    def test_hypothesis_counterexample_regression(self):
+        """The exact failing case the property tests found: a low edge
+        one ulp below a cell boundary quantizing onto it."""
+        frame_lo = np.array([-50.0])
+        frame_hi = np.array([50.0])
+        width = (frame_hi - frame_lo) / 16
+        lo = np.array([-2.52997437e-50])  # a hair below 0.0
+        hi = np.array([50.0])
+        first, last = covered_cell_range(lo, hi, frame_lo, width, 16)
+        point = np.array([0.0])  # inside (lo, hi]
+        cell = locate_cell(point, frame_lo, frame_hi, width, 16)
+        assert first[0] <= cell[0] <= last[0]
+
+
+class TestLocateCell:
+    def test_half_open_boundaries(self):
+        frame_lo, frame_hi, width, c = unit_frame(4)
+        frame_hi = np.array([4.0])
+        # Low frame edge is outside.
+        assert locate_cell(
+            np.array([0.0]), frame_lo, frame_hi, width, 4
+        ) is None
+        # Cell high boundary belongs to the cell.
+        assert locate_cell(
+            np.array([1.0]), frame_lo, frame_hi, width, 4
+        )[0] == 0
+        assert locate_cell(
+            np.array([1.0000001]), frame_lo, frame_hi, width, 4
+        )[0] == 1
+        # The frame's high edge is in the last cell.
+        assert locate_cell(
+            np.array([4.0]), frame_lo, frame_hi, width, 4
+        )[0] == 3
+
+    def test_outside_frame(self):
+        frame_lo, frame_hi, width, c = unit_frame(4)
+        frame_hi = np.array([4.0])
+        assert locate_cell(
+            np.array([4.5]), frame_lo, frame_hi, width, 4
+        ) is None
+        assert locate_cell(
+            np.array([-0.5]), frame_lo, frame_hi, width, 4
+        ) is None

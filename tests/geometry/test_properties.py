@@ -1,0 +1,117 @@
+"""Property-based tests for the geometric primitives."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Interval, Rectangle
+from repro.geometry.arrays import point_membership_mask
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+endpoints = st.one_of(
+    finite_floats, st.just(math.inf), st.just(-math.inf)
+)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(endpoints)
+    hi = draw(endpoints)
+    return Interval(lo, hi)
+
+
+@st.composite
+def rectangles(draw, ndim=3):
+    sides = [draw(intervals()) for _ in range(ndim)]
+    return Rectangle.from_intervals(sides)
+
+
+class TestIntervalProperties:
+    @given(intervals(), intervals())
+    def test_intersection_commutes(self, a, b):
+        ab = a.intersection(b)
+        ba = b.intersection(a)
+        assert ab == ba or (ab.is_empty and ba.is_empty)
+
+    @given(intervals(), intervals(), finite_floats)
+    def test_intersection_semantics(self, a, b, x):
+        # x is in a∩b exactly when it is in both.
+        assert a.intersection(b).contains(x) == (
+            a.contains(x) and b.contains(x)
+        )
+
+    @given(intervals(), intervals(), finite_floats)
+    def test_hull_contains_members(self, a, b, x):
+        if a.contains(x) or b.contains(x):
+            assert a.hull(b).contains(x)
+
+    @given(intervals(), intervals())
+    def test_intersects_iff_nonempty_intersection(self, a, b):
+        assert a.intersects(b) == (not a.intersection(b).is_empty)
+
+    @given(intervals())
+    def test_self_hull_is_identity_when_nonempty(self, a):
+        if not a.is_empty:
+            assert a.hull(a) == a
+
+    @given(intervals(), intervals())
+    def test_contains_interval_transitive_with_intersection(self, a, b):
+        # a ⊇ (a∩b) always.
+        assert a.contains_interval(a.intersection(b))
+
+
+class TestRectangleProperties:
+    @given(rectangles(), rectangles())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(
+        rectangles(),
+        rectangles(),
+        st.lists(finite_floats, min_size=3, max_size=3),
+    )
+    def test_intersection_semantics(self, a, b, coords):
+        point = tuple(coords)
+        assert a.intersection(b).contains_point(point) == (
+            a.contains_point(point) and b.contains_point(point)
+        )
+
+    @given(
+        rectangles(),
+        rectangles(),
+        st.lists(finite_floats, min_size=3, max_size=3),
+    )
+    def test_hull_contains_members(self, a, b, coords):
+        point = tuple(coords)
+        if a.contains_point(point) or b.contains_point(point):
+            assert a.hull(b).contains_point(point)
+
+    @given(rectangles())
+    def test_volume_nonnegative(self, r):
+        assert r.volume >= 0.0
+
+    @given(rectangles(), rectangles())
+    def test_intersection_volume_bounded(self, a, b):
+        inter = a.intersection(b)
+        if a.is_bounded and b.is_bounded:
+            assert inter.volume <= min(a.volume, b.volume) + 1e-6
+
+    @given(rectangles())
+    def test_hull_with_self_has_same_volume(self, r):
+        if not r.is_empty:
+            assert r.hull(r).volume == r.volume
+
+    @given(
+        st.lists(rectangles(), min_size=1, max_size=8),
+        st.lists(finite_floats, min_size=3, max_size=3),
+    )
+    def test_bulk_membership_agrees_with_scalar(self, rects, coords):
+        lows = np.array([r.lows for r in rects])
+        highs = np.array([r.highs for r in rects])
+        point = tuple(coords)
+        mask = point_membership_mask(lows, highs, point)
+        assert mask.tolist() == [r.contains_point(point) for r in rects]

@@ -1,0 +1,191 @@
+"""Unit tests for axis-aligned rectangles."""
+
+import math
+
+import pytest
+
+from repro.geometry import Interval, Rectangle, bounding_rectangle
+
+
+def rect(*sides):
+    """Shorthand: rect((0,1), (2,3)) builds a 2-D rectangle."""
+    return Rectangle(
+        tuple(s[0] for s in sides), tuple(s[1] for s in sides)
+    )
+
+
+class TestConstruction:
+    def test_from_intervals(self):
+        r = Rectangle.from_intervals([Interval(0, 1), Interval(2, 3)])
+        assert r.lows == (0, 2)
+        assert r.highs == (1, 3)
+
+    def test_from_bounds(self):
+        r = Rectangle.from_bounds([0, 2], [1, 3])
+        assert r == rect((0, 1), (2, 3))
+
+    def test_cube(self):
+        r = Rectangle.cube(0.0, 1.0, 3)
+        assert r.ndim == 3
+        assert r.volume == 1.0
+
+    def test_full_space(self):
+        r = Rectangle.full(2)
+        assert r.contains_point((1e300, -1e300))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Rectangle((0.0,), (1.0, 2.0))
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Rectangle((), ())
+
+    def test_sides_roundtrip(self):
+        r = rect((0, 1), (2, 3))
+        assert r.sides == (Interval(0, 1), Interval(2, 3))
+        assert list(r) == [Interval(0, 1), Interval(2, 3)]
+
+    def test_side_accessor(self):
+        assert rect((0, 1), (2, 3)).side(1) == Interval(2, 3)
+
+
+class TestContainment:
+    def test_interior_point(self):
+        assert rect((0, 2), (0, 2)).contains_point((1.0, 1.0))
+
+    def test_half_open_boundaries(self):
+        r = rect((0, 2), (0, 2))
+        assert not r.contains_point((0.0, 1.0))  # low edge excluded
+        assert r.contains_point((2.0, 1.0))  # high edge included
+        assert r.contains_point((2.0, 2.0))  # corner on high edges
+
+    def test_gryphon_example(self):
+        # name=IBM (code 5), 75 < price <= 80, volume >= 1000
+        subscription = Rectangle.from_intervals(
+            [
+                Interval(4.0, 5.0),
+                Interval(75.0, 80.0),
+                Interval(999.0, math.inf),
+            ]
+        )
+        assert subscription.contains_point((5.0, 78.5, 1000.0))
+        assert not subscription.contains_point((5.0, 78.5, 999.0))
+        assert not subscription.contains_point((5.0, 80.5, 5000.0))
+        assert not subscription.contains_point((4.0, 78.5, 5000.0))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            rect((0, 1), (0, 1)).contains_point((0.5,))
+
+    def test_dunder_contains(self):
+        assert (1.0, 1.0) in rect((0, 2), (0, 2))
+
+    def test_contains_rectangle(self):
+        outer = rect((0, 10), (0, 10))
+        inner = rect((2, 3), (4, 5))
+        assert outer.contains_rectangle(inner)
+        assert not inner.contains_rectangle(outer)
+
+    def test_contains_empty_rectangle(self):
+        assert rect((0, 1), (0, 1)).contains_rectangle(
+            rect((5, 4), (0, 1))
+        )
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        a = rect((0, 2), (0, 2))
+        b = rect((1, 3), (1, 3))
+        assert a.intersects(b)
+        assert a.intersection(b) == rect((1, 2), (1, 2))
+
+    def test_touching_faces_do_not_intersect(self):
+        # Half-open: (0,1] x ... and (1,2] x ... share only the closed
+        # face x=1 of the first, which the second excludes.
+        a = rect((0, 1), (0, 1))
+        b = rect((1, 2), (0, 1))
+        assert not a.intersects(b)
+        assert a.intersection(b).is_empty
+
+    def test_disjoint_in_one_dimension_suffices(self):
+        a = rect((0, 1), (0, 100))
+        b = rect((5, 6), (0, 100))
+        assert not a.intersects(b)
+
+    def test_empty_never_intersects(self):
+        empty = rect((1, 0), (0, 1))
+        assert not empty.intersects(rect((0, 1), (0, 1)))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rect((0, 1), (0, 1)).intersects(Rectangle((0.0,), (1.0,)))
+
+
+class TestHull:
+    def test_hull_covers_both(self):
+        a = rect((0, 1), (0, 1))
+        b = rect((5, 6), (2, 3))
+        h = a.hull(b)
+        assert h == rect((0, 6), (0, 3))
+        assert h.contains_rectangle(a)
+        assert h.contains_rectangle(b)
+
+    def test_hull_with_empty(self):
+        a = rect((0, 1), (0, 1))
+        empty = rect((1, 0), (0, 1))
+        assert a.hull(empty) == a
+        assert empty.hull(a) == a
+
+    def test_bounding_rectangle(self):
+        rects = [rect((i, i + 1), (0, 1)) for i in range(5)]
+        assert bounding_rectangle(rects) == rect((0, 5), (0, 1))
+
+    def test_bounding_rectangle_empty_input(self):
+        with pytest.raises(ValueError):
+            bounding_rectangle([])
+
+
+class TestMeasures:
+    def test_volume(self):
+        assert rect((0, 2), (0, 3)).volume == 6.0
+
+    def test_volume_empty_is_zero(self):
+        assert rect((2, 0), (0, 3)).volume == 0.0
+
+    def test_volume_unbounded_is_inf(self):
+        assert rect((0, math.inf), (0, 1)).volume == math.inf
+
+    def test_clipped_volume(self):
+        unbounded = rect((0, math.inf), (0, 1))
+        frame = rect((0, 10), (0, 10))
+        assert unbounded.clipped_volume(frame) == 10.0
+
+    def test_semi_perimeter(self):
+        assert rect((0, 2), (0, 3)).semi_perimeter == 5.0
+
+    def test_center(self):
+        assert rect((0, 2), (0, 4)).center == (1.0, 2.0)
+
+    def test_longest_dimension(self):
+        assert rect((0, 1), (0, 10)).longest_dimension() == 1
+
+    def test_longest_dimension_tie_prefers_lowest(self):
+        assert rect((0, 5), (0, 5)).longest_dimension() == 0
+
+    def test_longest_dimension_unbounded_wins(self):
+        assert rect((0, 100), (0, math.inf)).longest_dimension() == 1
+
+    def test_is_bounded(self):
+        assert rect((0, 1), (0, 1)).is_bounded
+        assert not rect((0, math.inf), (0, 1)).is_bounded
+
+
+class TestConversions:
+    def test_to_arrays(self):
+        lows, highs = rect((0, 1), (2, 3)).to_arrays()
+        assert lows.tolist() == [0.0, 2.0]
+        assert highs.tolist() == [1.0, 3.0]
+
+    def test_hashable(self):
+        assert len({rect((0, 1), (0, 1)), rect((0, 1), (0, 1))}) == 1

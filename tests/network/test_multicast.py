@@ -1,0 +1,107 @@
+"""Unit tests for the delivery cost model and tallies."""
+
+import pytest
+
+from repro.network import CostTally, DeliveryCostModel
+
+
+class TestCostTally:
+    def test_empty_tally(self):
+        tally = CostTally()
+        assert tally.improvement_percent == 100.0  # degenerate: 0 == 0
+        assert tally.average_message_cost == 0.0
+
+    def test_add_accumulates(self):
+        tally = CostTally()
+        tally.add(5.0, 10.0, 4.0, recipients=3, used_multicast=True)
+        tally.add(7.0, 8.0, 6.0, recipients=2, used_multicast=False)
+        assert tally.messages == 2
+        assert tally.deliveries == 5
+        assert tally.scheme == 12.0
+        assert tally.multicasts_sent == 1
+        assert tally.unicasts_sent == 1
+
+    def test_improvement_formula(self):
+        tally = CostTally()
+        # unicast 10, ideal 4, scheme 7 => (10-7)/(10-4) = 50%
+        tally.add(7.0, 10.0, 4.0, recipients=1, used_multicast=True)
+        assert tally.improvement_percent == pytest.approx(50.0)
+
+    def test_improvement_at_bounds(self):
+        unicast_like = CostTally()
+        unicast_like.add(10.0, 10.0, 4.0, 1, False)
+        assert unicast_like.improvement_percent == pytest.approx(0.0)
+        ideal_like = CostTally()
+        ideal_like.add(4.0, 10.0, 4.0, 1, True)
+        assert ideal_like.improvement_percent == pytest.approx(100.0)
+
+    def test_improvement_can_be_negative(self):
+        tally = CostTally()
+        tally.add(16.0, 10.0, 4.0, 1, True)  # multicast waste cost more
+        assert tally.improvement_percent == pytest.approx(-100.0)
+
+    def test_skip_counts_message_only(self):
+        tally = CostTally()
+        tally.skip()
+        assert tally.messages == 1
+        assert tally.deliveries == 0
+
+    def test_merge(self):
+        a = CostTally()
+        a.add(5.0, 10.0, 4.0, 2, True)
+        b = CostTally()
+        b.add(3.0, 6.0, 2.0, 1, False)
+        b.skip()
+        merged = a.merge(b)
+        assert merged.messages == 3
+        assert merged.scheme == 8.0
+        assert merged.unicast == 16.0
+        assert merged.multicasts_sent == 1
+        assert merged.unicasts_sent == 1
+
+    def test_average_message_cost(self):
+        tally = CostTally()
+        tally.add(6.0, 10.0, 4.0, 1, True)
+        tally.skip()
+        assert tally.average_message_cost == pytest.approx(3.0)
+
+
+class TestDeliveryCostModel:
+    def test_unicast_vs_multicast_ordering(self, small_topology, rng):
+        model = DeliveryCostModel(small_topology)
+        nodes = small_topology.all_stub_nodes()
+        for _ in range(10):
+            source = int(rng.choice(nodes))
+            members = rng.choice(nodes, size=10, replace=False).tolist()
+            multicast = model.multicast_cost(source, members)
+            unicast = model.unicast_cost(source, members)
+            ideal = model.ideal_cost(source, members)
+            assert multicast <= unicast + 1e-9
+            # The "ideal" for exactly these recipients equals the
+            # group tree when the group is exactly the recipients.
+            assert ideal == pytest.approx(multicast)
+
+    def test_ideal_subset_cheaper(self, small_topology):
+        model = DeliveryCostModel(small_topology)
+        nodes = small_topology.all_stub_nodes()
+        group = nodes[:20]
+        interested = nodes[:5]
+        assert model.ideal_cost(nodes[-1], interested) <= (
+            model.multicast_cost(nodes[-1], group) + 1e-9
+        )
+
+    def test_group_tree_memoized(self, small_topology):
+        model = DeliveryCostModel(small_topology)
+        nodes = small_topology.all_stub_nodes()
+        members = nodes[:15]
+        first = model.multicast_cost(nodes[-1], members)
+        assert (nodes[-1], frozenset(members)) in model._group_tree_cache
+        second = model.multicast_cost(nodes[-1], list(reversed(members)))
+        assert first == second
+        model.clear_cache()
+        assert not model._group_tree_cache
+
+    def test_empty_recipient_list(self, small_topology):
+        model = DeliveryCostModel(small_topology)
+        assert model.unicast_cost(0, []) == 0.0
+        assert model.ideal_cost(0, []) == 0.0

@@ -1,0 +1,83 @@
+"""Unit tests for application-level (overlay) multicast."""
+
+import networkx as nx
+import pytest
+
+from repro.network import DeliveryCostModel
+from repro.network.topology import Topology
+
+
+def line_topology():
+    """0 -- 1 -- 2 -- 3, unit costs."""
+    graph = nx.Graph()
+    for i in range(3):
+        graph.add_edge(i, i + 1, cost=1.0)
+    for node in graph.nodes():
+        graph.nodes[node].update(kind="stub", block=0, stub=0)
+    return Topology(
+        graph=graph,
+        transit_nodes=[[]],
+        stub_members=[[0, 1, 2, 3]],
+        stub_block=[0],
+    )
+
+
+@pytest.fixture(scope="module")
+def overlay(small_topology):
+    return DeliveryCostModel(small_topology, multicast_mode="overlay")
+
+
+class TestOverlayMode:
+    def test_line_overlay_cost(self):
+        model = DeliveryCostModel(line_topology(), multicast_mode="overlay")
+        # Members {1,2,3}: overlay MST = (1-2) + (2-3) = 2; entry from
+        # publisher 0 = dist(0,1) = 1.
+        assert model.multicast_cost(0, [1, 2, 3]) == pytest.approx(3.0)
+
+    def test_publisher_inside_group_skips_entry(self):
+        model = DeliveryCostModel(line_topology(), multicast_mode="overlay")
+        assert model.multicast_cost(1, [1, 2, 3]) == pytest.approx(2.0)
+
+    def test_single_member_group(self, overlay, small_topology):
+        nodes = small_topology.all_stub_nodes()
+        cost = overlay.multicast_cost(nodes[0], [nodes[5]])
+        assert cost == pytest.approx(
+            overlay.routing.distance(nodes[0], nodes[5])
+        )
+
+    def test_overlay_at_least_router_multicast_for_spread_groups(
+        self, small_topology, rng
+    ):
+        """Across scattered groups the overlay pays shared physical
+        links repeatedly, so on aggregate it costs at least as much as
+        dense-mode router multicast."""
+        dense = DeliveryCostModel(small_topology, multicast_mode="dense")
+        overlay = DeliveryCostModel(
+            small_topology, multicast_mode="overlay"
+        )
+        nodes = small_topology.all_stub_nodes()
+        dense_total = 0.0
+        overlay_total = 0.0
+        for _ in range(20):
+            source = int(rng.choice(nodes))
+            members = rng.choice(nodes, size=12, replace=False).tolist()
+            dense_total += dense.multicast_cost(source, members)
+            overlay_total += overlay.multicast_cost(source, members)
+        assert overlay_total >= dense_total * 0.95
+
+    def test_memoization(self, small_topology):
+        model = DeliveryCostModel(small_topology, multicast_mode="overlay")
+        members = small_topology.all_stub_nodes()[:8]
+        first = model.multicast_cost(0, members)
+        assert model._overlay_tree_cache
+        assert model.multicast_cost(0, list(reversed(members))) == first
+        model.clear_cache()
+        assert not model._overlay_tree_cache
+
+    def test_empty_group_rejected(self, overlay):
+        with pytest.raises(ValueError):
+            overlay._overlay_tree_cost(frozenset())
+
+    def test_unknown_mode_rejected(self, small_topology):
+        with pytest.raises(ValueError):
+            DeliveryCostModel(small_topology, multicast_mode="flooding")

@@ -1,0 +1,167 @@
+"""Unit tests for shortest-path routing."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.network import RoutingTable
+
+
+@pytest.fixture(scope="module")
+def line_graph():
+    """0 -1- 1 -2- 2 -3- 3 (edge costs equal their right endpoint)."""
+    graph = nx.Graph()
+    for i in range(3):
+        graph.add_edge(i, i + 1, cost=float(i + 1))
+    return graph
+
+
+@pytest.fixture(scope="module")
+def diamond():
+    """Two routes 0->3: via 1 (cost 2) and via 2 (cost 10)."""
+    graph = nx.Graph()
+    graph.add_edge(0, 1, cost=1.0)
+    graph.add_edge(1, 3, cost=1.0)
+    graph.add_edge(0, 2, cost=5.0)
+    graph.add_edge(2, 3, cost=5.0)
+    return graph
+
+
+class TestDistances:
+    def test_line_distances(self, line_graph):
+        table = RoutingTable(line_graph)
+        assert table.distance(0, 3) == 6.0
+        assert table.distance(3, 0) == 6.0
+        assert table.distance(1, 1) == 0.0
+
+    def test_shortest_route_chosen(self, diamond):
+        table = RoutingTable(diamond)
+        assert table.distance(0, 3) == 2.0
+
+    def test_matches_networkx(self, small_topology):
+        table = RoutingTable(small_topology.graph)
+        expected = dict(
+            nx.all_pairs_dijkstra_path_length(
+                small_topology.graph, weight="cost"
+            )
+        )
+        nodes = list(small_topology.graph.nodes())[:10]
+        for u in nodes:
+            for v in nodes:
+                assert table.distance(u, v) == pytest.approx(expected[u][v])
+
+    def test_negative_cost_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, cost=-1.0)
+        with pytest.raises(ValueError):
+            RoutingTable(graph)
+
+
+class TestPaths:
+    def test_path_endpoints(self, diamond):
+        table = RoutingTable(diamond)
+        path = table.path(0, 3)
+        assert path[0] == 0 and path[-1] == 3
+        assert path == [0, 1, 3]
+
+    def test_path_to_self(self, diamond):
+        assert RoutingTable(diamond).path(2, 2) == [2]
+
+    def test_path_cost_equals_distance(self, small_topology):
+        table = RoutingTable(small_topology.graph)
+        nodes = list(small_topology.graph.nodes())
+        for u, v in [(nodes[0], nodes[-1]), (nodes[3], nodes[7])]:
+            path = table.path(u, v)
+            total = sum(
+                table.edge_cost(a, b) for a, b in zip(path, path[1:])
+            )
+            assert total == pytest.approx(table.distance(u, v))
+
+    def test_edge_cost_rejects_non_edges(self, diamond):
+        table = RoutingTable(diamond)
+        with pytest.raises(ValueError):
+            table.edge_cost(1, 2)
+
+
+class TestAggregateCosts:
+    def test_unicast_cost_sums_distances(self, diamond):
+        table = RoutingTable(diamond)
+        assert table.unicast_cost(0, [1, 2, 3]) == pytest.approx(
+            1.0 + 5.0 + 2.0
+        )
+
+    def test_unicast_cost_empty(self, diamond):
+        assert RoutingTable(diamond).unicast_cost(0, []) == 0.0
+
+    def test_unicast_counts_shared_links_repeatedly(self, line_graph):
+        # 0->2 and 0->3 both cross edges (0,1) and (1,2).
+        table = RoutingTable(line_graph)
+        assert table.unicast_cost(0, [2, 3]) == pytest.approx(3.0 + 6.0)
+
+    def test_tree_cost_pays_shared_links_once(self, line_graph):
+        table = RoutingTable(line_graph)
+        assert table.shortest_path_tree_cost(0, [2, 3]) == pytest.approx(6.0)
+
+    def test_tree_cost_single_target_equals_distance(self, small_topology):
+        table = RoutingTable(small_topology.graph)
+        nodes = list(small_topology.graph.nodes())
+        for target in nodes[:8]:
+            assert table.shortest_path_tree_cost(
+                nodes[-1], [target]
+            ) == pytest.approx(table.distance(nodes[-1], target))
+
+    def test_tree_cost_at_most_unicast(self, small_topology, rng):
+        table = RoutingTable(small_topology.graph)
+        nodes = list(small_topology.graph.nodes())
+        for _ in range(20):
+            source = int(rng.choice(nodes))
+            targets = rng.choice(nodes, size=8, replace=False).tolist()
+            tree = table.shortest_path_tree_cost(source, targets)
+            unicast = table.unicast_cost(source, targets)
+            assert tree <= unicast + 1e-9
+
+    def test_tree_cost_at_least_max_distance(self, small_topology, rng):
+        # The tree must at least reach the farthest target.
+        table = RoutingTable(small_topology.graph)
+        nodes = list(small_topology.graph.nodes())
+        source = nodes[0]
+        targets = nodes[5:15]
+        tree = table.shortest_path_tree_cost(source, targets)
+        farthest = max(table.distance(source, t) for t in targets)
+        assert tree >= farthest - 1e-9
+
+    def test_tree_edges_form_tree(self, small_topology):
+        table = RoutingTable(small_topology.graph)
+        nodes = list(small_topology.graph.nodes())
+        edges = table.tree_edges(nodes[0], nodes[1:20])
+        graph = nx.Graph(edges)
+        assert nx.is_tree(graph) or len(edges) == 0
+        for target in nodes[1:20]:
+            assert graph.has_node(target)
+
+    def test_tree_cost_matches_tree_edges(self, small_topology):
+        table = RoutingTable(small_topology.graph)
+        nodes = list(small_topology.graph.nodes())
+        targets = nodes[1:25]
+        cost = table.shortest_path_tree_cost(nodes[0], targets)
+        edges = table.tree_edges(nodes[0], targets)
+        assert cost == pytest.approx(
+            sum(table.edge_cost(u, v) for u, v in edges)
+        )
+
+    def test_target_equal_to_source_costs_nothing(self, diamond):
+        table = RoutingTable(diamond)
+        assert table.shortest_path_tree_cost(0, [0]) == 0.0
+
+    def test_eccentricity(self, line_graph):
+        assert RoutingTable(line_graph).eccentricity(0) == 6.0
+
+
+class TestRelabelling:
+    def test_non_contiguous_labels(self):
+        graph = nx.Graph()
+        graph.add_edge(10, 20, cost=1.0)
+        graph.add_edge(20, 30, cost=2.0)
+        table = RoutingTable(graph)
+        # Relabelled to 0..2 in sorted order.
+        assert table.distance(0, 2) == 3.0

@@ -1,0 +1,109 @@
+"""Unit tests for sparse-mode (shared-tree) multicast."""
+
+import pytest
+
+from repro.network import DeliveryCostModel
+
+
+@pytest.fixture(scope="module")
+def dense(small_topology):
+    return DeliveryCostModel(small_topology, multicast_mode="dense")
+
+
+@pytest.fixture(scope="module")
+def sparse(small_topology):
+    return DeliveryCostModel(small_topology, multicast_mode="sparse")
+
+
+class TestSparseMode:
+    def test_mode_validation(self, small_topology):
+        with pytest.raises(ValueError):
+            DeliveryCostModel(small_topology, multicast_mode="pim")
+
+    def test_rendezvous_is_a_member(self, sparse, small_topology):
+        members = small_topology.all_stub_nodes()[:12]
+        assert sparse.rendezvous_point(members) in members
+
+    def test_rendezvous_minimizes_member_distance(
+        self, sparse, small_topology
+    ):
+        members = small_topology.all_stub_nodes()[:12]
+        rendezvous = sparse.rendezvous_point(members)
+        best = min(
+            sparse.routing.unicast_cost(m, members) for m in members
+        )
+        assert sparse.routing.unicast_cost(
+            rendezvous, members
+        ) == pytest.approx(best)
+
+    def test_sparse_usually_costs_more_than_dense(
+        self, dense, sparse, small_topology, rng
+    ):
+        """The shared tree adds a publisher->RP detour, so it loses to
+        the publisher-rooted SPT *on average* (not per draw — neither
+        tree is Steiner-minimal, so individual draws can go either
+        way)."""
+        nodes = small_topology.all_stub_nodes()
+        sparse_total = 0.0
+        dense_total = 0.0
+        for _ in range(25):
+            source = int(rng.choice(nodes))
+            members = rng.choice(nodes, size=10, replace=False).tolist()
+            sparse_cost = sparse.multicast_cost(source, members)
+            dense_cost = dense.multicast_cost(source, members)
+            sparse_total += sparse_cost
+            dense_total += dense_cost
+            # Sanity envelope: the detour can't blow costs up wildly.
+            assert sparse_cost <= 3.0 * dense_cost
+        assert sparse_total >= dense_total
+
+    def test_sparse_cost_decomposition(self, sparse, small_topology):
+        nodes = small_topology.all_stub_nodes()
+        members = nodes[:10]
+        source = nodes[-1]
+        rendezvous = sparse.rendezvous_point(members)
+        expected = sparse.routing.distance(
+            source, rendezvous
+        ) + sparse.routing.shortest_path_tree_cost(rendezvous, members)
+        assert sparse.multicast_cost(source, members) == pytest.approx(
+            expected
+        )
+
+    def test_publishing_from_rendezvous_is_free_detour(
+        self, sparse, small_topology
+    ):
+        members = small_topology.all_stub_nodes()[:10]
+        rendezvous = sparse.rendezvous_point(members)
+        tree_only = sparse.routing.shortest_path_tree_cost(
+            rendezvous, members
+        )
+        assert sparse.multicast_cost(
+            rendezvous, members
+        ) == pytest.approx(tree_only)
+
+    def test_shared_tree_source_independent(self, sparse, small_topology):
+        """Sparse state is per-group: the tree part must not depend on
+        the publisher."""
+        nodes = small_topology.all_stub_nodes()
+        members = nodes[:8]
+        costs = {
+            source: sparse.multicast_cost(source, members)
+            - sparse.routing.distance(
+                source, sparse.rendezvous_point(members)
+            )
+            for source in nodes[20:25]
+        }
+        values = list(costs.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+
+    def test_clear_cache_clears_shared_trees(self, small_topology):
+        model = DeliveryCostModel(small_topology, multicast_mode="sparse")
+        members = small_topology.all_stub_nodes()[:5]
+        model.multicast_cost(0, members)
+        assert model._shared_tree_cache
+        model.clear_cache()
+        assert not model._shared_tree_cache
+
+    def test_empty_group_rejected(self, sparse):
+        with pytest.raises(ValueError):
+            sparse.rendezvous_point([])

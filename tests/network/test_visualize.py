@@ -1,0 +1,59 @@
+"""Unit tests for the DOT topology export."""
+
+import pytest
+
+from repro.network.visualize import topology_to_dot, write_dot
+
+
+class TestDotExport:
+    def test_document_structure(self, small_topology):
+        dot = topology_to_dot(small_topology)
+        assert dot.startswith("graph topology {")
+        assert dot.rstrip().endswith("}")
+
+    def test_all_nodes_present_by_default(self, small_topology):
+        dot = topology_to_dot(small_topology)
+        for node in small_topology.graph.nodes():
+            assert f"n{node} [" in dot
+
+    def test_transit_nodes_are_squares(self, small_topology):
+        dot = topology_to_dot(small_topology)
+        for node in small_topology.all_transit_nodes():
+            line = next(
+                l for l in dot.splitlines() if l.strip().startswith(f"n{node} [")
+            )
+            assert "square" in line
+
+    def test_backbone_only_view(self, small_topology):
+        dot = topology_to_dot(small_topology, include_stub_nodes=False)
+        # One collapsed node per stub, linked to its gateway.
+        for stub in range(small_topology.num_stubs):
+            assert f"s{stub} [" in dot
+            gateway = small_topology.stub_gateway_transit(stub)
+            assert f"n{gateway} -- s{stub};" in dot
+        # No individual stub-node circles.
+        for node in small_topology.all_stub_nodes():
+            assert f"n{node} [" not in dot
+
+    def test_truncated_stub_view(self, small_topology):
+        dot = topology_to_dot(small_topology, max_stub_nodes_per_stub=2)
+        drawn = sum(
+            1
+            for node in small_topology.all_stub_nodes()
+            if f"n{node} [" in dot
+        )
+        assert drawn == 2 * small_topology.num_stubs
+
+    def test_edges_between_drawn_nodes_only(self, small_topology):
+        dot = topology_to_dot(small_topology, include_stub_nodes=False)
+        # Every backbone edge appears; stub-internal edges do not.
+        for u, v, _ in small_topology.graph.edges(data=True):
+            u_kind = small_topology.graph.nodes[u]["kind"]
+            v_kind = small_topology.graph.nodes[v]["kind"]
+            present = f"n{u} -- n{v} [" in dot or f"n{v} -- n{u} [" in dot
+            assert present == (u_kind == v_kind == "transit")
+
+    def test_write_dot(self, small_topology, tmp_path):
+        path = write_dot(small_topology, tmp_path / "topo.dot")
+        assert path.exists()
+        assert "graph topology" in path.read_text()

@@ -1,0 +1,112 @@
+"""Unit tests for the broker overlay."""
+
+import networkx as nx
+import pytest
+
+from repro.relay import BrokerOverlay
+
+
+@pytest.fixture(scope="module")
+def overlay(small_topology):
+    return BrokerOverlay(small_topology)
+
+
+class TestStructure:
+    def test_brokers_are_transit_nodes(self, overlay, small_topology):
+        assert overlay.brokers == small_topology.all_transit_nodes()
+
+    def test_tree_link_count(self, overlay):
+        assert overlay.num_links == len(overlay.brokers) - 1
+
+    def test_adjacency_is_symmetric(self, overlay):
+        for broker in overlay.brokers:
+            for neighbor in overlay.neighbors(broker):
+                assert broker in overlay.neighbors(neighbor)
+
+    def test_tree_is_acyclic_and_connected(self, overlay):
+        graph = nx.Graph()
+        graph.add_nodes_from(overlay.brokers)
+        for broker in overlay.brokers:
+            for neighbor in overlay.neighbors(broker):
+                graph.add_edge(broker, neighbor)
+        assert nx.is_tree(graph)
+
+    def test_link_costs_match_topology(self, overlay, small_topology):
+        for broker in overlay.brokers:
+            for neighbor in overlay.neighbors(broker):
+                assert overlay.link_cost(
+                    broker, neighbor
+                ) == pytest.approx(
+                    small_topology.edge_cost(broker, neighbor)
+                )
+
+    def test_link_cost_rejects_non_links(self, overlay):
+        brokers = overlay.brokers
+        non_neighbors = [
+            (a, b)
+            for a in brokers
+            for b in brokers
+            if a != b and b not in overlay.neighbors(a)
+        ]
+        if non_neighbors:
+            with pytest.raises(ValueError):
+                overlay.link_cost(*non_neighbors[0])
+
+
+class TestPaths:
+    def test_next_hop_walks_reach_target(self, overlay):
+        for source in overlay.brokers:
+            for target in overlay.brokers:
+                if source == target:
+                    continue
+                path = overlay.tree_path(source, target)
+                assert path[0] == source
+                assert path[-1] == target
+                assert len(path) <= len(overlay.brokers)
+                # Consecutive entries are overlay links.
+                for a, b in zip(path, path[1:]):
+                    assert b in overlay.neighbors(a)
+
+    def test_paths_are_symmetric(self, overlay):
+        brokers = overlay.brokers
+        path = overlay.tree_path(brokers[0], brokers[-1])
+        back = overlay.tree_path(brokers[-1], brokers[0])
+        assert path == list(reversed(back))
+
+    def test_next_hop_at_destination_rejected(self, overlay):
+        with pytest.raises(ValueError):
+            overlay.next_hop(overlay.brokers[0], overlay.brokers[0])
+
+
+class TestAttachments:
+    def test_stub_nodes_attach_to_gateway(self, overlay, small_topology):
+        for stub, members in enumerate(small_topology.stub_members):
+            gateway = small_topology.stub_gateway_transit(stub)
+            for node in members:
+                assert overlay.broker_of(node) == gateway
+
+    def test_transit_nodes_self_host(self, overlay, small_topology):
+        for broker in small_topology.all_transit_nodes():
+            assert overlay.broker_of(broker) == broker
+
+    def test_access_cost_positive_for_clients(
+        self, overlay, small_topology
+    ):
+        for node in small_topology.all_stub_nodes()[:10]:
+            assert overlay.access_cost(node) > 0.0
+
+    def test_gateway_inference_without_stored_owner(self, small_topology):
+        """Deserialized pre-stub_owner topologies still resolve."""
+        from repro.network.topology import Topology
+
+        stripped = Topology(
+            graph=small_topology.graph,
+            transit_nodes=small_topology.transit_nodes,
+            stub_members=small_topology.stub_members,
+            stub_block=small_topology.stub_block,
+            stub_owner=[],
+        )
+        for stub in range(stripped.num_stubs):
+            assert stripped.stub_gateway_transit(
+                stub
+            ) == small_topology.stub_gateway_transit(stub)

@@ -1,0 +1,198 @@
+"""Unit and integration tests for content-based routing."""
+
+import numpy as np
+import pytest
+
+from repro.core import MatchingEngine, SubscriptionTable
+from repro.geometry import Rectangle
+from repro.relay import (
+    BrokerOverlay,
+    ContentRouter,
+    RelayDeliveryService,
+)
+
+
+@pytest.fixture(scope="module")
+def service_exact(small_topology, small_table):
+    return RelayDeliveryService(
+        small_topology, small_table, aggregation="exact"
+    )
+
+
+@pytest.fixture(scope="module")
+def service_mbr(small_topology, small_table):
+    return RelayDeliveryService(
+        small_topology, small_table, aggregation="mbr"
+    )
+
+
+@pytest.fixture(scope="module")
+def service_covering(small_topology, small_table):
+    return RelayDeliveryService(
+        small_topology, small_table, aggregation="covering"
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(small_table):
+    return MatchingEngine(small_table)
+
+
+class TestRoutingCorrectness:
+    @pytest.mark.parametrize("aggregation", ["exact", "covering", "mbr"])
+    def test_delivers_exactly_the_interested(
+        self,
+        small_topology,
+        small_table,
+        small_events,
+        reference,
+        aggregation,
+        request,
+    ):
+        service = request.getfixturevalue(f"service_{aggregation}")
+        points, publishers = small_events
+        for point, publisher in zip(points[:80], publishers[:80]):
+            outcome = service.router.route(point, int(publisher))
+            expected = tuple(
+                n
+                for n in reference.match_point(point).subscribers
+                if n != publisher
+            )
+            assert outcome.subscribers == expected
+
+    def test_no_subscriber_no_delivery_but_injection_possible(
+        self, service_exact, small_topology
+    ):
+        far_point = [1e6, 1e6, 1e6, 1e6]
+        publisher = small_topology.all_stub_nodes()[0]
+        outcome = service_exact.router.route(far_point, publisher)
+        assert outcome.subscribers == ()
+        # Injection to the broker still happened (decentralized
+        # matching cannot know in advance), but no further flooding:
+        # exact summaries kill the event at the entry broker...
+        assert outcome.brokers_visited >= 1
+
+    def test_point_arity_validated(self, service_exact):
+        with pytest.raises(ValueError):
+            service_exact.router.route([1.0], 0)
+
+    def test_aggregation_validated(self, small_topology, small_table):
+        overlay = BrokerOverlay(small_topology)
+        with pytest.raises(ValueError):
+            ContentRouter(overlay, small_table, aggregation="bloom")
+
+
+class TestCoveringAggregation:
+    def test_lossless_same_forwarding(
+        self, service_exact, service_covering, small_events
+    ):
+        """Covering aggregation must never change which links fire."""
+        points, publishers = small_events
+        for point, publisher in zip(points[:60], publishers[:60]):
+            exact = service_exact.router.route(point, int(publisher))
+            covering = service_covering.router.route(
+                point, int(publisher)
+            )
+            assert covering.links_crossed == exact.links_crossed
+            assert covering.total_cost == pytest.approx(
+                exact.total_cost
+            )
+
+    def test_strictly_less_state(self, service_exact, service_covering):
+        assert (
+            service_covering.router.state_entries()
+            < service_exact.router.state_entries()
+        )
+
+    def test_uncovered_mask_semantics(self):
+        import numpy as np
+
+        from repro.relay.router import _uncovered_mask
+
+        lows = np.array(
+            [[0.0, 0.0], [1.0, 1.0], [0.0, 0.0], [5.0, 5.0]]
+        )
+        highs = np.array(
+            [[10.0, 10.0], [2.0, 2.0], [10.0, 10.0], [6.0, 20.0]]
+        )
+        mask = _uncovered_mask(lows, highs)
+        # Row 1 is inside row 0; row 2 duplicates row 0 (first kept);
+        # row 3 pokes outside row 0 in dim 1.
+        assert mask.tolist() == [True, False, False, True]
+
+    def test_singleton(self):
+        import numpy as np
+
+        from repro.relay.router import _uncovered_mask
+
+        assert _uncovered_mask(
+            np.zeros((1, 2)), np.ones((1, 2))
+        ).tolist() == [True]
+
+
+class TestStateAndTraffic:
+    def test_mbr_state_is_per_link(self, service_exact, service_mbr):
+        exact_state = service_exact.router.state_entries()
+        mbr_state = service_mbr.router.state_entries()
+        assert mbr_state <= service_mbr.overlay.num_links * 2
+        assert exact_state > mbr_state
+
+    def test_mbr_forwards_at_least_exact(
+        self, service_exact, service_mbr, small_events
+    ):
+        """MBR summaries can only add false-positive forwarding."""
+        points, publishers = small_events
+        for point, publisher in zip(points[:60], publishers[:60]):
+            exact = service_exact.router.route(point, int(publisher))
+            mbr = service_mbr.router.route(point, int(publisher))
+            assert mbr.links_crossed >= exact.links_crossed
+            assert mbr.total_cost >= exact.total_cost - 1e-9
+
+    def test_costs_charged_for_links(self, service_exact, small_events):
+        points, publishers = small_events
+        outcome = service_exact.router.route(points[0], int(publishers[0]))
+        # The cost at least covers injection; links and access add more.
+        injection = service_exact.overlay.access_cost(int(publishers[0]))
+        assert outcome.total_cost >= injection - 1e-9
+
+
+class TestRelayDeliveryService:
+    def test_tally_reference_consistency(
+        self, service_exact, small_events
+    ):
+        points, publishers = small_events
+        tally, outcomes = service_exact.run(points, publishers)
+        assert tally.messages == len(points)
+        assert len(outcomes) == len(points)
+        assert tally.deliveries == sum(o.delivered for o in outcomes)
+        # Exact relay routes along near-shortest-path structures; the
+        # improvement must be large and can approach (but never pass)
+        # the ideal bound.
+        assert tally.improvement_percent <= 100.0 + 1e-9
+
+    def test_input_validation(self, service_exact):
+        with pytest.raises(ValueError):
+            service_exact.run(np.zeros((2, 4)), [1])
+
+    def test_dedicated_scenario_costs(self, small_topology):
+        """Hand-checkable: one subscriber, one publisher."""
+        table = SubscriptionTable(4)
+        subscriber = small_topology.all_stub_nodes()[-1]
+        table.add(subscriber, Rectangle.full(4))
+        service = RelayDeliveryService(small_topology, table)
+        publisher = small_topology.all_stub_nodes()[0]
+        outcome = service.router.route([0.0, 0.0, 0.0, 0.0], publisher)
+        assert outcome.subscribers == (subscriber,)
+        # Path: publisher->its broker, broker tree path, broker->subscriber.
+        overlay = service.overlay
+        expected = overlay.access_cost(publisher)
+        path = overlay.tree_path(
+            overlay.broker_of(publisher), overlay.broker_of(subscriber)
+        )
+        expected += sum(
+            overlay.link_cost(a, b) for a, b in zip(path, path[1:])
+        )
+        expected += overlay.routing.distance(
+            overlay.broker_of(subscriber), subscriber
+        )
+        assert outcome.total_cost == pytest.approx(expected)

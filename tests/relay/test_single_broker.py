@@ -1,0 +1,57 @@
+"""Relay behavior on degenerate overlays (one broker, no links)."""
+
+import pytest
+
+from repro.core import SubscriptionTable
+from repro.geometry import Rectangle
+from repro.network import TransitStubGenerator, TransitStubParams
+from repro.relay import BrokerOverlay, RelayDeliveryService
+
+
+@pytest.fixture(scope="module")
+def single_broker_topology():
+    params = TransitStubParams(
+        transit_blocks=1,
+        transit_nodes_per_block=1,
+        stubs_per_transit_node=2,
+        nodes_per_stub=5,
+        size_spread=0,
+    )
+    return TransitStubGenerator(params, seed=9).generate()
+
+
+class TestSingleBrokerOverlay:
+    def test_no_links(self, single_broker_topology):
+        overlay = BrokerOverlay(single_broker_topology)
+        assert len(overlay.brokers) == 1
+        assert overlay.num_links == 0
+        assert overlay.neighbors(overlay.brokers[0]) == []
+
+    def test_tree_path_to_self(self, single_broker_topology):
+        overlay = BrokerOverlay(single_broker_topology)
+        broker = overlay.brokers[0]
+        assert overlay.tree_path(broker, broker) == [broker]
+
+    def test_routing_still_delivers(self, single_broker_topology):
+        table = SubscriptionTable(2)
+        nodes = single_broker_topology.all_stub_nodes()
+        table.add(nodes[0], Rectangle.cube(0.0, 10.0, 2))
+        table.add(nodes[3], Rectangle.cube(5.0, 15.0, 2))
+        service = RelayDeliveryService(single_broker_topology, table)
+        outcome = service.router.route([7.0, 7.0], nodes[-1])
+        assert outcome.subscribers == tuple(sorted((nodes[0], nodes[3])))
+        assert outcome.links_crossed == 0
+        assert outcome.brokers_visited == 1
+
+    def test_costs_are_pure_access_paths(self, single_broker_topology):
+        table = SubscriptionTable(2)
+        nodes = single_broker_topology.all_stub_nodes()
+        table.add(nodes[0], Rectangle.cube(0.0, 10.0, 2))
+        service = RelayDeliveryService(single_broker_topology, table)
+        publisher = nodes[-1]
+        outcome = service.router.route([5.0, 5.0], publisher)
+        overlay = service.overlay
+        expected = overlay.access_cost(publisher) + overlay.routing.distance(
+            overlay.broker_of(nodes[0]), nodes[0]
+        )
+        assert outcome.total_cost == pytest.approx(expected)

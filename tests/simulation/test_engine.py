@@ -1,0 +1,100 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation import DiscreteEventSimulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = DiscreteEventSimulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_is_fifo(self):
+        sim = DiscreteEventSimulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, lambda l=label: order.append(l))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_times(self):
+        sim = DiscreteEventSimulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        final = sim.run()
+        assert seen == [2.5, 5.0]
+        assert final == 5.0
+
+    def test_nested_scheduling(self):
+        sim = DiscreteEventSimulator()
+        times = []
+
+        def first():
+            times.append(sim.now)
+            sim.schedule(4.0, lambda: times.append(sim.now))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert times == [1.0, 5.0]
+
+    def test_schedule_at_absolute_time(self):
+        sim = DiscreteEventSimulator()
+        times = []
+        sim.schedule_at(7.0, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [7.0]
+
+    def test_negative_delay_rejected(self):
+        sim = DiscreteEventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = DiscreteEventSimulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+
+class TestRunUntil:
+    def test_stops_before_later_events(self):
+        sim = DiscreteEventSimulator()
+        ran = []
+        sim.schedule(1.0, lambda: ran.append(1))
+        sim.schedule(10.0, lambda: ran.append(10))
+        final = sim.run(until=5.0)
+        assert ran == [1]
+        assert final == 5.0
+        assert sim.pending == 1
+
+    def test_resume_after_partial_run(self):
+        sim = DiscreteEventSimulator()
+        ran = []
+        sim.schedule(1.0, lambda: ran.append(1))
+        sim.schedule(10.0, lambda: ran.append(10))
+        sim.run(until=5.0)
+        sim.run()
+        assert ran == [1, 10]
+
+    def test_until_beyond_all_events_advances_clock(self):
+        sim = DiscreteEventSimulator()
+        sim.schedule(1.0, lambda: None)
+        final = sim.run(until=100.0)
+        assert final == 100.0
+
+    def test_counters(self):
+        sim = DiscreteEventSimulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        assert sim.pending == 5
+        sim.run()
+        assert sim.events_processed == 5
+        assert sim.pending == 0

@@ -1,0 +1,111 @@
+"""Unit tests for the Hilbert curve encoding."""
+
+import numpy as np
+import pytest
+
+from repro.spatial.hilbert import (
+    hilbert_index,
+    hilbert_indices,
+    quantize_to_lattice,
+)
+
+
+class TestHilbertIndex:
+    def test_2d_order1_visits_all_cells_once(self):
+        indices = {
+            hilbert_index((x, y), bits=1) for x in range(2) for y in range(2)
+        }
+        assert indices == {0, 1, 2, 3}
+
+    def test_2d_order1_canonical_order(self):
+        # The order-1 2-D Hilbert curve: (0,0) -> (0,1) -> (1,1) -> (1,0).
+        path = sorted(
+            ((x, y) for x in range(2) for y in range(2)),
+            key=lambda p: hilbert_index(p, bits=1),
+        )
+        assert path[0] == (0, 0)
+        assert path[-1] == (1, 0)
+        # Every hop moves by exactly one unit.
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_bijection_2d_order3(self):
+        seen = {
+            hilbert_index((x, y), bits=3)
+            for x in range(8)
+            for y in range(8)
+        }
+        assert seen == set(range(64))
+
+    def test_bijection_3d_order2(self):
+        seen = {
+            hilbert_index((x, y, z), bits=2)
+            for x in range(4)
+            for y in range(4)
+            for z in range(4)
+        }
+        assert seen == set(range(64))
+
+    def test_continuity_2d(self):
+        # Consecutive curve positions are unit-distance neighbours.
+        bits = 4
+        by_index = {}
+        for x in range(16):
+            for y in range(16):
+                by_index[hilbert_index((x, y), bits)] = (x, y)
+        for h in range(255):
+            a = by_index[h]
+            b = by_index[h + 1]
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            hilbert_index((4,), bits=2)  # 4 >= 2**2
+        with pytest.raises(ValueError):
+            hilbert_index((-1, 0), bits=2)
+        with pytest.raises(ValueError):
+            hilbert_index((0, 0), bits=0)
+        with pytest.raises(ValueError):
+            hilbert_index((), bits=2)
+
+    def test_one_dimension_is_identity(self):
+        for v in range(16):
+            assert hilbert_index((v,), bits=4) == v
+
+
+class TestBulkHelpers:
+    def test_hilbert_indices_matches_scalar(self, rng):
+        points = rng.integers(0, 8, size=(20, 3))
+        bulk = hilbert_indices(points, bits=3)
+        for row, h in zip(points, bulk):
+            assert hilbert_index(tuple(row), bits=3) == h
+
+    def test_hilbert_indices_requires_2d(self):
+        with pytest.raises(ValueError):
+            hilbert_indices(np.array([1, 2, 3]), bits=2)
+
+    def test_quantize_maps_to_full_range(self):
+        values = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        lattice = quantize_to_lattice(values, bits=4)
+        assert lattice.min() == 0
+        assert lattice.max() == 15
+        assert lattice[1, 0] == 8  # midpoint -> middle of lattice
+
+    def test_quantize_constant_dimension(self):
+        values = np.array([[1.0, 5.0], [2.0, 5.0]])
+        lattice = quantize_to_lattice(values, bits=3)
+        assert np.all(lattice[:, 1] == 0)
+
+    def test_quantize_handles_nonfinite(self):
+        values = np.array([[0.0], [np.inf], [10.0]])
+        lattice = quantize_to_lattice(values, bits=3)
+        assert lattice[1, 0] == 7  # clipped to the frame's top
+
+    def test_quantize_requires_2d(self):
+        with pytest.raises(ValueError):
+            quantize_to_lattice(np.array([1.0, 2.0]), bits=3)
+
+    def test_quantize_preserves_order(self, rng):
+        values = np.sort(rng.uniform(0, 100, size=(50, 1)), axis=0)
+        lattice = quantize_to_lattice(values, bits=8)
+        assert np.all(np.diff(lattice[:, 0]) >= 0)

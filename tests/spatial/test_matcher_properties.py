@@ -1,0 +1,113 @@
+"""Property-based cross-checks: every index answers like the brute force.
+
+This is the load-bearing invariant of the matching layer — all four
+backends are interchangeable implementations of the same point query.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial import (
+    GridIndexMatcher,
+    HilbertRTree,
+    LinearScanMatcher,
+    STree,
+    STreeParams,
+)
+
+coordinate = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+maybe_unbounded_low = st.one_of(coordinate, st.just(-np.inf))
+maybe_unbounded_high = st.one_of(coordinate, st.just(np.inf))
+
+
+@st.composite
+def rectangle_set(draw, ndim=2):
+    k = draw(st.integers(min_value=1, max_value=30))
+    lows = []
+    highs = []
+    for _ in range(k):
+        row_lo = []
+        row_hi = []
+        for _ in range(ndim):
+            a = draw(maybe_unbounded_low)
+            b = draw(maybe_unbounded_high)
+            lo, hi = (a, b) if a <= b else (b, a)
+            row_lo.append(lo)
+            row_hi.append(hi)
+        lows.append(row_lo)
+        highs.append(row_hi)
+    return np.array(lows), np.array(highs)
+
+
+@st.composite
+def query_points(draw, ndim=2):
+    return np.array([draw(coordinate) for _ in range(ndim)])
+
+
+def reference(lows, highs, point):
+    mask = np.all((lows < point) & (point <= highs), axis=1)
+    return sorted(np.flatnonzero(mask).tolist())
+
+
+@settings(max_examples=60, deadline=None)
+@given(rectangle_set(), query_points())
+def test_stree_equals_reference(rects, point):
+    lows, highs = rects
+    tree = STree.build(lows, highs, params=STreeParams(branch_factor=4))
+    assert tree.match(point) == reference(lows, highs, point)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rectangle_set(), query_points())
+def test_stree_longest_equals_reference(rects, point):
+    lows, highs = rects
+    tree = STree.build(
+        lows,
+        highs,
+        params=STreeParams(branch_factor=4, split_dimension="longest"),
+    )
+    assert tree.match(point) == reference(lows, highs, point)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rectangle_set(), query_points())
+def test_rtree_equals_reference(rects, point):
+    lows, highs = rects
+    tree = HilbertRTree.build(lows, highs, branch_factor=4)
+    assert tree.match(point) == reference(lows, highs, point)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rectangle_set(), query_points())
+def test_grid_equals_reference(rects, point):
+    lows, highs = rects
+    matcher = GridIndexMatcher.build(lows, highs, cells_per_dim=4)
+    assert matcher.match(point) == reference(lows, highs, point)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rectangle_set(), query_points())
+def test_linear_equals_reference(rects, point):
+    lows, highs = rects
+    matcher = LinearScanMatcher.build(lows, highs)
+    assert matcher.match(point) == reference(lows, highs, point)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rectangle_set(ndim=3), query_points(ndim=3))
+def test_all_backends_agree_3d(rects, point):
+    lows, highs = rects
+    results = {
+        "stree": STree.build(
+            lows, highs, params=STreeParams(branch_factor=4)
+        ).match(point),
+        "rtree": HilbertRTree.build(lows, highs, branch_factor=4).match(
+            point
+        ),
+        "grid": GridIndexMatcher.build(lows, highs).match(point),
+        "linear": LinearScanMatcher.build(lows, highs).match(point),
+    }
+    assert len({tuple(v) for v in results.values()}) == 1, results

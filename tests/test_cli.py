@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def testbed_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "testbed.json"
+    code = main(
+        [
+            "generate",
+            "--seed", "7",
+            "--subscriptions", "150",
+            "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_loadable_testbed(self, testbed_file):
+        from repro import load_testbed
+
+        topology, table = load_testbed(testbed_file)
+        assert topology.num_nodes > 100
+        assert len(table) == 150
+
+    def test_output_message(self, testbed_file, capsys):
+        main(
+            [
+                "generate",
+                "--seed", "8",
+                "--subscriptions", "10",
+                "--out", str(testbed_file.parent / "other.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "10 subscriptions" in out
+
+
+class TestRun:
+    def test_prints_tally(self, testbed_file, capsys):
+        code = main(
+            [
+                "run",
+                "--testbed", str(testbed_file),
+                "--groups", "5",
+                "--events", "100",
+                "--threshold", "0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "improvement over unicast" in out
+        assert "multicasts" in out
+
+    @pytest.mark.parametrize("algorithm", ["forgy", "kmeans", "pairwise", "mst"])
+    def test_all_algorithms_accepted(self, testbed_file, algorithm, capsys):
+        code = main(
+            [
+                "run",
+                "--testbed", str(testbed_file),
+                "--algorithm", algorithm,
+                "--groups", "4",
+                "--events", "50",
+            ]
+        )
+        assert code == 0
+
+
+class TestTune:
+    def test_prints_per_group_table(self, testbed_file, capsys):
+        code = main(
+            [
+                "tune",
+                "--testbed", str(testbed_file),
+                "--groups", "5",
+                "--events", "150",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-group thresholds" in out
+        assert "oracle bound" in out
+
+
+class TestDot:
+    def test_exports_renderable_dot(self, testbed_file, tmp_path, capsys):
+        out = tmp_path / "topo.dot"
+        code = main(
+            ["dot", "--testbed", str(testbed_file), "--out", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert text.startswith("graph topology {")
+        assert "wrote" in capsys.readouterr().out
+
+    def test_backbone_only(self, testbed_file, tmp_path):
+        out = tmp_path / "backbone.dot"
+        main(
+            [
+                "dot",
+                "--testbed", str(testbed_file),
+                "--out", str(out),
+                "--backbone-only",
+            ]
+        )
+        assert "stub " in out.read_text()
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_modes_rejected(self, testbed_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "run",
+                    "--testbed", str(testbed_file),
+                    "--modes", "7",
+                ]
+            )

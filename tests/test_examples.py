@@ -1,0 +1,55 @@
+"""Smoke tests for the example scripts.
+
+Each example must be importable (no module-level work) and expose a
+``main`` callable; the cheapest one is executed end to end.  The
+heavier examples are exercised indirectly — every API they touch is
+covered by the integration tests — so here we only guard against the
+repository's front door rotting.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def load_example(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[path.stem] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.stem for path in EXAMPLES}
+        assert {
+            "quickstart",
+            "stock_ticker",
+            "threshold_tuning",
+            "matching_showdown",
+            "group_efficiency",
+            "market_day_replay",
+        } <= names
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=lambda p: p.stem
+    )
+    def test_importable_with_main(self, path):
+        module = load_example(path)
+        assert callable(getattr(module, "main", None)), path.stem
+
+    def test_stock_ticker_runs(self, capsys):
+        module = load_example(
+            Path(__file__).parent.parent / "examples" / "stock_ticker.py"
+        )
+        module.main()
+        out = capsys.readouterr().out
+        assert "multicast to group" in out
+        assert "not sent" in out

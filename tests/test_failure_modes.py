@@ -1,0 +1,205 @@
+"""Failure-mode and pathological-input tests across the stack.
+
+Production code meets ugly inputs; these tests pin that every layer
+fails loudly (typed exceptions with useful messages) or degrades
+gracefully (empty results, catchall routing) — never silently wrong.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.clustering import EventGrid, ForgyKMeansClustering
+from repro.core import (
+    Event,
+    MatchingEngine,
+    PubSubBroker,
+    SubscriptionTable,
+    ThresholdPolicy,
+)
+from repro.geometry import Interval, Rectangle
+from repro.network import RoutingTable, TransitStubGenerator
+from repro.network.topology import Topology
+from repro.spatial import STree
+
+
+class TestDisconnectedNetworks:
+    @pytest.fixture()
+    def split_graph(self):
+        graph = nx.Graph()
+        graph.add_edge(0, 1, cost=1.0)
+        graph.add_edge(2, 3, cost=1.0)  # a second component
+        return graph
+
+    def test_unreachable_distance_is_infinite(self, split_graph):
+        table = RoutingTable(split_graph)
+        assert table.distance(0, 2) == math.inf
+
+    def test_unreachable_path_raises(self, split_graph):
+        table = RoutingTable(split_graph)
+        with pytest.raises(ValueError, match="no path"):
+            table.path(0, 2)
+
+    def test_unreachable_tree_raises(self, split_graph):
+        table = RoutingTable(split_graph)
+        with pytest.raises(ValueError, match="no path"):
+            table.shortest_path_tree_cost(0, [1, 2])
+
+
+class TestDegenerateSubscriptionSets:
+    def test_all_empty_rectangles_match_nothing(self):
+        table = SubscriptionTable(2)
+        for _ in range(5):
+            table.add(1, Rectangle((1.0, 1.0), (0.0, 0.0)))
+        engine = MatchingEngine(table)
+        assert engine.match_point([0.5, 0.5]).is_empty
+
+    def test_single_point_like_rectangles(self):
+        # One-ulp rectangles: still matchable at the closed end.
+        lo = 5.0
+        hi = np.nextafter(5.0, 6.0)
+        table = SubscriptionTable(1)
+        table.add(1, Rectangle((lo,), (hi,)))
+        engine = MatchingEngine(table)
+        assert engine.match_point([hi]).subscribers == (1,)
+        assert engine.match_point([lo]).is_empty
+
+    def test_huge_coordinates(self):
+        table = SubscriptionTable(2)
+        table.add(1, Rectangle((1e300, -1e300), (1e308, 1e300)))
+        engine = MatchingEngine(table)
+        assert engine.match_point([1e305, 0.0]).subscribers == (1,)
+
+    def test_grid_over_identical_rectangles(self):
+        rect = Rectangle.cube(0.0, 1.0, 2)
+        grid = EventGrid([rect] * 50, list(range(50)), cells_per_dim=4)
+        assert grid.num_subscribers == 50
+        result = ForgyKMeansClustering().cluster(grid, 3, max_cells=20)
+        result.validate_disjoint()
+
+    def test_stree_over_one_ulp_universe(self):
+        lows = np.full((100, 2), 5.0)
+        highs = np.full((100, 2), np.nextafter(5.0, 6.0))
+        tree = STree.build(lows, highs)
+        assert tree.match([np.nextafter(5.0, 6.0)] * 2) == list(range(100))
+        assert tree.match([5.0, 5.0]) == []
+
+
+class TestBrokerEdgeCases:
+    @pytest.fixture()
+    def tiny_broker(self, small_topology):
+        table = SubscriptionTable(4)
+        node = small_topology.all_stub_nodes()[0]
+        table.add(node, Rectangle.cube(0.0, 1.0, 4))
+        return PubSubBroker.preprocess(
+            small_topology,
+            table,
+            ForgyKMeansClustering(),
+            num_groups=3,
+            cells_per_dim=4,
+            max_cells=10,
+        )
+
+    def test_event_matching_nobody(self, tiny_broker):
+        record = tiny_broker.publish(
+            Event.create(0, 0, (50.0, 50.0, 50.0, 50.0))
+        )
+        from repro.core import DeliveryMethod
+
+        assert record.method is DeliveryMethod.NOT_SENT
+        assert record.scheme_cost == 0.0
+
+    def test_publisher_is_sole_subscriber(
+        self, tiny_broker, small_topology
+    ):
+        subscriber = small_topology.all_stub_nodes()[0]
+        record = tiny_broker.publish(
+            Event.create(0, subscriber, (0.5, 0.5, 0.5, 0.5))
+        )
+        # The only interested party published it: nothing to send.
+        assert record.scheme_cost == 0.0 or record.unicast_cost == 0.0
+
+    def test_more_groups_than_cells(self, small_topology):
+        table = SubscriptionTable(4)
+        node = small_topology.all_stub_nodes()[0]
+        table.add(node, Rectangle.cube(0.0, 1.0, 4))
+        broker = PubSubBroker.preprocess(
+            small_topology,
+            table,
+            ForgyKMeansClustering(),
+            num_groups=50,
+            cells_per_dim=2,
+            max_cells=50,
+        )
+        assert broker.partition.num_groups <= 16
+
+    def test_workload_entirely_in_catchall(self, tiny_broker):
+        points = np.full((20, 4), 99.0)
+        publishers = [0] * 20
+        tally, records = tiny_broker.run(
+            points, publishers, collect_records=True
+        )
+        assert tally.messages == 20
+        assert tally.multicasts_sent == 0
+
+
+class TestTopologyValidation:
+    def test_missing_kind_attribute_caught(self, small_topology):
+        graph = small_topology.graph.copy()
+        graph.add_node(9999)  # no attributes
+        graph.add_edge(9999, small_topology.all_stub_nodes()[0], cost=1.0)
+        broken = Topology(
+            graph=graph,
+            transit_nodes=small_topology.transit_nodes,
+            stub_members=small_topology.stub_members,
+            stub_block=small_topology.stub_block,
+        )
+        with pytest.raises(AssertionError, match="kind"):
+            broken.validate()
+
+    def test_disconnected_topology_caught(self, small_topology):
+        graph = small_topology.graph.copy()
+        graph.add_node(9999, kind="stub", block=0, stub=0)
+        broken = Topology(
+            graph=graph,
+            transit_nodes=small_topology.transit_nodes,
+            stub_members=small_topology.stub_members,
+            stub_block=small_topology.stub_block,
+        )
+        with pytest.raises(AssertionError, match="connected"):
+            broken.validate()
+
+
+class TestNumericalRobustness:
+    def test_nan_rejected_at_index_build(self):
+        with pytest.raises(ValueError, match="NaN"):
+            STree.build(
+                np.array([[np.nan, 0.0]]), np.array([[1.0, 1.0]])
+            )
+
+    def test_nan_event_rejected(self):
+        with pytest.raises(ValueError):
+            Event.create(0, 0, (float("nan"), 1.0))
+
+    def test_interval_with_nan_behaves_as_empty_for_contains(self):
+        interval = Interval(float("nan"), 1.0)
+        # NaN comparisons are False: nothing is contained — no silent
+        # "matches everything" failure mode.
+        assert not interval.contains(0.5)
+
+    def test_extreme_zipf_population(self, rng):
+        from repro.workload import ZipfSampler
+
+        sampler = ZipfSampler(1, theta=5.0, rng=rng)
+        assert sampler.sample() == 0
+
+    def test_grid_with_zero_width_dimension_data(self):
+        # All rectangles flat in one dimension: frame padding must
+        # keep the grid usable.
+        rects = [
+            Rectangle((0.0, 5.0), (1.0, 5.0 + 1e-12)) for _ in range(5)
+        ]
+        grid = EventGrid(rects, list(range(5)), cells_per_dim=4)
+        assert grid.num_occupied_cells > 0

@@ -1,0 +1,130 @@
+"""Unit tests for testbed serialization."""
+
+import json
+import math
+
+import pytest
+
+from repro import load_testbed, save_testbed
+from repro.core import SubscriptionTable
+from repro.geometry import Interval, Rectangle
+from repro.io import (
+    table_from_dict,
+    table_to_dict,
+    topology_from_dict,
+    topology_to_dict,
+)
+
+
+class TestTopologyRoundtrip:
+    def test_structure_preserved(self, small_topology):
+        restored = topology_from_dict(topology_to_dict(small_topology))
+        assert restored.num_nodes == small_topology.num_nodes
+        assert restored.num_edges == small_topology.num_edges
+        assert restored.transit_nodes == small_topology.transit_nodes
+        assert restored.stub_members == small_topology.stub_members
+        assert restored.stub_block == small_topology.stub_block
+
+    def test_costs_preserved(self, small_topology):
+        restored = topology_from_dict(topology_to_dict(small_topology))
+        for u, v, data in small_topology.graph.edges(data=True):
+            assert restored.edge_cost(u, v) == pytest.approx(data["cost"])
+
+    def test_json_serializable(self, small_topology):
+        json.dumps(topology_to_dict(small_topology))
+
+
+class TestTableRoundtrip:
+    def test_rectangles_preserved(self, small_table):
+        restored = table_from_dict(table_to_dict(small_table))
+        assert len(restored) == len(small_table)
+        for original, copy in zip(small_table, restored):
+            assert copy.subscriber == original.subscriber
+            assert copy.rectangle == original.rectangle
+
+    def test_infinities_survive(self):
+        table = SubscriptionTable(2)
+        table.add(
+            1,
+            Rectangle.from_intervals(
+                [Interval(5.0, math.inf), Interval(-math.inf, 3.0)]
+            ),
+        )
+        restored = table_from_dict(table_to_dict(table))
+        assert restored[0].rectangle.highs[0] == math.inf
+        assert restored[0].rectangle.lows[1] == -math.inf
+        json.dumps(table_to_dict(table))  # and it is valid JSON
+
+
+class TestRoundtripProperties:
+    """Property-based: any rectangle (incl. infinite sides) survives."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    bound = st.one_of(
+        st.floats(
+            min_value=-1e12,
+            max_value=1e12,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        st.just(math.inf),
+        st.just(-math.inf),
+    )
+
+    @given(st.lists(st.tuples(bound, bound, bound, bound), min_size=1, max_size=15))
+    @settings(max_examples=40, deadline=None)
+    def test_any_table_roundtrips(self, rows):
+        table = SubscriptionTable(2)
+        for i, (a, b, c, d) in enumerate(rows):
+            table.add(i, Rectangle((a, c), (b, d)))
+        restored = table_from_dict(table_to_dict(table))
+        for original, copy in zip(table, restored):
+            assert copy.rectangle == original.rectangle
+            assert copy.subscriber == original.subscriber
+
+
+class TestFileRoundtrip:
+    def test_save_load(self, tmp_path, small_topology, small_table):
+        path = tmp_path / "testbed.json"
+        save_testbed(path, small_topology, small_table)
+        topology, table = load_testbed(path)
+        assert topology.num_nodes == small_topology.num_nodes
+        assert len(table) == len(small_table)
+        # The restored testbed is fully usable.
+        from repro.clustering import ForgyKMeansClustering
+        from repro.core import PubSubBroker
+
+        broker = PubSubBroker.preprocess(
+            topology,
+            table,
+            ForgyKMeansClustering(),
+            num_groups=4,
+            cells_per_dim=5,
+            max_cells=30,
+        )
+        assert broker.partition.num_groups <= 4
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99}))
+        with pytest.raises(ValueError):
+            load_testbed(path)
+
+    def test_matching_identical_after_roundtrip(
+        self, tmp_path, small_topology, small_table, small_events
+    ):
+        from repro.core import MatchingEngine
+
+        path = tmp_path / "testbed.json"
+        save_testbed(path, small_topology, small_table)
+        _, restored = load_testbed(path)
+        original_engine = MatchingEngine(small_table)
+        restored_engine = MatchingEngine(restored)
+        points, _ = small_events
+        for point in points[:40]:
+            assert (
+                original_engine.match_point(point).subscription_ids
+                == restored_engine.match_point(point).subscription_ids
+            )

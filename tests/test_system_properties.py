@@ -1,0 +1,180 @@
+"""System-level property tests: cost-model and broker invariants.
+
+These pin the inequalities everything else rests on:
+
+- dense multicast to a group never costs more than unicasting to all
+  its members, and never less than the tree to any subset;
+- the "ideal" reference is a true lower envelope;
+- the broker's improvement percentage respects its bounds for every
+  policy; and matching is invariant across policies.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import ForgyKMeansClustering
+from repro.core import PubSubBroker, ThresholdPolicy
+from repro.network import (
+    DeliveryCostModel,
+    TransitStubGenerator,
+    TransitStubParams,
+)
+
+# One compact shared topology for all properties (hypothesis varies
+# the traffic, not the network).
+_PARAMS = TransitStubParams(
+    transit_blocks=2,
+    transit_nodes_per_block=2,
+    stubs_per_transit_node=1,
+    nodes_per_stub=6,
+    size_spread=0,
+)
+_TOPOLOGY = TransitStubGenerator(_PARAMS, seed=77).generate()
+_MODEL = DeliveryCostModel(_TOPOLOGY)
+_NODES = sorted(_TOPOLOGY.graph.nodes())
+
+node_indices = st.integers(min_value=0, max_value=len(_NODES) - 1)
+node_sets = st.sets(node_indices, min_size=1, max_size=10)
+
+
+def _nodes(indices):
+    return [_NODES[i] for i in indices]
+
+
+class TestCostModelProperties:
+    @given(node_indices, node_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_tree_bounded_by_unicast(self, source, members):
+        source = _NODES[source]
+        members = _nodes(members)
+        tree = _MODEL.multicast_cost(source, members)
+        unicast = _MODEL.unicast_cost(source, members)
+        assert tree <= unicast + 1e-9
+        assert tree >= 0.0
+
+    @given(node_indices, node_sets, node_sets)
+    @settings(max_examples=80, deadline=None)
+    def test_tree_monotone_in_targets(self, source, a, b):
+        source = _NODES[source]
+        small = _nodes(a)
+        large = _nodes(a | b)
+        assert _MODEL.ideal_cost(source, small) <= (
+            _MODEL.ideal_cost(source, large) + 1e-9
+        )
+
+    @given(node_indices, node_sets, node_sets)
+    @settings(max_examples=60, deadline=None)
+    def test_ideal_is_lower_envelope(self, source, interested, extra):
+        """ideal(interested) <= multicast(any supergroup) and
+        <= unicast(interested)."""
+        source = _NODES[source]
+        recipients = _nodes(interested)
+        group = _nodes(interested | extra)
+        ideal = _MODEL.ideal_cost(source, recipients)
+        assert ideal <= _MODEL.multicast_cost(source, group) + 1e-9
+        assert ideal <= _MODEL.unicast_cost(source, recipients) + 1e-9
+
+    @given(node_indices, node_indices)
+    @settings(max_examples=60, deadline=None)
+    def test_distance_symmetry(self, a, b):
+        u, v = _NODES[a], _NODES[b]
+        assert _MODEL.routing.distance(u, v) == pytest.approx(
+            _MODEL.routing.distance(v, u)
+        )
+
+    @given(node_indices, node_indices, node_indices)
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        u, v, w = _NODES[a], _NODES[b], _NODES[c]
+        assert _MODEL.routing.distance(u, w) <= (
+            _MODEL.routing.distance(u, v)
+            + _MODEL.routing.distance(v, w)
+            + 1e-9
+        )
+
+
+class TestBrokerProperties:
+    @pytest.fixture(scope="class")
+    def broker(self, small_topology, small_table, nine_mode_density):
+        return PubSubBroker.preprocess(
+            small_topology,
+            small_table,
+            ForgyKMeansClustering(),
+            num_groups=5,
+            density=nine_mode_density,
+            cells_per_dim=5,
+            max_cells=40,
+        )
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=150),
+    )
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_record_invariants_for_any_policy(
+        self, broker, small_events, threshold, offset
+    ):
+        from repro.core import DeliveryMethod, Event
+
+        points, publishers = small_events
+        i = offset % len(points)
+        event = Event.create(i, int(publishers[i]), points[i])
+        record = broker.with_policy(ThresholdPolicy(threshold)).publish(
+            event
+        )
+        if record.method is DeliveryMethod.NOT_SENT:
+            assert record.match.is_empty
+            return
+        # The reference envelope always holds.
+        assert record.ideal_cost <= record.unicast_cost + 1e-9
+        assert record.ideal_cost <= record.scheme_cost + 1e-9
+        if record.method is DeliveryMethod.UNICAST:
+            assert record.scheme_cost == pytest.approx(
+                record.unicast_cost
+            )
+        q = record.decision.group
+        if q > 0:
+            members = set(broker.partition.group(q).members)
+            assert set(record.match.subscribers) <= members
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_improvement_bounded_above(
+        self, broker, small_events, threshold
+    ):
+        points, publishers = small_events
+        tally, _ = broker.with_policy(ThresholdPolicy(threshold)).run(
+            points[:60], publishers[:60]
+        )
+        assert tally.improvement_percent <= 100.0 + 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_matching_policy_invariant(
+        self, broker, small_events, threshold
+    ):
+        """Which subscribers match is a pure function of the event."""
+        points, publishers = small_events
+        _, records = broker.with_policy(ThresholdPolicy(threshold)).run(
+            points[:30], publishers[:30], collect_records=True
+        )
+        _, baseline = broker.with_policy(ThresholdPolicy(0.5)).run(
+            points[:30], publishers[:30], collect_records=True
+        )
+        assert [r.match.subscribers for r in records] == [
+            r.match.subscribers for r in baseline
+        ]
