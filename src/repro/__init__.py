@@ -57,6 +57,15 @@ from .core import (
     ThresholdTuner,
     oracle_tally,
 )
+from .faults import (
+    ChaosReport,
+    ChaosSimulation,
+    FaultInjector,
+    FaultPlan,
+    FaultState,
+    ReliableTransport,
+    RetryConfig,
+)
 from .io import load_testbed, save_testbed
 from .geometry import Interval, Point, Rectangle
 from .network import (
@@ -107,6 +116,13 @@ __all__ = [
     "ThresholdPolicy",
     "ThresholdTuner",
     "oracle_tally",
+    "ChaosReport",
+    "ChaosSimulation",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultState",
+    "ReliableTransport",
+    "RetryConfig",
     "load_testbed",
     "save_testbed",
     "Interval",

@@ -1,12 +1,19 @@
 """Command-line interface.
 
-Four subcommands cover the library's main workflows::
+The subcommands cover the library's main workflows::
 
     repro generate  --seed 7 --subscriptions 1000 --out testbed.json
     repro run       --testbed testbed.json --algorithm forgy \\
                     --groups 11 --modes 9 --threshold 0.15
     repro tune      --testbed testbed.json --groups 11 --modes 9
     repro experiments [--small]
+    repro chaos     --events 500 --loss 0.1 --crashes 2
+
+``repro chaos`` replays a workload through the packet simulator with
+injected faults (lossy links, broker crash/restart windows) and
+verifies the exactly-once delivery guarantee of the reliable
+protocol — or, with ``--unreliable``, reports precisely what the raw
+substrate loses.
 
 (Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.)
@@ -90,6 +97,52 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiments", help="reproduce every paper table and figure"
     )
     experiments.add_argument("--small", action="store_true")
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="replay a workload under injected faults and verify "
+        "the delivery guarantee",
+    )
+    chaos.add_argument("--seed", type=int, default=2003)
+    chaos.add_argument("--events", type=int, default=500)
+    chaos.add_argument("--subscriptions", type=int, default=300)
+    chaos.add_argument("--groups", type=int, default=11)
+    chaos.add_argument("--threshold", type=float, default=0.15)
+    chaos.add_argument(
+        "--loss",
+        type=float,
+        default=0.1,
+        help="per-transmission drop probability on every link",
+    )
+    chaos.add_argument(
+        "--duplicate",
+        type=float,
+        default=0.0,
+        help="per-transmission duplication probability on every link",
+    )
+    chaos.add_argument(
+        "--crashes",
+        type=int,
+        default=2,
+        help="number of broker crash/restart windows",
+    )
+    chaos.add_argument(
+        "--crash-length",
+        type=float,
+        default=150.0,
+        help="duration of each crash window (simulation time units)",
+    )
+    chaos.add_argument(
+        "--max-attempts",
+        type=int,
+        default=6,
+        help="reliable-protocol retry budget per delivery",
+    )
+    chaos.add_argument(
+        "--unreliable",
+        action="store_true",
+        help="disable acks/retries/dedup (demonstrates what gets lost)",
+    )
 
     dot = commands.add_parser(
         "dot", help="export a testbed topology as Graphviz DOT"
@@ -204,6 +257,53 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     return runner_main(["--small"] if args.small else [])
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import ChaosSimulation, RetryConfig
+    from .faults.verifier import build_chaos_plan, build_chaos_testbed
+
+    broker, density = build_chaos_testbed(
+        seed=args.seed,
+        subscriptions=args.subscriptions,
+        num_groups=args.groups,
+    )
+    broker = broker.with_policy(ThresholdPolicy(args.threshold))
+    points, publishers = PublicationGenerator(
+        density, broker.topology.all_stub_nodes(), seed=args.seed + 9
+    ).generate(args.events)
+    plan = build_chaos_plan(
+        broker.topology,
+        seed=args.seed,
+        loss=args.loss,
+        duplicate=args.duplicate,
+        crashes=args.crashes,
+        crash_length=args.crash_length,
+        horizon=float(args.events),
+    )
+    simulation = ChaosSimulation(
+        broker, plan, reliable=not args.unreliable
+    )
+    if not args.unreliable:
+        simulation.transport.config = RetryConfig.for_network(
+            simulation.network, max_attempts=args.max_attempts
+        )
+    report = simulation.run(points, publishers)
+    print(
+        f"chaos run: {broker.topology.num_nodes} nodes, "
+        f"{len(points)} events, loss={args.loss}, "
+        f"crashes={args.crashes}x{args.crash_length}"
+    )
+    print(format_table(("metric", "value"), report.summary_rows()))
+    if report.missing:
+        print("\nfirst missing deliveries (event, subscriber, reason):")
+        for sequence, subscriber, reason in report.missing[:10]:
+            print(f"  event {sequence} -> node {subscriber}: {reason}")
+        if len(report.missing) > 10:
+            print(f"  ... and {len(report.missing) - 10} more")
+    if args.unreliable:
+        return 0
+    return 0 if report.exactly_once else 1
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     from .network.visualize import write_dot
 
@@ -220,7 +320,7 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: "Optional[List[str]]" = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -228,6 +328,7 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         "run": _cmd_run,
         "tune": _cmd_tune,
         "experiments": _cmd_experiments,
+        "chaos": _cmd_chaos,
         "dot": _cmd_dot,
     }
     return handlers[args.command](args)

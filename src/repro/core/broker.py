@@ -44,7 +44,14 @@ __all__ = ["DeliveryRecord", "PubSubBroker"]
 
 @dataclass(frozen=True)
 class DeliveryRecord:
-    """Everything that happened to one published event."""
+    """Everything that happened to one published event.
+
+    ``repaired`` and ``undeliverable`` are only populated when the
+    event was published against a fault snapshot (see
+    :meth:`PubSubBroker.publish`): repaired recipients needed a detour
+    or fallback unicast around dead components, undeliverable ones were
+    partitioned away entirely.
+    """
 
     event: Event
     match: MatchResult
@@ -52,6 +59,8 @@ class DeliveryRecord:
     scheme_cost: float
     unicast_cost: float
     ideal_cost: float
+    repaired: Tuple[int, ...] = ()
+    undeliverable: Tuple[int, ...] = ()
 
     @property
     def method(self) -> DeliveryMethod:
@@ -125,8 +134,18 @@ class PubSubBroker:
 
     # -- the dynamic path --------------------------------------------------------
 
-    def publish(self, event: Event) -> DeliveryRecord:
-        """Match, decide and cost one event (paper Section 4's loop)."""
+    def publish(self, event: Event, faults=None) -> DeliveryRecord:
+        """Match, decide and cost one event (paper Section 4's loop).
+
+        With a fault snapshot (``faults`` exposing ``dead_links`` /
+        ``dead_nodes``, e.g. a :class:`~repro.faults.plan.FaultState`),
+        the delivery degrades gracefully instead of assuming a healthy
+        network: multicast trees are pruned at dead links/brokers and
+        stranded interested subscribers are repaired by unicasts over
+        the surviving graph; unicast fan-outs pay surviving-path
+        prices.  The unicast/ideal reference costs stay fault-free, so
+        the repair overhead is visible in the improvement percentage.
+        """
         match = self.engine.match(event)
         q = self.partition.locate(event.point)
         group_size = (
@@ -146,6 +165,35 @@ class PubSubBroker:
         ]
         unicast_cost = self.costs.unicast_cost(event.publisher, recipients)
         ideal_cost = self.costs.ideal_cost(event.publisher, recipients)
+
+        if faults is not None:
+            if decision.method is DeliveryMethod.UNICAST:
+                degraded = self.costs.degraded_unicast_cost(
+                    event.publisher,
+                    recipients,
+                    dead_links=faults.dead_links,
+                    dead_nodes=faults.dead_nodes,
+                )
+            else:
+                members = self.partition.group(q).members
+                degraded = self.costs.degraded_multicast_cost(
+                    event.publisher,
+                    members,
+                    interested=recipients,
+                    dead_links=faults.dead_links,
+                    dead_nodes=faults.dead_nodes,
+                )
+            return DeliveryRecord(
+                event,
+                match,
+                decision,
+                degraded.cost,
+                unicast_cost,
+                ideal_cost,
+                repaired=degraded.repaired,
+                undeliverable=degraded.unreachable,
+            )
+
         if decision.method is DeliveryMethod.UNICAST:
             scheme_cost = unicast_cost
         else:

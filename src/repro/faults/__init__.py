@@ -1,0 +1,56 @@
+"""Fault injection, reliable delivery, and chaos verification.
+
+The paper's model (and the seed reproduction) assumes a perfectly
+reliable substrate.  This package supplies the other half of the
+story, in three layers:
+
+- :mod:`repro.faults.plan` — a deterministic, seedable fault injector:
+  per-link loss/duplication/delay, link outage windows, broker
+  crash/restart windows, pluggable into the packet simulator and
+  queryable as a failure detector;
+- :mod:`repro.faults.reliable` — per-message acks, exponential-backoff
+  retries with deterministic jitter, bounded retry budgets, and
+  per-subscriber dedup, turning at-least-once retransmission into
+  exactly-once application delivery;
+- :mod:`repro.faults.verifier` — the chaos harness: replay a workload
+  under a fault plan and verify (or precisely refute) the delivery
+  guarantee, exposed as the ``repro chaos`` CLI subcommand.
+"""
+
+from .plan import (
+    BrokerCrash,
+    FaultInjector,
+    FaultPlan,
+    FaultState,
+    FaultStats,
+    LinkFault,
+    LinkOutage,
+    TransmissionFate,
+)
+from .reliable import ReliabilityStats, ReliableTransport, RetryConfig
+from .verifier import (
+    ChaosReport,
+    ChaosSimulation,
+    DeliveryLedger,
+    build_chaos_plan,
+    build_chaos_testbed,
+)
+
+__all__ = [
+    "BrokerCrash",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultState",
+    "FaultStats",
+    "LinkFault",
+    "LinkOutage",
+    "TransmissionFate",
+    "ReliabilityStats",
+    "ReliableTransport",
+    "RetryConfig",
+    "ChaosReport",
+    "ChaosSimulation",
+    "DeliveryLedger",
+    "build_chaos_plan",
+    "build_chaos_testbed",
+]

@@ -1,0 +1,366 @@
+"""Deterministic, seedable fault injection for the delivery substrate.
+
+The paper's cost model assumes every link delivers and every broker
+stays up.  This module supplies the adversary: a declarative
+:class:`FaultPlan` describing *what can go wrong* — per-link loss,
+duplication and delay rates, link outage windows, broker crash/restart
+windows — and a :class:`FaultInjector` that plays the plan out against
+individual transmissions.
+
+Determinism is the design constraint everything here bends around:
+
+- probabilistic decisions (drop / duplicate / delay draws) come from a
+  single ``numpy`` generator seeded from the plan, consumed in
+  transmission order — and the discrete-event engine guarantees the
+  transmission order itself is reproducible;
+- windowed faults (outages, crashes) are pure functions of simulation
+  time, using half-open ``[start, end)`` windows;
+- no wall clock, no global RNG, anywhere.
+
+A default-constructed plan injects nothing, and the injector hook in
+:class:`~repro.simulation.packet_network.PacketNetwork` is skipped
+entirely when no injector is attached, so the fault machinery is
+zero-cost when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Tuple
+
+import numpy as np
+
+__all__ = [
+    "LinkFault",
+    "LinkOutage",
+    "BrokerCrash",
+    "FaultPlan",
+    "FaultState",
+    "FaultStats",
+    "TransmissionFate",
+    "FaultInjector",
+]
+
+
+def _link_key(u: int, v: int) -> Tuple[int, int]:
+    """Canonical undirected link identity."""
+    u, v = int(u), int(v)
+    return (u, v) if u <= v else (v, u)
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Stochastic misbehaviour of one (undirected) link.
+
+    ``loss``/``duplicate`` are per-transmission probabilities; ``delay``
+    is the maximum extra latency, drawn uniformly per transmission.  A
+    ``loss`` of 1.0 makes the link effectively dead — the failure
+    detector (:meth:`FaultInjector.state_at`) reports it as such.
+    """
+
+    u: int
+    v: int
+    loss: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss must be a probability, got {self.loss}")
+        if not 0.0 <= self.duplicate <= 1.0:
+            raise ValueError(
+                f"duplicate must be a probability, got {self.duplicate}"
+            )
+        if self.delay < 0.0:
+            raise ValueError(f"delay must be non-negative, got {self.delay}")
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """A link is completely dead during ``[start, end)``."""
+
+    u: int
+    v: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not self.start < self.end:
+            raise ValueError(
+                f"outage window must satisfy start < end, got "
+                f"[{self.start}, {self.end})"
+            )
+
+    def active(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class BrokerCrash:
+    """A node (broker/relay) is down during ``[start, end)``.
+
+    While down it neither sends, forwards nor receives; at ``end`` it
+    restarts.  Receiver-side protocol state (the dedup ledger) is
+    modelled as durable across restarts, as a store-and-forward broker
+    would journal it.
+    """
+
+    node: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not self.start < self.end:
+            raise ValueError(
+                f"crash window must satisfy start < end, got "
+                f"[{self.start}, {self.end})"
+            )
+
+    def active(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that will go wrong in one run, declaratively.
+
+    The default plan is empty: no loss, no outages, no crashes.
+    ``default_loss``/``default_duplicate``/``default_delay`` apply to
+    every link; per-link :class:`LinkFault` entries override the
+    defaults for their link entirely.
+    """
+
+    seed: int = 0
+    default_loss: float = 0.0
+    default_duplicate: float = 0.0
+    default_delay: float = 0.0
+    link_faults: Tuple[LinkFault, ...] = ()
+    outages: Tuple[LinkOutage, ...] = ()
+    crashes: Tuple[BrokerCrash, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.default_loss <= 1.0:
+            raise ValueError(
+                f"default_loss must be a probability, got {self.default_loss}"
+            )
+        if not 0.0 <= self.default_duplicate <= 1.0:
+            raise ValueError(
+                "default_duplicate must be a probability, got "
+                f"{self.default_duplicate}"
+            )
+        if self.default_delay < 0.0:
+            raise ValueError(
+                f"default_delay must be non-negative, got {self.default_delay}"
+            )
+        object.__setattr__(self, "link_faults", tuple(self.link_faults))
+        object.__setattr__(self, "outages", tuple(self.outages))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the plan injects any fault at all."""
+        return bool(
+            self.default_loss
+            or self.default_duplicate
+            or self.default_delay
+            or self.link_faults
+            or self.outages
+            or self.crashes
+        )
+
+    @classmethod
+    def uniform_loss(cls, rate: float, seed: int = 0) -> "FaultPlan":
+        """Every link drops each transmission with probability ``rate``."""
+        return cls(seed=seed, default_loss=rate)
+
+
+@dataclass(frozen=True)
+class FaultState:
+    """The deterministic fault picture at one instant.
+
+    ``dead_links`` holds canonical ``(min, max)`` node pairs: links in
+    an active outage window plus permanently-lossy (``loss >= 1``)
+    links.  This is what an omniscient failure detector would report;
+    the reliable transport uses it to reroute around known-dead parts.
+    """
+
+    time: float
+    dead_nodes: FrozenSet[int]
+    dead_links: FrozenSet[Tuple[int, int]]
+
+    def node_dead(self, node: int) -> bool:
+        return int(node) in self.dead_nodes
+
+    def link_dead(self, u: int, v: int) -> bool:
+        return (
+            _link_key(u, v) in self.dead_links
+            or int(u) in self.dead_nodes
+            or int(v) in self.dead_nodes
+        )
+
+    @property
+    def clear(self) -> bool:
+        return not self.dead_nodes and not self.dead_links
+
+    @classmethod
+    def none(cls, time: float = 0.0) -> "FaultState":
+        """A fault-free snapshot (useful as a neutral default)."""
+        return cls(time=time, dead_nodes=frozenset(), dead_links=frozenset())
+
+
+@dataclass
+class FaultStats:
+    """What the injector actually did during one run."""
+
+    transmissions_seen: int = 0
+    random_drops: int = 0
+    outage_drops: int = 0
+    sender_down_drops: int = 0
+    receiver_down_drops: int = 0
+    duplicates_injected: int = 0
+    delays_injected: int = 0
+
+    @property
+    def total_drops(self) -> int:
+        return (
+            self.random_drops
+            + self.outage_drops
+            + self.sender_down_drops
+            + self.receiver_down_drops
+        )
+
+
+@dataclass(frozen=True)
+class TransmissionFate:
+    """What the injector decided for one link transmission.
+
+    ``sent`` is False when the sending node was down (nothing entered
+    the link); ``copies`` is 0 for any lost transmission, 1 normally,
+    2 when duplicated.
+    """
+
+    sent: bool = True
+    copies: int = 1
+    extra_delay: float = 0.0
+
+    @property
+    def lost(self) -> bool:
+        return self.copies == 0
+
+
+_DELIVER = TransmissionFate()
+_SENDER_DOWN = TransmissionFate(sent=False, copies=0)
+_LOST = TransmissionFate(sent=True, copies=0)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against individual transmissions.
+
+    One injector instance is bound to one simulation run; call
+    :meth:`reset` (or build a fresh injector) before replaying, so the
+    probabilistic stream restarts from the plan's seed.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._faults: Dict[Tuple[int, int], LinkFault] = {
+            _link_key(f.u, f.v): f for f in plan.link_faults
+        }
+        self._permanently_dead: FrozenSet[Tuple[int, int]] = frozenset(
+            key for key, f in self._faults.items() if f.loss >= 1.0
+        )
+        self._outages: Dict[Tuple[int, int], list] = {}
+        for outage in plan.outages:
+            self._outages.setdefault(_link_key(outage.u, outage.v), []).append(
+                outage
+            )
+        self._crashes: Dict[int, list] = {}
+        for crash in plan.crashes:
+            self._crashes.setdefault(int(crash.node), []).append(crash)
+        self._rng = np.random.default_rng(plan.seed)
+        self.stats = FaultStats()
+
+    def reset(self) -> None:
+        """Restart the probabilistic stream and zero the stats."""
+        self._rng = np.random.default_rng(self.plan.seed)
+        self.stats = FaultStats()
+
+    # -- windowed faults -----------------------------------------------------
+
+    def node_down(self, node: int, time: float) -> bool:
+        """Whether a node is inside one of its crash windows."""
+        windows = self._crashes.get(int(node))
+        if not windows:
+            return False
+        return any(w.active(time) for w in windows)
+
+    def link_down(self, u: int, v: int, time: float) -> bool:
+        """Whether a link is inside one of its outage windows."""
+        windows = self._outages.get(_link_key(u, v))
+        if not windows:
+            return False
+        return any(w.active(time) for w in windows)
+
+    def arrival_blocked(self, node: int, time: float) -> bool:
+        """Receiver-side check: a down node swallows arriving copies."""
+        if self.node_down(node, time):
+            self.stats.receiver_down_drops += 1
+            return True
+        return False
+
+    def state_at(self, time: float) -> FaultState:
+        """The failure detector's view: dead nodes and links at ``time``.
+
+        Includes permanently-lossy links (``loss >= 1``) — an oracle
+        simplification standing in for a real link-state detector,
+        which would learn the same fact from repeated timeouts.
+        """
+        dead_nodes = frozenset(
+            node
+            for node, windows in self._crashes.items()
+            if any(w.active(time) for w in windows)
+        )
+        dead_links = frozenset(
+            key
+            for key, windows in self._outages.items()
+            if any(w.active(time) for w in windows)
+        ) | self._permanently_dead
+        return FaultState(
+            time=time, dead_nodes=dead_nodes, dead_links=dead_links
+        )
+
+    # -- the per-transmission decision -------------------------------------
+
+    def filter_transmission(
+        self, u: int, v: int, time: float
+    ) -> TransmissionFate:
+        """Decide the fate of one copy entering link ``(u, v)`` at ``time``."""
+        self.stats.transmissions_seen += 1
+        if self.node_down(u, time):
+            self.stats.sender_down_drops += 1
+            return _SENDER_DOWN
+        if self.link_down(u, v, time):
+            self.stats.outage_drops += 1
+            return _LOST
+        fault = self._faults.get(_link_key(u, v))
+        if fault is not None:
+            loss, duplicate, delay = fault.loss, fault.duplicate, fault.delay
+        else:
+            plan = self.plan
+            loss = plan.default_loss
+            duplicate = plan.default_duplicate
+            delay = plan.default_delay
+        if loss > 0.0 and (loss >= 1.0 or self._rng.random() < loss):
+            self.stats.random_drops += 1
+            return _LOST
+        copies = 1
+        if duplicate > 0.0 and self._rng.random() < duplicate:
+            self.stats.duplicates_injected += 1
+            copies = 2
+        extra_delay = 0.0
+        if delay > 0.0:
+            extra_delay = float(self._rng.random() * delay)
+            self.stats.delays_injected += 1
+        if copies == 1 and extra_delay == 0.0:
+            return _DELIVER
+        return TransmissionFate(copies=copies, extra_delay=extra_delay)

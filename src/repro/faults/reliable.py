@@ -1,0 +1,366 @@
+"""A reliable delivery protocol on top of the packet simulator.
+
+The :class:`~repro.simulation.packet_network.PacketNetwork` is
+fire-and-forget: with a fault injector attached, copies vanish in
+flight.  This module layers the classic end-to-end recipe on top:
+
+- **acks** — every application-level arrival is acknowledged back to
+  the sender over the same (lossy) network;
+- **retries** — an unacknowledged target is retransmitted after an
+  exponential-backoff timeout with *deterministic* jitter (derived
+  from ``(seed, message, target, attempt)``, never a wall clock);
+- **bounded budget** — after ``max_attempts`` data sends the transport
+  gives up and reports the target, so failures are loud, not silent;
+- **dedup** — receivers keep a per-subscriber set of seen message
+  keys, so at-least-once retransmission (and injected duplication)
+  yields exactly-once *application* delivery;
+- **reroute** — given a failure detector (the injector's
+  :meth:`~repro.faults.plan.FaultInjector.state_at`), retries after the
+  first few attempts are routed around known-dead links and nodes over
+  the surviving graph — the unicast-fallback half of graceful
+  degradation.
+
+The first attempt for a message may be a shared multicast pass (the
+caller supplies it); retries are always per-target unicasts, which is
+exactly the tree-repair-or-fallback behaviour the broker layer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..simulation.packet_network import PacketNetwork
+from .plan import FaultState
+
+__all__ = ["RetryConfig", "ReliabilityStats", "ReliableTransport"]
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Timing and budget knobs of the ack/retry protocol.
+
+    ``ack_timeout`` is the base retransmission timeout (time units of
+    the simulator); attempt ``n``'s timer is ``ack_timeout *
+    backoff**(n-1)`` plus a deterministic jitter in ``[0, max_jitter)``.
+    ``reroute_after`` is the attempt count from which retries consult
+    the failure detector for a path around dead components.
+    """
+
+    ack_timeout: float = 100.0
+    backoff: float = 1.5
+    max_jitter: float = 1.0
+    max_attempts: int = 6
+    reroute_after: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_jitter < 0:
+            raise ValueError("max_jitter must be non-negative")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.reroute_after < 1:
+            raise ValueError("reroute_after must be >= 1")
+
+    def timeout_for(self, attempt: int) -> float:
+        """Retransmission timeout armed after sending attempt ``attempt``."""
+        return self.ack_timeout * self.backoff ** (attempt - 1)
+
+    @classmethod
+    def for_network(cls, network: PacketNetwork, **overrides) -> "RetryConfig":
+        """A config whose base timeout safely exceeds the network RTT.
+
+        Uses the routing table's diameter (worst finite shortest-path
+        cost) to bound one-way propagation; the slack covers per-hop
+        transmission times and moderate queueing.
+        """
+        diameter = network.routing.diameter()
+        base = (
+            2.5 * diameter * network.propagation_scale
+            + 20.0 * network.transmission_time
+            + 5.0
+        )
+        overrides.setdefault("ack_timeout", base)
+        return cls(**overrides)
+
+
+@dataclass
+class ReliabilityStats:
+    """Protocol-level counters for one run."""
+
+    messages: int = 0             # publish() calls
+    tracked: int = 0              # (message, target) deliveries tracked
+    acked: int = 0
+    retries: int = 0              # data retransmissions
+    reroutes: int = 0             # retries sent on a detector-chosen path
+    acks_sent: int = 0
+    duplicates_suppressed: int = 0  # data copies deduped at receivers
+    gave_up: int = 0              # targets abandoned after the budget
+
+
+class _Pending:
+    """Sender-side state for one (message, target) delivery."""
+
+    __slots__ = ("source", "target", "attempts", "acked", "failed")
+
+    def __init__(self, source: int, target: int):
+        self.source = source
+        self.target = target
+        self.attempts = 0
+        self.acked = False
+        self.failed = False
+
+
+class ReliableTransport:
+    """At-least-once retransmission + receiver dedup = exactly-once.
+
+    Parameters
+    ----------
+    network:
+        The (possibly fault-injected) packet network to send over.
+    config:
+        Retry/timeout knobs; defaults to :class:`RetryConfig`.
+    seed:
+        Seeds the deterministic retry jitter.  Jitter for attempt ``a``
+        of message ``m`` to target ``t`` depends only on
+        ``(seed, m, t, a)``, so reruns are bit-identical regardless of
+        event interleaving.
+    detector:
+        Optional failure detector exposing ``state_at(time) ->
+        FaultState`` (a :class:`~repro.faults.plan.FaultInjector`
+        fits).  Enables rerouting retries around dead components.
+    graph:
+        The physical topology graph used to compute surviving paths;
+        defaults to ``network.topology.graph``.
+    on_deliver:
+        ``(target, key, time)`` — called exactly once per (message,
+        target) at first application-level arrival.
+    on_give_up:
+        ``(target, key, reason)`` — called when the retry budget for a
+        target is exhausted.
+    """
+
+    def __init__(
+        self,
+        network: PacketNetwork,
+        config: Optional[RetryConfig] = None,
+        seed: int = 0,
+        detector=None,
+        graph: Optional[nx.Graph] = None,
+        on_deliver: Optional[Callable[[int, int, float], None]] = None,
+        on_give_up: Optional[Callable[[int, int, str], None]] = None,
+    ):
+        self.network = network
+        self.simulator = network.simulator
+        self.config = config or RetryConfig()
+        self.seed = int(seed)
+        self.detector = detector
+        self.graph = graph if graph is not None else network.topology.graph
+        self.on_deliver = on_deliver or (lambda target, key, time: None)
+        self.on_give_up = on_give_up or (lambda target, key, reason: None)
+        self.stats = ReliabilityStats()
+        self._pending: Dict[Tuple[int, int], _Pending] = {}
+        self._seen: Dict[int, Set[int]] = {}
+        self._path_cache: Dict[tuple, Optional[List[int]]] = {}
+
+    # -- sender side ---------------------------------------------------------
+
+    def publish(
+        self,
+        key: int,
+        source: int,
+        targets: Sequence[int],
+        first_pass: Optional[Callable[[Callable[[int, float], None]], None]] = None,
+    ) -> None:
+        """Reliably deliver message ``key`` from ``source`` to ``targets``.
+
+        ``key`` must be a non-negative integer unique per message (an
+        event sequence number); receivers dedup on it.  When
+        ``first_pass`` is given it is called with the arrival callback
+        and must perform attempt #1 itself (e.g. one multicast down a
+        group tree); otherwise attempt #1 is one unicast per target.
+        Either way, retries are per-target unicasts.
+        """
+        key = int(key)
+        source = int(source)
+        targets = [int(t) for t in targets]
+        self.stats.messages += 1
+        for target in targets:
+            self._pending[(key, target)] = _Pending(source, target)
+            self.stats.tracked += 1
+        if first_pass is not None:
+            first_pass(self._receiver(key, source))
+            for target in targets:
+                pending = self._pending[(key, target)]
+                pending.attempts = 1
+                self._arm_timer(key, target)
+        else:
+            for target in targets:
+                self._send_data(key, target, path=None)
+
+    def _receiver(
+        self, key: int, source: int
+    ) -> Callable[[int, float], None]:
+        """The network-level arrival callback for one message."""
+        return lambda node, time: self.data_arrived(key, source, node, time)
+
+    def _send_data(
+        self, key: int, target: int, path: Optional[List[int]]
+    ) -> None:
+        pending = self._pending[(key, target)]
+        pending.attempts += 1
+        if pending.attempts > 1:
+            self.stats.retries += 1
+        receive = self._receiver(key, pending.source)
+        if path is not None:
+            self.network.send_along(path, receive)
+        else:
+            self.network.send_unicast(pending.source, target, receive)
+        self._arm_timer(key, target)
+
+    def _arm_timer(self, key: int, target: int) -> None:
+        pending = self._pending[(key, target)]
+        attempt = pending.attempts
+        delay = self.config.timeout_for(attempt) + self._jitter(
+            key, target, attempt
+        )
+        self.simulator.schedule(
+            delay, lambda: self._timeout(key, target, attempt)
+        )
+
+    def _jitter(self, key: int, target: int, attempt: int) -> float:
+        """Deterministic per-(message, target, attempt) jitter."""
+        if self.config.max_jitter <= 0:
+            return 0.0
+        rng = np.random.default_rng((self.seed, key, target, attempt))
+        return float(rng.random() * self.config.max_jitter)
+
+    def _timeout(self, key: int, target: int, attempt: int) -> None:
+        pending = self._pending.get((key, target))
+        if (
+            pending is None
+            or pending.acked
+            or pending.failed
+            or pending.attempts != attempt
+        ):
+            return
+        if pending.attempts >= self.config.max_attempts:
+            pending.failed = True
+            self.stats.gave_up += 1
+            self.on_give_up(target, key, "retry budget exhausted")
+            return
+        path = None
+        if (
+            self.detector is not None
+            and pending.attempts >= self.config.reroute_after
+        ):
+            path = self._alternate_path(pending.source, target)
+            if path is not None:
+                self.stats.reroutes += 1
+        self._send_data(key, target, path)
+
+    def _alternate_path(
+        self, source: int, target: int
+    ) -> Optional[List[int]]:
+        """A shortest path over the currently-surviving graph.
+
+        Returns ``None`` when the detector reports nothing dead, when
+        no surviving path exists (wait for a restart instead), or when
+        the surviving path is the default one anyway.
+        """
+        state: FaultState = self.detector.state_at(self.simulator.now)
+        if state.clear:
+            return None
+        cache_key = (state.dead_nodes, state.dead_links, source, target)
+        if cache_key in self._path_cache:
+            return self._path_cache[cache_key]
+        hidden_edges = [
+            pair for (u, v) in state.dead_links for pair in ((u, v), (v, u))
+        ]
+        path: Optional[List[int]]
+        try:
+            alive = nx.restricted_view(
+                self.graph, list(state.dead_nodes), hidden_edges
+            )
+            path = [
+                int(n)
+                for n in nx.dijkstra_path(alive, source, target, weight="cost")
+            ]
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            path = None
+        if path is not None and path == self.network.routing.path(
+            source, target
+        ):
+            path = None
+        self._path_cache[cache_key] = path
+        return path
+
+    # -- receiver side -------------------------------------------------------
+
+    def data_arrived(
+        self, key: int, source: int, target: int, time: float
+    ) -> None:
+        """A data copy reached ``target``: dedup, deliver, ack.
+
+        Duplicates (retransmissions or injected duplication) are
+        suppressed before the application sees them, but always
+        re-acked — the duplicate usually means the previous ack died.
+        """
+        seen = self._seen.setdefault(target, set())
+        if key in seen:
+            self.stats.duplicates_suppressed += 1
+        else:
+            seen.add(key)
+            self.on_deliver(target, key, time)
+        self._send_ack(key, source, target)
+
+    def _send_ack(self, key: int, source: int, target: int) -> None:
+        self.stats.acks_sent += 1
+        if target == source:
+            self._ack_arrived(key, target)
+            return
+        arrived = lambda _node, _time: self._ack_arrived(key, target)
+        # Acks route around known-dead components too — an ack that
+        # insists on a dead default path would never return, and the
+        # sender would burn its whole retry budget on a message the
+        # application already has.
+        path = (
+            self._alternate_path(target, source)
+            if self.detector is not None
+            else None
+        )
+        if path is not None:
+            self.network.send_along(path, arrived)
+        else:
+            self.network.send_unicast(target, source, arrived)
+
+    def _ack_arrived(self, key: int, target: int) -> None:
+        pending = self._pending.get((key, target))
+        if pending is None or pending.acked:
+            return
+        pending.acked = True
+        self.stats.acked += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def unacked(self) -> List[Tuple[int, int]]:
+        """(key, target) pairs neither acked nor abandoned (yet)."""
+        return [
+            pair
+            for pair, pending in self._pending.items()
+            if not pending.acked and not pending.failed
+        ]
+
+    def failed(self) -> List[Tuple[int, int]]:
+        """(key, target) pairs whose retry budget was exhausted."""
+        return [
+            pair
+            for pair, pending in self._pending.items()
+            if pending.failed
+        ]

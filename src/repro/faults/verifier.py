@@ -1,0 +1,451 @@
+"""Chaos-test harness and delivery-guarantee verifier.
+
+:class:`ChaosSimulation` replays a pub-sub workload through the
+packet-level simulator with a :class:`~repro.faults.plan.FaultPlan`
+active, using the broker's real per-event decisions (unicast fan-out
+vs multicast tree) and — unless disabled — the reliable ack/retry
+protocol of :mod:`repro.faults.reliable`.
+
+A :class:`DeliveryLedger` records the ground truth on both sides:
+what *should* arrive (every matched subscriber of every sent event)
+and what the application layer actually received.  The resulting
+:class:`ChaosReport` then states the guarantee precisely:
+
+- **exactly-once** holds when every expected (event, subscriber) pair
+  was delivered to the application exactly one time;
+- otherwise the report lists each missing delivery with a reason
+  (retry budget exhausted / still unacknowledged at simulation end /
+  lost with reliability disabled) and counts application-level
+  duplicates.
+
+Running the same plan with ``reliable=False`` shows what the raw
+substrate does to the workload — the delta is the whole argument for
+the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..clustering import ForgyKMeansClustering
+from ..core.broker import PubSubBroker
+from ..core.distribution import DeliveryMethod
+from ..core.event import Event
+from ..core.subscription import SubscriptionTable
+from ..network.topology import TransitStubGenerator, TransitStubParams
+from ..simulation.delivery import LatencyStats
+from ..simulation.engine import DiscreteEventSimulator
+from ..simulation.packet_network import PacketNetwork
+from ..workload import (
+    PublicationGenerator,
+    StockSubscriptionGenerator,
+    publication_distribution,
+)
+from .plan import BrokerCrash, FaultInjector, FaultPlan, FaultStats
+from .reliable import ReliabilityStats, ReliableTransport, RetryConfig
+
+__all__ = [
+    "DeliveryLedger",
+    "ChaosReport",
+    "ChaosSimulation",
+    "build_chaos_testbed",
+    "build_chaos_plan",
+]
+
+
+class DeliveryLedger:
+    """Ground-truth bookkeeping: expected vs observed app deliveries."""
+
+    def __init__(self) -> None:
+        self._expected: Dict[int, Set[int]] = {}
+        self._counts: Dict[Tuple[int, int], int] = {}
+        self._latencies: List[float] = []
+        self._published_at: Dict[int, float] = {}
+        self.fail_reasons: Dict[Tuple[int, int], str] = {}
+
+    def expect(
+        self, sequence: int, subscribers: Sequence[int], published_at: float
+    ) -> None:
+        self._expected[sequence] = {int(s) for s in subscribers}
+        self._published_at[sequence] = published_at
+
+    def record(self, sequence: int, subscriber: int, time: float) -> None:
+        """One application-level delivery (post-dedup if reliable)."""
+        key = (sequence, int(subscriber))
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if count == 1:
+            self._latencies.append(time - self._published_at[sequence])
+
+    @property
+    def expected_total(self) -> int:
+        return sum(len(s) for s in self._expected.values())
+
+    @property
+    def delivered_distinct(self) -> int:
+        return sum(
+            1
+            for (sequence, subscriber), count in self._counts.items()
+            if count >= 1 and subscriber in self._expected.get(sequence, ())
+        )
+
+    @property
+    def duplicate_deliveries(self) -> int:
+        """Application-level deliveries beyond the first per pair."""
+        return sum(count - 1 for count in self._counts.values() if count > 1)
+
+    @property
+    def latencies(self) -> List[float]:
+        return self._latencies
+
+    def missing(self, default_reason: str) -> List[Tuple[int, int, str]]:
+        """Every expected (event, subscriber) that never arrived, with why."""
+        out: List[Tuple[int, int, str]] = []
+        for sequence in sorted(self._expected):
+            for subscriber in sorted(self._expected[sequence]):
+                if self._counts.get((sequence, subscriber), 0) == 0:
+                    reason = self.fail_reasons.get(
+                        (sequence, subscriber), default_reason
+                    )
+                    out.append((sequence, subscriber, reason))
+        return out
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run proved (or disproved)."""
+
+    events: int
+    reliable: bool
+    expected: int
+    delivered: int
+    duplicate_deliveries: int
+    missing: List[Tuple[int, int, str]]
+    latency: LatencyStats
+    transmissions: int
+    link_retransmissions: int
+    queueing_delay: float
+    multicasts: int
+    unicasts: int
+    not_sent: int
+    finished_at: float
+    fault_stats: FaultStats
+    reliability: Optional[ReliabilityStats] = None
+
+    @property
+    def delivered_fraction(self) -> float:
+        if self.expected == 0:
+            return 1.0
+        return self.delivered / self.expected
+
+    @property
+    def exactly_once(self) -> bool:
+        """The delivery guarantee: everyone expected, nobody twice."""
+        return not self.missing and self.duplicate_deliveries == 0
+
+    def summary_rows(self) -> List[Tuple[str, object]]:
+        """(metric, value) rows for the CLI report table."""
+        rows: List[Tuple[str, object]] = [
+            ("events", self.events),
+            ("protocol", "reliable" if self.reliable else "fire-and-forget"),
+            ("expected deliveries", self.expected),
+            ("delivered", self.delivered),
+            ("delivered fraction", f"{self.delivered_fraction:.4f}"),
+            ("missing", len(self.missing)),
+            ("app-level duplicates", self.duplicate_deliveries),
+            ("exactly-once", "yes" if self.exactly_once else "NO"),
+            ("link transmissions", self.transmissions),
+            ("link retransmissions", self.link_retransmissions),
+            ("faults: random drops", self.fault_stats.random_drops),
+            ("faults: outage drops", self.fault_stats.outage_drops),
+            (
+                "faults: crash drops",
+                self.fault_stats.sender_down_drops
+                + self.fault_stats.receiver_down_drops,
+            ),
+            ("faults: duplicates injected", self.fault_stats.duplicates_injected),
+        ]
+        if self.reliability is not None:
+            rows.extend(
+                [
+                    ("retries", self.reliability.retries),
+                    ("reroutes", self.reliability.reroutes),
+                    ("acks sent", self.reliability.acks_sent),
+                    (
+                        "duplicates suppressed",
+                        self.reliability.duplicates_suppressed,
+                    ),
+                    ("gave up", self.reliability.gave_up),
+                ]
+            )
+        rows.append(("p95 latency", f"{self.latency.p95:.2f}"))
+        rows.append(("finished at", f"{self.finished_at:.2f}"))
+        return rows
+
+
+class ChaosSimulation:
+    """Packet-level workload replay under an active fault plan."""
+
+    def __init__(
+        self,
+        broker: PubSubBroker,
+        plan: FaultPlan,
+        reliable: bool = True,
+        retry: Optional[RetryConfig] = None,
+        transmission_time: float = 0.25,
+        propagation_scale: float = 1.0,
+        hop_retries: int = 4,
+    ):
+        self.broker = broker
+        self.plan = plan
+        self.reliable = reliable
+        self.simulator = DiscreteEventSimulator()
+        self.injector = FaultInjector(plan)
+        # Reliable mode layers link-level ARQ (masks random loss)
+        # under the end-to-end ack/retry protocol (recovers from
+        # outages and crashes); fire-and-forget mode gets neither.
+        self.network = PacketNetwork(
+            broker.topology,
+            self.simulator,
+            transmission_time=transmission_time,
+            propagation_scale=propagation_scale,
+            injector=self.injector,
+            hop_retries=hop_retries if reliable else 0,
+        )
+        self.ledger = DeliveryLedger()
+        self.transport: Optional[ReliableTransport] = None
+        if reliable:
+            self.transport = ReliableTransport(
+                self.network,
+                config=retry or RetryConfig.for_network(self.network),
+                seed=plan.seed + 1,
+                detector=self.injector,
+                on_deliver=lambda target, key, time: self.ledger.record(
+                    key, target, time
+                ),
+                on_give_up=lambda target, key, reason: (
+                    self.ledger.fail_reasons.__setitem__(
+                        (key, target), reason
+                    )
+                ),
+            )
+
+    def run(
+        self,
+        points: np.ndarray,
+        publishers: Sequence[int],
+        inter_arrival: float = 1.0,
+        arrival_times: Optional[Sequence[float]] = None,
+    ) -> ChaosReport:
+        """Publish the workload under faults and verify the guarantee."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] != len(publishers):
+            raise ValueError(
+                "points must be (m, N) with one publisher per row"
+            )
+        if arrival_times is None:
+            arrival_times = [i * inter_arrival for i in range(len(points))]
+        if len(arrival_times) != len(points):
+            raise ValueError("one arrival time per event required")
+
+        counters = {"multicast": 0, "unicast": 0, "not_sent": 0}
+
+        def publish(sequence: int) -> None:
+            event = Event.create(
+                sequence, int(publishers[sequence]), points[sequence]
+            )
+            match = self.broker.engine.match(event)
+            q = self.broker.partition.locate(event.point)
+            group_size = (
+                self.broker.partition.group(q).size if q > 0 else 0
+            )
+            decision = self.broker.policy.decide(
+                interested=match.num_subscribers,
+                group_size=group_size,
+                group=q,
+            )
+            if decision.method is DeliveryMethod.NOT_SENT:
+                counters["not_sent"] += 1
+                return
+            now = self.simulator.now
+            recipients = [
+                node
+                for node in match.subscribers
+                if node != event.publisher
+            ]
+            self.ledger.expect(sequence, recipients, now)
+            if not recipients:
+                return
+            interested = set(recipients)
+
+            if decision.method is DeliveryMethod.UNICAST:
+                counters["unicast"] += 1
+                if self.transport is not None:
+                    self.transport.publish(
+                        sequence, event.publisher, recipients
+                    )
+                else:
+                    for node in recipients:
+                        self.network.send_unicast(
+                            event.publisher,
+                            node,
+                            lambda n, t, s=sequence: self.ledger.record(
+                                s, n, t
+                            ),
+                        )
+                return
+
+            counters["multicast"] += 1
+            members = self.broker.partition.group(q).members
+            via = None
+            if self.broker.costs.multicast_mode == "sparse":
+                via = self.broker.costs.rendezvous_point(members)
+            if self.transport is not None:
+                def first_pass(receive, m=members, v=via):
+                    # Group members outside the interested set filter
+                    # the message out at the application layer; only
+                    # interested arrivals enter the reliable protocol.
+                    self.network.send_multicast(
+                        event.publisher,
+                        m,
+                        lambda node, time: (
+                            receive(node, time)
+                            if node in interested
+                            else None
+                        ),
+                        via=v,
+                    )
+
+                self.transport.publish(
+                    sequence, event.publisher, recipients, first_pass
+                )
+            else:
+                self.network.send_multicast(
+                    event.publisher,
+                    members,
+                    lambda node, time, s=sequence: (
+                        self.ledger.record(s, node, time)
+                        if node in interested
+                        else None
+                    ),
+                    via=via,
+                )
+
+        for sequence, time in enumerate(arrival_times):
+            self.simulator.schedule_at(
+                float(time), lambda s=sequence: publish(s)
+            )
+        finished_at = self.simulator.run()
+
+        default_reason = (
+            "unacknowledged at simulation end"
+            if self.reliable
+            else "lost (no retransmission)"
+        )
+        return ChaosReport(
+            events=len(points),
+            reliable=self.reliable,
+            expected=self.ledger.expected_total,
+            delivered=self.ledger.delivered_distinct,
+            duplicate_deliveries=self.ledger.duplicate_deliveries,
+            missing=self.ledger.missing(default_reason),
+            latency=LatencyStats.from_samples(self.ledger.latencies),
+            transmissions=self.network.log.transmissions,
+            link_retransmissions=self.network.log.retransmissions,
+            queueing_delay=self.network.log.queueing_delay,
+            multicasts=counters["multicast"],
+            unicasts=counters["unicast"],
+            not_sent=counters["not_sent"],
+            finished_at=finished_at,
+            fault_stats=self.injector.stats,
+            reliability=(
+                self.transport.stats if self.transport is not None else None
+            ),
+        )
+
+
+# -- canned chaos scenario builders (used by the CLI and tests) -------------
+
+
+def build_chaos_testbed(
+    seed: int = 2003,
+    subscriptions: int = 300,
+    num_groups: int = 11,
+    modes: int = 9,
+    params: Optional[TransitStubParams] = None,
+):
+    """A ~100-node broker testbed sized for chaos experiments.
+
+    Returns ``(broker, density)``; pair with
+    :class:`~repro.workload.publications.PublicationGenerator` for the
+    event stream.
+    """
+    params = params or TransitStubParams(
+        transit_blocks=3,
+        transit_nodes_per_block=3,
+        stubs_per_transit_node=2,
+        nodes_per_stub=5,
+        size_spread=1,
+    )
+    topology = TransitStubGenerator(params, seed=seed).generate()
+    placed = StockSubscriptionGenerator(topology, seed=seed + 1).generate(
+        subscriptions
+    )
+    table = SubscriptionTable.from_placed(placed)
+    density = publication_distribution(modes)
+    broker = PubSubBroker.preprocess(
+        topology,
+        table,
+        ForgyKMeansClustering(),
+        num_groups=num_groups,
+        density=density,
+    )
+    return broker, density
+
+
+def build_chaos_plan(
+    topology,
+    seed: int = 2003,
+    loss: float = 0.1,
+    duplicate: float = 0.0,
+    delay: float = 0.0,
+    crashes: int = 2,
+    crash_length: float = 150.0,
+    horizon: float = 500.0,
+) -> FaultPlan:
+    """Uniform link loss plus evenly-spaced broker crash/restart windows.
+
+    Crash victims are transit nodes (the brokers/relays of the
+    testbed), drawn deterministically from ``seed``; windows are spread
+    across the publication horizon so multicasts are in flight when
+    brokers die.
+    """
+    rng = np.random.default_rng(seed)
+    transit = topology.all_transit_nodes()
+    crash_windows = []
+    if crashes > 0:
+        if crashes > len(transit):
+            raise ValueError(
+                f"cannot crash {crashes} brokers on a topology with "
+                f"{len(transit)} transit nodes"
+            )
+        victims = rng.choice(len(transit), size=crashes, replace=False)
+        for index, victim in enumerate(victims):
+            start = horizon * (index + 1) / (crashes + 1)
+            crash_windows.append(
+                BrokerCrash(
+                    node=int(transit[int(victim)]),
+                    start=float(start),
+                    end=float(start + crash_length),
+                )
+            )
+    return FaultPlan(
+        seed=seed,
+        default_loss=loss,
+        default_duplicate=duplicate,
+        default_delay=delay,
+        crashes=tuple(crash_windows),
+    )

@@ -21,10 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
-from .routing import RoutingTable
+from typing import Tuple
+
+from .routing import RoutingTable, path_cost, surviving_path
 from .topology import Topology
 
-__all__ = ["DeliveryCostModel", "CostTally"]
+__all__ = ["DeliveryCostModel", "CostTally", "DegradedDelivery"]
 
 
 @dataclass
@@ -243,3 +245,166 @@ class DeliveryCostModel:
         self._group_tree_cache.clear()
         self._shared_tree_cache.clear()
         self._overlay_tree_cache.clear()
+
+    # -- graceful degradation under faults ---------------------------------
+
+    def degraded_unicast_cost(
+        self,
+        source: int,
+        recipients: Iterable[int],
+        dead_links: Iterable[Tuple[int, int]] = (),
+        dead_nodes: Iterable[int] = (),
+    ) -> "DegradedDelivery":
+        """Unicast fan-out over whatever part of the network survives.
+
+        Each recipient is charged its shortest path over the surviving
+        graph (which may be pricier than the healthy-network path);
+        recipients that are dead or partitioned away are reported as
+        unreachable rather than silently skipped.
+        """
+        dead_links = _normalize_links(dead_links)
+        dead_nodes = frozenset(int(n) for n in dead_nodes)
+        if not dead_links and not dead_nodes:
+            # Nothing is dead: charge the exact healthy-path cost so a
+            # neutral fault snapshot is bit-for-bit free.
+            recipients = [int(r) for r in recipients]
+            return DegradedDelivery(
+                cost=self.unicast_cost(source, recipients),
+                reached=tuple(recipients),
+                repaired=(),
+                unreachable=(),
+            )
+        graph = self.topology.graph
+        cost = 0.0
+        reached: List[int] = []
+        repaired: List[int] = []
+        unreachable: List[int] = []
+        for recipient in recipients:
+            recipient = int(recipient)
+            path = surviving_path(
+                graph, source, recipient, dead_links, dead_nodes
+            )
+            if path is None:
+                unreachable.append(recipient)
+                continue
+            leg = path_cost(graph, path)
+            cost += leg
+            healthy = self.routing.distance(source, recipient)
+            if leg > healthy:
+                repaired.append(recipient)
+            else:
+                reached.append(recipient)
+        return DegradedDelivery(
+            cost=cost,
+            reached=tuple(reached),
+            repaired=tuple(repaired),
+            unreachable=tuple(unreachable),
+        )
+
+    def degraded_multicast_cost(
+        self,
+        source: int,
+        group_members: Iterable[int],
+        interested: "Optional[Iterable[int]]" = None,
+        dead_links: Iterable[Tuple[int, int]] = (),
+        dead_nodes: Iterable[int] = (),
+    ) -> "DegradedDelivery":
+        """Dense-mode multicast with tree repair and unicast fallback.
+
+        The message flows down the healthy dense-mode tree as far as it
+        can: edges whose link or endpoint is dead prune their whole
+        subtree.  Interested subscribers stranded by the pruning are
+        then repaired individually — a unicast over the surviving graph
+        (rerouted via :mod:`repro.network.routing`), charged on top of
+        the tree cost — or reported unreachable when no surviving path
+        exists.  Uninterested stranded group members are simply not
+        repaired: nobody needed the message there.
+        """
+        dead_links = _normalize_links(dead_links)
+        dead_nodes = frozenset(int(n) for n in dead_nodes)
+        members = [int(m) for m in group_members]
+        member_set = set(members)
+        if not dead_links and not dead_nodes:
+            # Nothing is dead: the configured (possibly sparse/overlay)
+            # multicast runs untouched, bit-for-bit.
+            return DegradedDelivery(
+                cost=self.multicast_cost(source, members),
+                reached=tuple(sorted(member_set)),
+                repaired=(),
+                unreachable=(),
+            )
+        wanted = (
+            member_set
+            if interested is None
+            else {int(n) for n in interested}
+        )
+        graph = self.topology.graph
+
+        # Walk the healthy tree, pruning at the first dead element.
+        children: "dict[int, List[int]]" = {}
+        for u, v in self.routing.tree_edges(source, members):
+            children.setdefault(u, []).append(v)
+        cost = 0.0
+        alive_reach = set()
+        if source not in dead_nodes:
+            alive_reach.add(source)
+            frontier = [source]
+            while frontier:
+                node = frontier.pop()
+                for child in children.get(node, []):
+                    key = (node, child) if node <= child else (child, node)
+                    if key in dead_links or child in dead_nodes:
+                        continue
+                    cost += graph.edges[node, child]["cost"]
+                    alive_reach.add(child)
+                    frontier.append(child)
+
+        reached = sorted(member_set & alive_reach)
+        stranded = sorted(wanted - alive_reach - {int(source)})
+        repaired: List[int] = []
+        unreachable: List[int] = []
+        for subscriber in stranded:
+            path = surviving_path(
+                graph, source, subscriber, dead_links, dead_nodes
+            )
+            if path is None:
+                unreachable.append(subscriber)
+            else:
+                cost += path_cost(graph, path)
+                repaired.append(subscriber)
+        return DegradedDelivery(
+            cost=cost,
+            reached=tuple(reached),
+            repaired=tuple(repaired),
+            unreachable=tuple(unreachable),
+        )
+
+
+def _normalize_links(
+    links: Iterable[Tuple[int, int]]
+) -> "frozenset[Tuple[int, int]]":
+    """Canonical (min, max) form for undirected link identities."""
+    return frozenset(
+        (int(u), int(v)) if int(u) <= int(v) else (int(v), int(u))
+        for u, v in links
+    )
+
+
+@dataclass(frozen=True)
+class DegradedDelivery:
+    """Outcome of one delivery over a partially-failed network.
+
+    ``reached`` got the message at normal cost (tree or healthy path);
+    ``repaired`` needed a detour or fallback unicast (their extra cost
+    is already included in ``cost``); ``unreachable`` could not be
+    served at all while the faults last.
+    """
+
+    cost: float
+    reached: Tuple[int, ...]
+    repaired: Tuple[int, ...]
+    unreachable: Tuple[int, ...]
+
+    @property
+    def delivered(self) -> int:
+        return len(self.reached) + len(self.repaired)

@@ -20,7 +20,7 @@ from scipy.sparse.csgraph import dijkstra
 
 from .topology import Topology
 
-__all__ = ["RoutingTable"]
+__all__ = ["RoutingTable", "surviving_path", "path_cost"]
 
 
 class RoutingTable:
@@ -164,3 +164,53 @@ class RoutingTable:
         """Largest finite shortest-path cost out of ``source``."""
         row = self._dist[source]
         return float(row[np.isfinite(row)].max())
+
+    def diameter(self) -> float:
+        """Largest finite shortest-path cost between any node pair.
+
+        Bounds the one-way propagation of any unicast; the reliable
+        transport sizes its retransmission timeout from it.
+        """
+        return float(self._dist[np.isfinite(self._dist)].max())
+
+
+def surviving_path(
+    graph: nx.Graph,
+    source: int,
+    target: int,
+    dead_links: "frozenset[Tuple[int, int]] | set",
+    dead_nodes: "frozenset[int] | set",
+) -> "List[int] | None":
+    """Shortest path avoiding dead links/nodes, or ``None`` if cut off.
+
+    ``dead_links`` holds undirected node pairs (any orientation).  Used
+    by the graceful-degradation paths to reroute deliveries around
+    failed components; a ``None`` return means the target is currently
+    partitioned away (or itself dead).
+    """
+    source, target = int(source), int(target)
+    if source in dead_nodes or target in dead_nodes:
+        return None
+    if source == target:
+        return [source]
+    hidden_edges = [
+        pair for (u, v) in dead_links for pair in ((u, v), (v, u))
+    ]
+    try:
+        alive = nx.restricted_view(graph, list(dead_nodes), hidden_edges)
+        return [
+            int(n)
+            for n in nx.dijkstra_path(alive, source, target, weight="cost")
+        ]
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return None
+
+
+def path_cost(graph: nx.Graph, path: "Sequence[int]") -> float:
+    """Summed edge cost of a node path over ``graph``."""
+    return float(
+        sum(
+            graph.edges[u, v]["cost"]
+            for u, v in zip(path[:-1], path[1:])
+        )
+    )

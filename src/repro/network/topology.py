@@ -161,15 +161,27 @@ class Topology:
         }
 
     def validate(self) -> None:
-        """Raise if structural invariants are violated."""
+        """Raise :class:`ValueError` if structural invariants are violated.
+
+        All violations use the same ``"invalid topology: ..."`` message
+        prefix so callers can catch and report malformed topologies
+        uniformly (e.g. on deserialization of hand-edited testbeds).
+        """
         if not nx.is_connected(self.graph):
-            raise AssertionError("topology must be connected")
+            raise ValueError("invalid topology: graph must be connected")
         for u, v, data in self.graph.edges(data=True):
             if data.get("cost", -1.0) <= 0:
-                raise AssertionError(f"edge ({u},{v}) has non-positive cost")
+                raise ValueError(
+                    f"invalid topology: edge ({u}, {v}) has non-positive "
+                    f"cost {data.get('cost')!r}"
+                )
         for node, data in self.graph.nodes(data=True):
             if data.get("kind") not in ("transit", "stub"):
-                raise AssertionError(f"node {node} missing kind attribute")
+                raise ValueError(
+                    f"invalid topology: node {node} missing node kind "
+                    f"(expected 'transit' or 'stub', got "
+                    f"{data.get('kind')!r})"
+                )
 
 
 class TransitStubGenerator:

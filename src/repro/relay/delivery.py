@@ -17,7 +17,7 @@ matching.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -56,14 +56,50 @@ class RelayDeliveryService:
         self.engine = MatchingEngine(table, backend="stree")
 
     def publish(
-        self, point: Sequence[float], publisher: int
-    ) -> "Tuple[RoutingOutcome, float, float]":
-        """Route one event; returns (outcome, unicast_ref, ideal_ref)."""
-        outcome = self.router.route(point, int(publisher))
+        self, point: Sequence[float], publisher: int, faults=None
+    ) -> Tuple[RoutingOutcome, float, float]:
+        """Route one event; returns (outcome, unicast_ref, ideal_ref).
+
+        With a fault snapshot (``faults``, e.g. a
+        :class:`~repro.faults.plan.FaultState`), the overlay flood only
+        crosses alive brokers/links, and matched subscribers stranded
+        behind dead parts are repaired by direct unicasts over the
+        surviving physical network — the extra cost lands in the
+        outcome (and thus in the caller's :class:`CostTally`).  The
+        unicast/ideal references stay fault-free so the overhead of
+        degradation is visible in the improvement percentage.
+        """
+        outcome = self.router.route(point, int(publisher), faults=faults)
         match = self.engine.match_point(point)
         recipients = [
             node for node in match.subscribers if node != publisher
         ]
+        if faults is not None:
+            served = set(outcome.subscribers)
+            ruled_out = set(outcome.undeliverable)
+            stranded = [
+                node
+                for node in recipients
+                if node not in served and node not in ruled_out
+            ]
+            if stranded:
+                degraded = self.costs.degraded_unicast_cost(
+                    publisher,
+                    stranded,
+                    dead_links=faults.dead_links,
+                    dead_nodes=faults.dead_nodes,
+                )
+                rescued = set(degraded.reached) | set(degraded.repaired)
+                outcome = replace(
+                    outcome,
+                    subscribers=tuple(sorted(served | rescued)),
+                    total_cost=outcome.total_cost + degraded.cost,
+                    fallback_unicasts=outcome.fallback_unicasts
+                    + len(rescued),
+                    undeliverable=tuple(
+                        sorted(ruled_out | set(degraded.unreachable))
+                    ),
+                )
         unicast = self.costs.unicast_cost(publisher, recipients)
         ideal = self.costs.ideal_cost(publisher, recipients)
         return outcome, unicast, ideal
@@ -72,8 +108,9 @@ class RelayDeliveryService:
         self,
         points: np.ndarray,
         publishers: Sequence[int],
-    ) -> "Tuple[CostTally, List[RoutingOutcome]]":
-        """Evaluate a whole workload."""
+        faults=None,
+    ) -> Tuple[CostTally, List[RoutingOutcome]]:
+        """Evaluate a whole workload (optionally under a fault snapshot)."""
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[0] != len(publishers):
             raise ValueError(
@@ -82,7 +119,9 @@ class RelayDeliveryService:
         tally = CostTally()
         outcomes: List[RoutingOutcome] = []
         for row, publisher in zip(points, publishers):
-            outcome, unicast, ideal = self.publish(row, int(publisher))
+            outcome, unicast, ideal = self.publish(
+                row, int(publisher), faults=faults
+            )
             outcomes.append(outcome)
             # Relay messages are neither unicasts nor group multicasts;
             # count them on the multicast side of the tally (each event

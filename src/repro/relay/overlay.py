@@ -78,6 +78,33 @@ class BrokerOverlay:
         """Tree neighbors of a broker."""
         return self._adjacency[broker]
 
+    def alive_neighbors(self, broker: int, faults) -> List[int]:
+        """Tree neighbors reachable over currently-alive links/brokers.
+
+        ``faults`` is any fault snapshot exposing ``link_dead(u, v)``
+        (a :class:`~repro.faults.plan.FaultState` fits); a link whose
+        far broker is crashed counts as dead.
+        """
+        return [
+            neighbor
+            for neighbor in self._adjacency[broker]
+            if not faults.link_dead(broker, neighbor)
+        ]
+
+    def reachable_brokers(self, entry: int, faults) -> "set[int]":
+        """Brokers reachable from ``entry`` over the alive overlay tree."""
+        if faults.node_dead(entry):
+            return set()
+        reached = {entry}
+        frontier = [entry]
+        while frontier:
+            broker = frontier.pop()
+            for neighbor in self.alive_neighbors(broker, faults):
+                if neighbor not in reached:
+                    reached.add(neighbor)
+                    frontier.append(neighbor)
+        return reached
+
     def link_cost(self, u: int, v: int) -> float:
         """Physical cost of one overlay (backbone) link."""
         try:

@@ -45,6 +45,8 @@ class RoutingOutcome:
     total_cost: float             # physical cost, end to end
     brokers_visited: int
     links_crossed: int
+    fallback_unicasts: int = 0    # stranded subscribers served directly
+    undeliverable: Tuple[int, ...] = ()  # unreachable while faults last
 
     @property
     def delivered(self) -> int:
@@ -182,18 +184,41 @@ class ContentRouter:
     # -- the routing loop --------------------------------------------------------
 
     def route(
-        self, point: Sequence[float], publisher: int
+        self,
+        point: Sequence[float],
+        publisher: int,
+        faults=None,
     ) -> RoutingOutcome:
-        """Flood-with-filtering from the publisher's broker."""
+        """Flood-with-filtering from the publisher's broker.
+
+        With a fault snapshot (``faults`` exposing ``node_dead`` /
+        ``link_dead``, e.g. a :class:`~repro.faults.plan.FaultState`),
+        the flood only crosses alive brokers and overlay links, and
+        subscribers whose node is down are reported as undeliverable.
+        Subscribers stranded behind dead parts of the overlay are the
+        caller's to repair (see
+        :meth:`repro.relay.delivery.RelayDeliveryService.publish`).
+        """
         point = np.asarray(point, dtype=np.float64)
         if point.shape != (self.table.ndim,):
             raise ValueError(
                 f"point must have {self.table.ndim} coordinates"
             )
         entry_broker = self.overlay.broker_of(publisher)
+        if faults is not None and (
+            faults.node_dead(entry_broker) or faults.node_dead(publisher)
+        ):
+            # The event cannot even be injected into the overlay.
+            return RoutingOutcome(
+                subscribers=(),
+                total_cost=0.0,
+                brokers_visited=0,
+                links_crossed=0,
+            )
         total_cost = self.overlay.routing.distance(publisher, entry_broker)
 
         delivered: Set[int] = set()
+        dead_subscribers: Set[int] = set()
         brokers_visited = 0
         links_crossed = 0
         # (broker, came_from) pairs; the tree guarantees no revisits.
@@ -213,12 +238,20 @@ class ContentRouter:
                     # (consistent with the broker's recipient rule).
                     if subscriber == publisher:
                         continue
+                    if faults is not None and faults.node_dead(subscriber):
+                        dead_subscribers.add(subscriber)
+                        continue
                     if subscriber not in delivered:
                         delivered.add(subscriber)
                         total_cost += self.overlay.routing.distance(
                             broker, subscriber
                         )
-            for neighbor in self.overlay.neighbors(broker):
+            neighbors = (
+                self.overlay.neighbors(broker)
+                if faults is None
+                else self.overlay.alive_neighbors(broker, faults)
+            )
+            for neighbor in neighbors:
                 if neighbor == came_from:
                     continue
                 summary = self._links.get((broker, neighbor))
@@ -233,4 +266,5 @@ class ContentRouter:
             total_cost=total_cost,
             brokers_visited=brokers_visited,
             links_crossed=links_crossed,
+            undeliverable=tuple(sorted(dead_subscribers)),
         )

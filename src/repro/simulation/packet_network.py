@@ -17,11 +17,14 @@ multicast tree crosses each link once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..network.routing import RoutingTable
 from ..network.topology import Topology
 from .engine import DiscreteEventSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> simulation)
+    from ..faults.plan import FaultInjector
 
 __all__ = ["PacketNetwork", "TransferLog"]
 
@@ -33,6 +36,7 @@ class TransferLog:
     transmissions: int = 0  # link-level message copies sent
     queueing_delay: float = 0.0  # total time spent waiting for links
     max_link_queue: float = 0.0  # worst single wait
+    retransmissions: int = 0  # link-layer (ARQ) retransmission attempts
 
     def record_wait(self, wait: float) -> None:
         self.queueing_delay += wait
@@ -49,16 +53,22 @@ class PacketNetwork:
         routing: "RoutingTable | None" = None,
         transmission_time: float = 0.25,
         propagation_scale: float = 1.0,
+        injector: "FaultInjector | None" = None,
+        hop_retries: int = 0,
     ):
         if transmission_time < 0:
             raise ValueError("transmission_time must be non-negative")
         if propagation_scale <= 0:
             raise ValueError("propagation_scale must be positive")
+        if hop_retries < 0:
+            raise ValueError("hop_retries must be non-negative")
         self.topology = topology
         self.simulator = simulator
         self.routing = routing or RoutingTable.from_topology(topology)
         self.transmission_time = transmission_time
         self.propagation_scale = propagation_scale
+        self.injector = injector
+        self.hop_retries = hop_retries
         self._busy_until: Dict[Tuple[int, int], float] = {}
         self.log = TransferLog()
 
@@ -70,25 +80,79 @@ class PacketNetwork:
         v: int,
         ready_time: float,
         on_arrival: Callable[[float], None],
+        attempt: int = 0,
     ) -> None:
         """Send one copy over the directed link (u, v).
 
         ``ready_time`` is when the message is available at ``u``; the
         copy departs when the link frees up, occupies it for the
         transmission time, and arrives after the propagation delay.
+
+        With a fault injector attached the copy may be silently
+        dropped (lossy link, outage window, crashed endpoint),
+        duplicated, or delayed.  A lost copy still occupied the link
+        and counts as a transmission — the sender paid for it; a copy
+        from a crashed sender never entered the link at all.
+
+        With ``hop_retries > 0`` the link runs a simple ARQ: when no
+        copy of a transmission arrives, the sender notices one link
+        round trip later (no link-layer acknowledgment) and
+        retransmits, up to the per-hop budget.  This masks random
+        loss; sustained faults (outage windows, crashed endpoints)
+        outlive the budget and are left to the end-to-end protocol.
         """
         key = (u, v)
+        if self.injector is None:
+            # Fault-free fast path: bit-for-bit the original behaviour.
+            depart = max(ready_time, self._busy_until.get(key, 0.0))
+            wait = depart - ready_time
+            if wait > 0:
+                self.log.record_wait(wait)
+            self._busy_until[key] = depart + self.transmission_time
+            propagation = (
+                self.routing.edge_cost(u, v) * self.propagation_scale
+            )
+            arrival = depart + self.transmission_time + propagation
+            self.log.transmissions += 1
+            self.simulator.schedule_at(arrival, lambda: on_arrival(arrival))
+            return
+
         depart = max(ready_time, self._busy_until.get(key, 0.0))
+        fate = self.injector.filter_transmission(u, v, depart)
+        if not fate.sent:
+            return
         wait = depart - ready_time
         if wait > 0:
             self.log.record_wait(wait)
-        self._busy_until[key] = depart + self.transmission_time
-        propagation = (
-            self.routing.edge_cost(u, v) * self.propagation_scale
+        copies = max(1, fate.copies)
+        self._busy_until[key] = depart + self.transmission_time * copies
+        self.log.transmissions += copies
+        propagation = self.routing.edge_cost(u, v) * self.propagation_scale
+        delivered_any = False
+        if not fate.lost:
+            for copy in range(fate.copies):
+                arrival = (
+                    depart
+                    + self.transmission_time * (copy + 1)
+                    + propagation
+                    + fate.extra_delay
+                )
+                if self.injector.arrival_blocked(v, arrival):
+                    continue
+                delivered_any = True
+                self.simulator.schedule_at(
+                    arrival, lambda a=arrival: on_arrival(a)
+                )
+        if delivered_any or attempt >= self.hop_retries:
+            return
+        # Link-layer ARQ: one link round trip with no acknowledgment,
+        # so the sender retransmits this copy.
+        retry_ready = depart + self.transmission_time + 2.0 * propagation
+        self.log.retransmissions += 1
+        self.simulator.schedule_at(
+            retry_ready,
+            lambda: self._forward(u, v, retry_ready, on_arrival, attempt + 1),
         )
-        arrival = depart + self.transmission_time + propagation
-        self.log.transmissions += 1
-        self.simulator.schedule_at(arrival, lambda: on_arrival(arrival))
 
     # -- delivery patterns -------------------------------------------------------
 
@@ -107,7 +171,28 @@ class PacketNetwork:
             now = self.simulator.now
             self.simulator.schedule(0.0, lambda: on_delivered(target, now))
             return
-        path = self.routing.path(source, target)
+        self.send_along(self.routing.path(source, target), on_delivered)
+
+    def send_along(
+        self,
+        path: Sequence[int],
+        on_delivered: Callable[[int, float], None],
+    ) -> None:
+        """Forward one message hop-by-hop along an explicit node path.
+
+        The reliable transport uses this to retransmit around known-dead
+        links and nodes: the path need not be the routing table's
+        shortest path, but every consecutive pair must be a topology
+        edge.  A single-node path delivers immediately.
+        """
+        path = [int(node) for node in path]
+        if not path:
+            raise ValueError("path must contain at least one node")
+        target = path[-1]
+        if len(path) == 1:
+            now = self.simulator.now
+            self.simulator.schedule(0.0, lambda: on_delivered(target, now))
+            return
 
         def hop(position: int, ready_time: float) -> None:
             if position == len(path) - 1:
@@ -174,3 +259,5 @@ class PacketNetwork:
         """Clear link occupancy and statistics (fresh run, same tables)."""
         self._busy_until.clear()
         self.log = TransferLog()
+        if self.injector is not None:
+            self.injector.reset()

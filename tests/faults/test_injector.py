@@ -1,0 +1,188 @@
+"""Unit tests for the deterministic fault plan / injector."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, FaultState
+from repro.faults.plan import BrokerCrash, LinkFault, LinkOutage
+
+
+class TestPlanValidation:
+    def test_default_plan_is_disabled(self):
+        plan = FaultPlan()
+        assert not plan.enabled
+
+    def test_any_fault_enables(self):
+        assert FaultPlan(default_loss=0.1).enabled
+        assert FaultPlan(default_duplicate=0.1).enabled
+        assert FaultPlan(default_delay=1.0).enabled
+        assert FaultPlan(link_faults=(LinkFault(0, 1, loss=0.5),)).enabled
+        assert FaultPlan(outages=(LinkOutage(0, 1, 1.0, 2.0),)).enabled
+        assert FaultPlan(crashes=(BrokerCrash(0, 1.0, 2.0),)).enabled
+
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            FaultPlan(default_loss=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(default_duplicate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(default_delay=-1.0)
+        with pytest.raises(ValueError):
+            LinkFault(0, 1, loss=2.0)
+        with pytest.raises(ValueError):
+            LinkFault(0, 1, duplicate=-0.5)
+
+    def test_windows_validated(self):
+        with pytest.raises(ValueError):
+            LinkOutage(0, 1, start=5.0, end=5.0)
+        with pytest.raises(ValueError):
+            BrokerCrash(0, start=2.0, end=1.0)
+
+    def test_uniform_loss_shortcut(self):
+        plan = FaultPlan.uniform_loss(0.25, seed=7)
+        assert plan.default_loss == 0.25
+        assert plan.seed == 7
+
+
+class TestWindowedFaults:
+    def test_outage_window_is_half_open(self):
+        injector = FaultInjector(
+            FaultPlan(outages=(LinkOutage(3, 4, start=10.0, end=20.0),))
+        )
+        assert not injector.link_down(3, 4, 9.999)
+        assert injector.link_down(3, 4, 10.0)
+        assert injector.link_down(4, 3, 15.0)  # undirected
+        assert not injector.link_down(3, 4, 20.0)  # restart instant
+
+    def test_crash_window_is_half_open(self):
+        injector = FaultInjector(
+            FaultPlan(crashes=(BrokerCrash(7, start=5.0, end=8.0),))
+        )
+        assert not injector.node_down(7, 4.999)
+        assert injector.node_down(7, 5.0)
+        assert not injector.node_down(7, 8.0)
+        assert not injector.node_down(6, 6.0)  # other nodes unaffected
+
+    def test_transmission_fate_during_outage(self):
+        injector = FaultInjector(
+            FaultPlan(outages=(LinkOutage(0, 1, start=0.0, end=10.0),))
+        )
+        fate = injector.filter_transmission(0, 1, 5.0)
+        assert fate.sent and fate.lost
+        assert injector.stats.outage_drops == 1
+
+    def test_crashed_sender_never_enters_link(self):
+        injector = FaultInjector(
+            FaultPlan(crashes=(BrokerCrash(0, start=0.0, end=10.0),))
+        )
+        fate = injector.filter_transmission(0, 1, 5.0)
+        assert not fate.sent
+        assert injector.stats.sender_down_drops == 1
+
+    def test_crashed_receiver_blocks_arrival(self):
+        injector = FaultInjector(
+            FaultPlan(crashes=(BrokerCrash(9, start=0.0, end=10.0),))
+        )
+        assert injector.arrival_blocked(9, 5.0)
+        assert not injector.arrival_blocked(9, 12.0)
+        assert injector.stats.receiver_down_drops == 1
+
+
+class TestFailureDetector:
+    def test_state_at_reports_active_windows(self):
+        injector = FaultInjector(
+            FaultPlan(
+                outages=(LinkOutage(1, 2, 10.0, 20.0),),
+                crashes=(BrokerCrash(5, 15.0, 25.0),),
+            )
+        )
+        early = injector.state_at(5.0)
+        assert early.clear
+
+        mid = injector.state_at(17.0)
+        assert mid.link_dead(1, 2)
+        assert mid.link_dead(2, 1)
+        assert mid.node_dead(5)
+        # Links touching a dead node count as dead.
+        assert mid.link_dead(5, 6)
+
+        late = injector.state_at(30.0)
+        assert late.clear
+
+    def test_permanently_lossy_link_reported_dead(self):
+        injector = FaultInjector(
+            FaultPlan(link_faults=(LinkFault(2, 3, loss=1.0),))
+        )
+        state = injector.state_at(0.0)
+        assert state.link_dead(2, 3)
+        # But a merely-lossy link is not dead.
+        lossy = FaultInjector(
+            FaultPlan(link_faults=(LinkFault(2, 3, loss=0.9),))
+        )
+        assert lossy.state_at(0.0).clear
+
+    def test_none_state_is_neutral(self):
+        state = FaultState.none()
+        assert state.clear
+        assert not state.node_dead(0)
+        assert not state.link_dead(0, 1)
+
+
+class TestProbabilisticStream:
+    def test_same_seed_same_decisions(self):
+        plan = FaultPlan(seed=42, default_loss=0.3, default_duplicate=0.2)
+        a = FaultInjector(plan)
+        b = FaultInjector(plan)
+        fates_a = [a.filter_transmission(0, 1, float(t)) for t in range(200)]
+        fates_b = [b.filter_transmission(0, 1, float(t)) for t in range(200)]
+        assert fates_a == fates_b
+        assert a.stats == b.stats
+        assert a.stats.random_drops > 0
+        assert a.stats.duplicates_injected > 0
+
+    def test_reset_replays_the_stream(self):
+        injector = FaultInjector(FaultPlan(seed=3, default_loss=0.5))
+        first = [
+            injector.filter_transmission(0, 1, 0.0) for _ in range(50)
+        ]
+        injector.reset()
+        assert injector.stats.transmissions_seen == 0
+        second = [
+            injector.filter_transmission(0, 1, 0.0) for _ in range(50)
+        ]
+        assert first == second
+
+    def test_certain_loss_needs_no_draw(self):
+        injector = FaultInjector(
+            FaultPlan(link_faults=(LinkFault(0, 1, loss=1.0),))
+        )
+        for _ in range(10):
+            assert injector.filter_transmission(0, 1, 0.0).lost
+        assert injector.stats.random_drops == 10
+
+    def test_empty_plan_touches_nothing(self):
+        injector = FaultInjector(FaultPlan())
+        for t in range(100):
+            fate = injector.filter_transmission(0, 1, float(t))
+            assert fate.sent and not fate.lost
+            assert fate.copies == 1 and fate.extra_delay == 0.0
+        assert injector.stats.total_drops == 0
+        assert injector.stats.duplicates_injected == 0
+        assert injector.stats.delays_injected == 0
+
+    def test_delay_injection_bounded(self):
+        injector = FaultInjector(FaultPlan(seed=1, default_delay=2.5))
+        for _ in range(50):
+            fate = injector.filter_transmission(0, 1, 0.0)
+            assert 0.0 <= fate.extra_delay < 2.5
+        assert injector.stats.delays_injected == 50
+
+    def test_per_link_fault_overrides_defaults(self):
+        injector = FaultInjector(
+            FaultPlan(
+                seed=5,
+                default_loss=0.0,
+                link_faults=(LinkFault(0, 1, loss=1.0),),
+            )
+        )
+        assert injector.filter_transmission(0, 1, 0.0).lost
+        assert not injector.filter_transmission(2, 3, 0.0).lost

@@ -1,0 +1,234 @@
+"""Unit tests for the reliable ack/retry/dedup transport."""
+
+from types import SimpleNamespace
+
+import networkx as nx
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan, ReliableTransport, RetryConfig
+from repro.faults.plan import BrokerCrash, LinkFault
+from repro.network.routing import RoutingTable
+from repro.simulation import DiscreteEventSimulator
+from repro.simulation.packet_network import PacketNetwork
+
+
+def diamond_graph():
+    """0 —1— 1 with a cheap (via 2) and an expensive (via 3) route to 4—5.
+
+    Shortest path 0→5 is 0-1-2-4-5 (cost 4); killing link (2, 4)
+    leaves the pricier 0-1-3-4-5 (cost 12) as the only survivor.
+    """
+    g = nx.Graph()
+    g.add_edge(0, 1, cost=1.0)
+    g.add_edge(1, 2, cost=1.0)
+    g.add_edge(1, 3, cost=5.0)
+    g.add_edge(2, 4, cost=1.0)
+    g.add_edge(3, 4, cost=5.0)
+    g.add_edge(4, 5, cost=1.0)
+    return g
+
+
+def make_stack(plan, config=None, hop_retries=0, graph=None):
+    """(simulator, network, transport, deliveries) over the diamond."""
+    g = graph if graph is not None else diamond_graph()
+    simulator = DiscreteEventSimulator()
+    injector = FaultInjector(plan)
+    network = PacketNetwork(
+        SimpleNamespace(graph=g),
+        simulator,
+        routing=RoutingTable(g),
+        injector=injector,
+        hop_retries=hop_retries,
+    )
+    deliveries = []
+    give_ups = []
+    transport = ReliableTransport(
+        network,
+        config=config
+        or RetryConfig(
+            ack_timeout=30.0,
+            backoff=2.0,
+            max_jitter=0.5,
+            max_attempts=5,
+            reroute_after=2,
+        ),
+        seed=plan.seed + 1,
+        detector=injector,
+        graph=g,
+        on_deliver=lambda target, key, time: deliveries.append(
+            (key, target, time)
+        ),
+        on_give_up=lambda target, key, reason: give_ups.append(
+            (key, target, reason)
+        ),
+    )
+    return simulator, network, transport, deliveries, give_ups
+
+
+class TestHappyPath:
+    def test_lossless_delivery_no_retries(self):
+        sim, _net, transport, deliveries, give_ups = make_stack(FaultPlan())
+        transport.publish(0, source=0, targets=[2, 5])
+        sim.run()
+        assert sorted(d[:2] for d in deliveries) == [(0, 2), (0, 5)]
+        assert transport.stats.retries == 0
+        assert transport.stats.acked == 2
+        assert transport.unacked() == []
+        assert not give_ups
+
+    def test_self_delivery_needs_no_network(self):
+        sim, net, transport, deliveries, _ = make_stack(FaultPlan())
+        transport.publish(4, source=2, targets=[2])
+        sim.run()
+        assert deliveries == [(4, 2, 0.0)]
+        assert net.log.transmissions == 0
+        assert transport.stats.acked == 1
+
+
+class TestLossyExactlyOnce:
+    def test_retries_recover_random_loss(self):
+        plan = FaultPlan(seed=8, default_loss=0.2)
+        config = RetryConfig(
+            ack_timeout=15.0, backoff=1.5, max_jitter=0.5, max_attempts=40
+        )
+        sim, _net, transport, deliveries, give_ups = make_stack(plan, config)
+        for key in range(20):
+            transport.publish(key, source=0, targets=[2, 5])
+        sim.run()
+        assert not give_ups
+        assert transport.unacked() == []
+        # Every (message, target) delivered to the app exactly once.
+        assert sorted(d[:2] for d in deliveries) == sorted(
+            (key, t) for key in range(20) for t in (2, 5)
+        )
+        assert transport.stats.retries > 0
+        assert transport.stats.duplicates_suppressed > 0  # lost-ack retries
+
+    def test_injected_duplication_is_suppressed(self):
+        # Acceptance criterion: duplicate suppression exercised by a
+        # test that injects duplication directly.
+        plan = FaultPlan(seed=9, default_duplicate=1.0)
+        sim, net, transport, deliveries, _ = make_stack(plan)
+        transport.publish(0, source=0, targets=[5])
+        sim.run()
+        assert net.injector.stats.duplicates_injected > 0
+        assert transport.stats.duplicates_suppressed > 0
+        # ... but the application saw the message exactly once.
+        assert [d[:2] for d in deliveries] == [(0, 5)]
+
+    def test_rerun_is_bit_identical(self):
+        plan = FaultPlan(seed=21, default_loss=0.25)
+
+        def run_once():
+            sim, net, transport, deliveries, give_ups = make_stack(
+                plan,
+                RetryConfig(
+                    ack_timeout=10.0,
+                    backoff=1.5,
+                    max_jitter=0.5,
+                    max_attempts=30,
+                ),
+            )
+            for key in range(10):
+                transport.publish(key, source=0, targets=[2, 4, 5])
+            finished = sim.run()
+            return (
+                deliveries,
+                give_ups,
+                finished,
+                net.log.transmissions,
+                transport.stats,
+            )
+
+        assert run_once() == run_once()
+
+
+class TestBudgetAndReroute:
+    def test_budget_exhaustion_is_loud(self):
+        # A permanently dead access link with no alternative: the
+        # transport must give up after exactly max_attempts and say so.
+        g = nx.Graph()
+        g.add_edge(0, 1, cost=1.0)
+        g.add_edge(1, 2, cost=1.0)
+        plan = FaultPlan(seed=2, link_faults=(LinkFault(1, 2, loss=1.0),))
+        sim, _net, transport, _deliveries, give_ups = make_stack(
+            plan, graph=g
+        )
+        transport.publish(0, source=0, targets=[2])
+        sim.run()
+        assert give_ups == [(0, 2, "retry budget exhausted")]
+        assert transport.failed() == [(0, 2)]
+        assert transport.stats.gave_up == 1
+        # max_attempts=5 data sends: 1 first pass + 4 retries.
+        assert transport.stats.retries == 4
+
+    def test_reroute_around_permanently_dead_link(self):
+        # 100% loss on the cheap path: the failure detector reports the
+        # link dead, and retries fall back to the surviving route.
+        plan = FaultPlan(seed=3, link_faults=(LinkFault(2, 4, loss=1.0),))
+        sim, _net, transport, deliveries, give_ups = make_stack(plan)
+        transport.publish(0, source=0, targets=[5])
+        sim.run()
+        assert not give_ups
+        assert [d[:2] for d in deliveries] == [(0, 5)]
+        assert transport.stats.reroutes > 0
+
+    def test_crash_window_then_restart_recovers(self):
+        # Node 4 (the only junction before the subscriber) is down for
+        # the first attempts; a retry after restart must succeed within
+        # the budget, without any reroute being possible.
+        plan = FaultPlan(seed=4, crashes=(BrokerCrash(4, 0.0, 25.0),))
+        sim, _net, transport, deliveries, give_ups = make_stack(plan)
+        transport.publish(0, source=0, targets=[5])
+        sim.run()
+        assert not give_ups
+        assert [d[:2] for d in deliveries] == [(0, 5)]
+        assert transport.stats.retries > 0
+        delivered_at = deliveries[0][2]
+        assert delivered_at >= 25.0  # only after the restart
+
+
+class TestRetryConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryConfig(ack_timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryConfig(backoff=0.5)
+        with pytest.raises(ValueError):
+            RetryConfig(max_jitter=-1.0)
+        with pytest.raises(ValueError):
+            RetryConfig(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryConfig(reroute_after=0)
+
+    def test_backoff_schedule(self):
+        config = RetryConfig(ack_timeout=10.0, backoff=2.0)
+        assert config.timeout_for(1) == 10.0
+        assert config.timeout_for(2) == 20.0
+        assert config.timeout_for(3) == 40.0
+
+    def test_for_network_scales_with_diameter(self):
+        g = diamond_graph()
+        sim = DiscreteEventSimulator()
+        network = PacketNetwork(
+            SimpleNamespace(graph=g), sim, routing=RoutingTable(g)
+        )
+        config = RetryConfig.for_network(network, max_attempts=9)
+        assert config.ack_timeout > 2.0 * network.routing.diameter()
+        assert config.max_attempts == 9
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        g = diamond_graph()
+        sim = DiscreteEventSimulator()
+        network = PacketNetwork(
+            SimpleNamespace(graph=g), sim, routing=RoutingTable(g)
+        )
+        a = ReliableTransport(network, seed=5)
+        b = ReliableTransport(network, seed=5)
+        for key in range(5):
+            for attempt in range(1, 4):
+                ja = a._jitter(key, 5, attempt)
+                assert ja == b._jitter(key, 5, attempt)
+                assert 0.0 <= ja < a.config.max_jitter
+        c = ReliableTransport(network, seed=6)
+        assert a._jitter(0, 5, 1) != c._jitter(0, 5, 1)

@@ -147,5 +147,41 @@ class TestTopologyAccessors:
         )
         u, v = next(iter(broken.graph.edges()))
         broken.graph.edges[u, v]["cost"] = -1.0
-        with pytest.raises(AssertionError):
+        with pytest.raises(ValueError, match="non-positive cost"):
             broken.validate()
+
+    def test_validate_errors_are_uniform_valueerrors(self, small_topology):
+        # All three structural violations surface as ValueError with
+        # the shared "invalid topology" prefix, so callers can catch
+        # malformed-topology errors uniformly.
+        zero_cost = Topology(
+            graph=small_topology.graph.copy(),
+            transit_nodes=small_topology.transit_nodes,
+            stub_members=small_topology.stub_members,
+            stub_block=small_topology.stub_block,
+        )
+        u, v = next(iter(zero_cost.graph.edges()))
+        zero_cost.graph.edges[u, v]["cost"] = 0.0
+        with pytest.raises(ValueError, match="invalid topology"):
+            zero_cost.validate()
+
+        no_kind = Topology(
+            graph=small_topology.graph.copy(),
+            transit_nodes=small_topology.transit_nodes,
+            stub_members=small_topology.stub_members,
+            stub_block=small_topology.stub_block,
+        )
+        node = next(iter(no_kind.graph.nodes()))
+        del no_kind.graph.nodes[node]["kind"]
+        with pytest.raises(ValueError, match="invalid topology.*node kind"):
+            no_kind.validate()
+
+        disconnected = Topology(
+            graph=small_topology.graph.copy(),
+            transit_nodes=small_topology.transit_nodes,
+            stub_members=small_topology.stub_members,
+            stub_block=small_topology.stub_block,
+        )
+        disconnected.graph.add_node(424242, kind="stub", block=0, stub=0)
+        with pytest.raises(ValueError, match="invalid topology.*connected"):
+            disconnected.validate()

@@ -111,6 +111,39 @@ class TestDot:
         assert "stub " in out.read_text()
 
 
+class TestChaos:
+    def test_reliable_run_verifies_exactly_once(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--events", "120",
+                "--subscriptions", "120",
+                "--crashes", "1",
+                "--crash-length", "40",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "exactly-once" in out
+        assert "reliable" in out
+        assert code == 0  # guarantee held
+
+    def test_unreliable_run_reports_losses(self, capsys):
+        code = main(
+            [
+                "chaos",
+                "--events", "120",
+                "--subscriptions", "120",
+                "--crashes", "1",
+                "--crash-length", "40",
+                "--unreliable",
+            ]
+        )
+        assert code == 0  # informational mode never fails the build
+        out = capsys.readouterr().out
+        assert "fire-and-forget" in out
+        assert "lost (no retransmission)" in out
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -156,7 +156,7 @@ class TestTopologyValidation:
             stub_members=small_topology.stub_members,
             stub_block=small_topology.stub_block,
         )
-        with pytest.raises(AssertionError, match="kind"):
+        with pytest.raises(ValueError, match="kind"):
             broken.validate()
 
     def test_disconnected_topology_caught(self, small_topology):
@@ -168,8 +168,115 @@ class TestTopologyValidation:
             stub_members=small_topology.stub_members,
             stub_block=small_topology.stub_block,
         )
-        with pytest.raises(AssertionError, match="connected"):
+        with pytest.raises(ValueError, match="connected"):
             broken.validate()
+
+
+class TestFaultRecovery:
+    """End-to-end recovery scenarios over the fault-injected substrate."""
+
+    @staticmethod
+    def _line_and_tree_graph():
+        # 0 —(access)— 1 —<cheap 2 / dear 3>— 4 — 5; see faults tests.
+        graph = nx.Graph()
+        graph.add_edge(0, 1, cost=1.0)
+        graph.add_edge(1, 2, cost=1.0)
+        graph.add_edge(1, 3, cost=5.0)
+        graph.add_edge(2, 4, cost=1.0)
+        graph.add_edge(3, 4, cost=5.0)
+        graph.add_edge(4, 5, cost=1.0)
+        return graph
+
+    def _stack(self, plan):
+        from types import SimpleNamespace
+
+        from repro.faults import FaultInjector, ReliableTransport, RetryConfig
+        from repro.network.routing import RoutingTable
+        from repro.simulation import DiscreteEventSimulator
+        from repro.simulation.packet_network import PacketNetwork
+
+        graph = self._line_and_tree_graph()
+        simulator = DiscreteEventSimulator()
+        injector = FaultInjector(plan)
+        network = PacketNetwork(
+            SimpleNamespace(graph=graph),
+            simulator,
+            routing=RoutingTable(graph),
+            injector=injector,
+        )
+        deliveries = []
+        give_ups = []
+        transport = ReliableTransport(
+            network,
+            config=RetryConfig(
+                ack_timeout=30.0,
+                backoff=2.0,
+                max_jitter=0.5,
+                max_attempts=5,
+                reroute_after=2,
+            ),
+            seed=1,
+            detector=injector,
+            graph=graph,
+            on_deliver=lambda t, k, time: deliveries.append((k, t, time)),
+            on_give_up=lambda t, k, reason: give_ups.append((k, t, reason)),
+        )
+        return simulator, network, transport, deliveries, give_ups
+
+    def test_publish_while_access_link_dead(self):
+        # The publisher's only access link is in an outage window when
+        # the event goes out; retries after the window restores it must
+        # deliver exactly once.
+        from repro.faults.plan import FaultPlan, LinkOutage
+
+        plan = FaultPlan(
+            seed=5, outages=(LinkOutage(0, 1, start=0.0, end=40.0),)
+        )
+        sim, net, transport, deliveries, give_ups = self._stack(plan)
+        transport.publish(0, source=0, targets=[2, 5])
+        sim.run()
+        assert not give_ups
+        assert sorted(d[:2] for d in deliveries) == [(0, 2), (0, 5)]
+        assert all(d[2] >= 40.0 for d in deliveries)
+        assert net.injector.stats.outage_drops > 0
+        assert transport.stats.retries > 0
+
+    def test_broker_crash_mid_multicast_with_restart(self):
+        # A relay broker dies while the multicast is in flight and
+        # restarts before the retry budget runs out: subscribers behind
+        # it are recovered by per-target retries after the restart.
+        from repro.faults.plan import BrokerCrash, FaultPlan
+
+        plan = FaultPlan(seed=6, crashes=(BrokerCrash(4, 0.0, 25.0),))
+        sim, net, transport, deliveries, give_ups = self._stack(plan)
+        members = [2, 5]
+
+        def first_pass(receive):
+            net.send_multicast(0, members, receive)
+
+        transport.publish(0, source=0, targets=members, first_pass=first_pass)
+        sim.run()
+        assert not give_ups
+        assert sorted(d[:2] for d in deliveries) == [(0, 2), (0, 5)]
+        by_target = {t: time for _, t, time in deliveries}
+        assert by_target[2] < 25.0  # in front of the crash: first pass
+        assert by_target[5] >= 25.0  # behind it: post-restart retry
+        assert transport.stats.retries > 0
+        assert transport.stats.gave_up == 0
+
+    def test_total_loss_on_one_link_forces_unicast_fallback(self):
+        # 100% loss on the cheap route: the failure detector flags the
+        # link dead and retries fall back to a surviving unicast path.
+        from repro.faults.plan import FaultPlan, LinkFault
+
+        plan = FaultPlan(seed=7, link_faults=(LinkFault(2, 4, loss=1.0),))
+        sim, _net, transport, deliveries, give_ups = self._stack(plan)
+        transport.publish(0, source=0, targets=[5])
+        sim.run()
+        assert not give_ups
+        assert [d[:2] for d in deliveries] == [(0, 5)]
+        assert transport.stats.reroutes > 0
+        assert transport.failed() == []
 
 
 class TestNumericalRobustness:

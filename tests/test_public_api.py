@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.simulation",
     "repro.relay",
+    "repro.faults",
     "repro.io",
 ]
 
