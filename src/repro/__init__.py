@@ -76,6 +76,13 @@ from .network import (
     TransitStubGenerator,
     TransitStubParams,
 )
+from .telemetry import (
+    MetricsRegistry,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    Tracer,
+)
 from .spatial import (
     GridIndexMatcher,
     HilbertRTree,
@@ -134,6 +141,11 @@ __all__ = [
     "Topology",
     "TransitStubGenerator",
     "TransitStubParams",
+    "MetricsRegistry",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "Tracer",
     "GridIndexMatcher",
     "HilbertRTree",
     "LinearScanMatcher",

@@ -56,11 +56,16 @@ def fit_normal(data: np.ndarray) -> NormalFit:
     """Fit N(mu, sigma) and run a Kolmogorov-Smirnov check."""
     data = np.asarray(data, dtype=np.float64)
     if data.size < 8:
-        raise ValueError("need at least 8 observations")
+        raise ValueError(
+            f"fit_normal: need at least 8 observations (got {data.size})"
+        )
     mean = float(np.mean(data))
     std = float(np.std(data, ddof=1))
     if std <= 0:
-        raise ValueError("degenerate sample: zero variance")
+        raise ValueError(
+            f"fit_normal: sample standard deviation must be positive "
+            f"(got {std})"
+        )
     statistic, pvalue = stats.kstest(data, "norm", args=(mean, std))
     return NormalFit(mean, std, float(statistic), float(pvalue))
 
@@ -76,7 +81,10 @@ def fit_zipf(ranked_counts: np.ndarray) -> PowerLawFit:
     counts = np.asarray(ranked_counts, dtype=np.float64)
     counts = counts[counts > 0]
     if counts.size < 8:
-        raise ValueError("need at least 8 ranked counts")
+        raise ValueError(
+            f"fit_zipf: need at least 8 positive ranked counts "
+            f"(got {counts.size})"
+        )
     ranks = np.arange(1, counts.size + 1, dtype=np.float64)
     return _loglog_regression(ranks, counts)
 
@@ -89,11 +97,17 @@ def fit_pareto_tail(data: np.ndarray, tail_fraction: float = 0.5) -> PowerLawFit
     ``-alpha``.
     """
     if not 0.0 < tail_fraction <= 1.0:
-        raise ValueError("tail_fraction must lie in (0, 1]")
+        raise ValueError(
+            f"fit_pareto_tail: tail_fraction must lie in (0, 1] "
+            f"(got {tail_fraction})"
+        )
     data = np.asarray(data, dtype=np.float64)
     positive = np.sort(data[data > 0])
     if positive.size < 16:
-        raise ValueError("need at least 16 positive observations")
+        raise ValueError(
+            f"fit_pareto_tail: need at least 16 positive observations "
+            f"(got {positive.size})"
+        )
     start = int(len(positive) * (1.0 - tail_fraction))
     tail = positive[start:-1]  # drop the max (survival would be 0)
     survival = 1.0 - (np.arange(start, start + tail.size) + 1) / len(positive)

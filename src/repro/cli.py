@@ -8,12 +8,21 @@ The subcommands cover the library's main workflows::
     repro tune      --testbed testbed.json --groups 11 --modes 9
     repro experiments [--small]
     repro chaos     --events 500 --loss 0.1 --crashes 2
+    repro stats     --events 200 --loss 0.1
+    repro trace     --event 3 --events 200
 
 ``repro chaos`` replays a workload through the packet simulator with
 injected faults (lossy links, broker crash/restart windows) and
 verifies the exactly-once delivery guarantee of the reliable
 protocol — or, with ``--unreliable``, reports precisely what the raw
 substrate loses.
+
+``repro stats`` runs the same pipeline with live telemetry and prints
+the operational picture: events/sec, match-latency percentiles, the
+multicast/unicast split, retry/duplicate counters, and per-link
+traffic.  ``repro trace`` replays the identical deterministic run and
+dumps the span tree of one event (match → distribution-decision →
+route → deliver → ack/retry) as JSONL.
 
 (Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.)
@@ -142,6 +151,63 @@ def _build_parser() -> argparse.ArgumentParser:
         "--unreliable",
         action="store_true",
         help="disable acks/retries/dedup (demonstrates what gets lost)",
+    )
+
+    def add_telemetry_workload_options(sub: argparse.ArgumentParser) -> None:
+        # Same knobs as `repro chaos` so `stats`/`trace` replay the
+        # exact workload a chaos run saw (identical seeds → identical
+        # simulated timeline).
+        sub.add_argument("--seed", type=int, default=2003)
+        sub.add_argument("--events", type=int, default=200)
+        sub.add_argument("--subscriptions", type=int, default=300)
+        sub.add_argument("--groups", type=int, default=11)
+        sub.add_argument("--threshold", type=float, default=0.15)
+        sub.add_argument("--loss", type=float, default=0.05)
+        sub.add_argument("--crashes", type=int, default=1)
+        sub.add_argument("--crash-length", type=float, default=50.0)
+
+    stats = commands.add_parser(
+        "stats",
+        help="run an instrumented workload and print pipeline metrics",
+    )
+    add_telemetry_workload_options(stats)
+    stats.add_argument(
+        "--top-links",
+        type=int,
+        default=5,
+        help="how many busiest links to list",
+    )
+    stats.add_argument(
+        "--metrics-out",
+        default=None,
+        help="also write all metrics in Prometheus text format",
+    )
+    stats.add_argument(
+        "--trace-out",
+        default=None,
+        help="also write every span as JSONL",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="dump the span tree of one event as JSONL",
+    )
+    add_telemetry_workload_options(trace)
+    trace.add_argument(
+        "--event",
+        type=int,
+        required=True,
+        help="event sequence number (= trace id) to dump",
+    )
+    trace.add_argument(
+        "--pretty",
+        action="store_true",
+        help="print an indented tree instead of JSONL",
+    )
+    trace.add_argument(
+        "--out",
+        default=None,
+        help="write the JSONL here instead of stdout",
     )
 
     dot = commands.add_parser(
@@ -304,6 +370,156 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.exactly_once else 1
 
 
+def _run_instrumented(args: argparse.Namespace):
+    """One fully-instrumented reliable chaos run (stats/trace share it).
+
+    Both verbs build the workload from the same seeds, so a given
+    ``--seed/--events/...`` combination always produces the identical
+    simulated timeline — ``repro trace --event N`` dumps exactly the
+    event ``repro stats`` counted.
+    """
+    from time import perf_counter
+
+    from .faults import ChaosSimulation
+    from .faults.verifier import build_chaos_plan, build_chaos_testbed
+    from .telemetry import Telemetry
+
+    broker, density = build_chaos_testbed(
+        seed=args.seed,
+        subscriptions=args.subscriptions,
+        num_groups=args.groups,
+    )
+    broker = broker.with_policy(ThresholdPolicy(args.threshold))
+    points, publishers = PublicationGenerator(
+        density, broker.topology.all_stub_nodes(), seed=args.seed + 9
+    ).generate(args.events)
+    plan = build_chaos_plan(
+        broker.topology,
+        seed=args.seed,
+        loss=args.loss,
+        crashes=args.crashes,
+        crash_length=args.crash_length,
+        horizon=float(args.events),
+    )
+    telemetry = Telemetry(seed=args.seed)
+    simulation = ChaosSimulation(
+        broker, plan, reliable=True, telemetry=telemetry
+    )
+    started = perf_counter()
+    report = simulation.run(points, publishers)
+    wall = perf_counter() - started
+    return report, telemetry, wall
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .telemetry.exporters import write_prometheus, write_spans_jsonl
+
+    report, telemetry, wall = _run_instrumented(args)
+    metrics = telemetry.metrics
+
+    def counter(name: str, **labels) -> int:
+        return int(metrics.value(name, **labels))
+
+    latency = metrics.histogram("broker.match_latency_us")
+    events = counter("broker.events")
+    rows = [
+        ("events", events),
+        ("events/sec", f"{events / wall:.1f}" if wall > 0 else "inf"),
+        ("match latency p50 (us)", f"{latency.p50:.1f}"),
+        ("match latency p95 (us)", f"{latency.p95:.1f}"),
+        ("match latency p99 (us)", f"{latency.p99:.1f}"),
+        ("multicasts", counter("decision.method", method="multicast")),
+        ("unicasts", counter("decision.method", method="unicast")),
+        ("not sent", counter("decision.method", method="not_sent")),
+        ("deliveries", counter("transport.delivered")),
+        ("retries", counter("transport.retries")),
+        ("reroutes", counter("transport.reroutes")),
+        ("gave up", counter("transport.gave_up")),
+        (
+            "duplicates suppressed",
+            counter("transport.duplicates_suppressed"),
+        ),
+        ("acks sent", counter("transport.acks_sent")),
+        (
+            "link retransmissions (ARQ)",
+            counter("net.link.retransmissions"),
+        ),
+    ]
+    print(
+        f"instrumented run: {args.events} events, loss={args.loss}, "
+        f"crashes={args.crashes}x{args.crash_length}, seed={args.seed}"
+    )
+    print(format_table(("metric", "value"), rows))
+
+    per_link = []
+    family = metrics.get("net.link.bytes")
+    if family is not None:
+        for labels, metric in family.children.items():
+            per_link.append((dict(labels)["link"], int(metric.value)))
+    per_link.sort(key=lambda item: (-item[1], item[0]))
+    total_bytes = sum(size for _, size in per_link)
+    print(
+        f"\nlink traffic: {total_bytes} bytes over "
+        f"{len(per_link)} links; busiest {min(args.top_links, len(per_link))}:"
+    )
+    print(
+        format_table(
+            ("link", "bytes", "copies"),
+            [
+                (
+                    link,
+                    size,
+                    int(metrics.value("net.link.transmissions", link=link)),
+                )
+                for link, size in per_link[: args.top_links]
+            ],
+        )
+    )
+    if args.metrics_out:
+        write_prometheus(metrics, args.metrics_out)
+        print(f"\nwrote {args.metrics_out} (Prometheus text format)")
+    if args.trace_out:
+        write_spans_jsonl(telemetry.tracer.spans, args.trace_out)
+        print(f"wrote {args.trace_out} ({len(telemetry.tracer.spans)} spans)")
+    return 0 if report.exactly_once else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry.exporters import (
+        format_span_tree,
+        span_tree,
+        spans_to_jsonl,
+    )
+
+    if args.event < 0 or args.event >= args.events:
+        print(
+            f"error: --event {args.event} outside workload "
+            f"[0, {args.events})",
+            file=sys.stderr,
+        )
+        return 2
+    _, telemetry, _ = _run_instrumented(args)
+    ordered = span_tree(telemetry.tracer.spans, args.event)
+    if not ordered:
+        print(
+            f"no spans recorded for event {args.event} "
+            "(event may have matched nobody)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.pretty:
+        print(format_span_tree(ordered))
+        return 0
+    payload = "\n".join(spans_to_jsonl(ordered)) + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        print(f"wrote {args.out} ({len(ordered)} spans)", file=sys.stderr)
+    else:
+        print(payload, end="")
+    return 0
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     from .network.visualize import write_dot
 
@@ -329,6 +545,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": _cmd_tune,
         "experiments": _cmd_experiments,
         "chaos": _cmd_chaos,
+        "stats": _cmd_stats,
+        "trace": _cmd_trace,
         "dot": _cmd_dot,
     }
     return handlers[args.command](args)

@@ -68,7 +68,7 @@ class UniformCellProbability:
 
     def per_dimension_masses(
         self, edges: Sequence[np.ndarray]
-    ) -> "List[np.ndarray]":
+    ) -> List[np.ndarray]:
         """Product-form fast path (see the same method on the mixtures)."""
         masses: List[np.ndarray] = []
         for d, edge in enumerate(edges):
@@ -134,7 +134,7 @@ class EventGrid:
         subscriber_ids: Sequence[int],
         density: Optional[CellProbability] = None,
         cells_per_dim: int = DEFAULT_CELLS_PER_DIM,
-        frame: "Optional[tuple[Sequence[float], Sequence[float]]]" = None,
+        frame: Optional[tuple[Sequence[float], Sequence[float]]] = None,
     ):
         if len(rectangles) != len(subscriber_ids):
             raise ValueError("one subscriber id per rectangle required")
@@ -269,7 +269,7 @@ class EventGrid:
 
     def add_subscription(
         self, rectangle: Rectangle, subscriber: int
-    ) -> "List[Tuple[int, ...]]":
+    ) -> List[Tuple[int, ...]]:
         """Fold one new subscription into the membership lists.
 
         Registers the subscriber (allocating a new bit position if it
@@ -330,7 +330,7 @@ class EventGrid:
 
     # -- queries --------------------------------------------------------------
 
-    def locate(self, point: Sequence[float]) -> "Optional[Tuple[int, ...]]":
+    def locate(self, point: Sequence[float]) -> Optional[Tuple[int, ...]]:
         """Grid coordinates of a point, or ``None`` outside the frame.
 
         Half-open convention: a point exactly on the frame's low edge
@@ -378,7 +378,7 @@ class EventGrid:
 
 def _fit_frame(
     lows: np.ndarray, highs: np.ndarray
-) -> "tuple[np.ndarray, np.ndarray]":
+) -> tuple[np.ndarray, np.ndarray]:
     """Bounding frame over the finite coordinates, slightly padded.
 
     The padding keeps rectangle edges off the frame boundary so the

@@ -92,7 +92,7 @@ class SpacePartition:
         """Member counts of all groups (diagnostics)."""
         return [g.size for g in self.groups]
 
-    def add_subscription(self, rectangle, subscriber: int) -> "List[int]":
+    def add_subscription(self, rectangle, subscriber: int) -> List[int]:
         """Incrementally admit one new subscription (churn support).
 
         Updates the grid's membership lists and enlarges every

@@ -114,7 +114,7 @@ class IncrementalClusterMaintainer:
         moves = 0
         while moves < max_moves:
             best_gain = 1e-12  # require a strict improvement
-            best_move: "Optional[Tuple[GridCell, int, int]]" = None
+            best_move: Optional[Tuple[GridCell, int, int]] = None
             for source_index, source in enumerate(self._clusters):
                 if len(source) <= 1:
                     continue  # never empty a cluster

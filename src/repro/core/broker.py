@@ -20,6 +20,7 @@ same costs — all randomness lives in the workload generators.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,11 +30,13 @@ from ..clustering.grid import CellProbability, EventGrid
 from ..clustering.groups import SpacePartition
 from ..network.multicast import CostTally, DeliveryCostModel
 from ..network.topology import Topology
+from ..telemetry.base import Telemetry, or_null
 from .distribution import (
     DeliveryMethod,
     DistributionDecision,
     DistributionPolicy,
     ThresholdPolicy,
+    record_decision,
 )
 from .event import Event
 from .matching import MatchingEngine, MatchResult
@@ -78,13 +81,19 @@ class PubSubBroker:
         policy: Optional[DistributionPolicy] = None,
         matcher_backend: str = "stree",
         cost_model: Optional[DeliveryCostModel] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.topology = topology
         self.table = table
         self.partition = partition
         self.policy = policy or ThresholdPolicy()
-        self.engine = MatchingEngine(table, backend=matcher_backend)
-        self.costs = cost_model or DeliveryCostModel(topology)
+        self.telemetry = or_null(telemetry)
+        self.engine = MatchingEngine(
+            table, backend=matcher_backend, telemetry=telemetry
+        )
+        self.costs = cost_model or DeliveryCostModel(
+            topology, telemetry=telemetry
+        )
 
     # -- construction -------------------------------------------------------
 
@@ -102,6 +111,7 @@ class PubSubBroker:
         matcher_backend: str = "stree",
         cost_model: Optional[DeliveryCostModel] = None,
         grid_frame: "Optional[tuple[Sequence[float], Sequence[float]]]" = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> "PubSubBroker":
         """Run the full preprocessing stage and return a ready broker.
 
@@ -130,6 +140,7 @@ class PubSubBroker:
             policy=policy,
             matcher_backend=matcher_backend,
             cost_model=cost_model,
+            telemetry=telemetry,
         )
 
     # -- the dynamic path --------------------------------------------------------
@@ -146,20 +157,81 @@ class PubSubBroker:
         prices.  The unicast/ideal reference costs stay fault-free, so
         the repair overhead is visible in the improvement percentage.
         """
+        telemetry = self.telemetry
+        instrumented = telemetry.enabled
+        if instrumented:
+            root = telemetry.start_span(
+                "event",
+                trace_id=event.sequence,
+                publisher=event.publisher,
+            )
+            match_span = telemetry.start_span("match", parent=root)
+            match_started = perf_counter()
         match = self.engine.match(event)
         q = self.partition.locate(event.point)
+        if instrumented:
+            telemetry.histogram(
+                "broker.match_latency_us",
+                help="wall time of one match+locate, microseconds",
+            ).observe((perf_counter() - match_started) * 1e6)
+            match_span.set_attribute(
+                "subscribers", match.num_subscribers
+            ).finish()
         group_size = (
             self.partition.group(q).size if q > 0 else 0
         )
+        if instrumented:
+            decision_span = telemetry.start_span(
+                "distribution-decision", parent=root
+            )
         decision = self.policy.decide(
             interested=match.num_subscribers,
             group_size=group_size,
             group=q,
         )
+        record_decision(telemetry, decision)
+        if instrumented:
+            decision_span.set_attribute(
+                "method", decision.method.value
+            ).set_attribute("group", q).set_attribute(
+                "interested", decision.interested
+            ).finish()
 
+        record = self._cost(
+            event,
+            match,
+            decision,
+            q,
+            faults,
+            telemetry,
+            parent_span=root if instrumented else None,
+        )
+        if instrumented:
+            telemetry.counter("broker.events").inc()
+            root.set_attribute("method", record.method.value).finish()
+        return record
+
+    def _cost(
+        self,
+        event: Event,
+        match: MatchResult,
+        decision: DistributionDecision,
+        q: int,
+        faults,
+        telemetry: Telemetry,
+        parent_span=None,
+    ) -> DeliveryRecord:
+        """The routing/costing stage of :meth:`publish` (one ``route`` span)."""
         if decision.method is DeliveryMethod.NOT_SENT:
             return DeliveryRecord(event, match, decision, 0.0, 0.0, 0.0)
 
+        if telemetry.enabled:
+            route_span = telemetry.start_span(
+                "route",
+                trace_id=event.sequence,
+                parent=parent_span,
+                method=decision.method.value,
+            )
         recipients = [
             node for node in match.subscribers if node != event.publisher
         ]
@@ -183,7 +255,7 @@ class PubSubBroker:
                     dead_links=faults.dead_links,
                     dead_nodes=faults.dead_nodes,
                 )
-            return DeliveryRecord(
+            record = DeliveryRecord(
                 event,
                 match,
                 decision,
@@ -193,15 +265,29 @@ class PubSubBroker:
                 repaired=degraded.repaired,
                 undeliverable=degraded.unreachable,
             )
-
-        if decision.method is DeliveryMethod.UNICAST:
-            scheme_cost = unicast_cost
+        elif decision.method is DeliveryMethod.UNICAST:
+            record = DeliveryRecord(
+                event, match, decision, unicast_cost, unicast_cost,
+                ideal_cost,
+            )
         else:
             members = self.partition.group(q).members
-            scheme_cost = self.costs.multicast_cost(event.publisher, members)
-        return DeliveryRecord(
-            event, match, decision, scheme_cost, unicast_cost, ideal_cost
-        )
+            record = DeliveryRecord(
+                event,
+                match,
+                decision,
+                self.costs.multicast_cost(event.publisher, members),
+                unicast_cost,
+                ideal_cost,
+            )
+        if telemetry.enabled:
+            telemetry.histogram(
+                "broker.scheme_cost", help="edge-cost units per message"
+            ).observe(record.scheme_cost)
+            route_span.set_attribute(
+                "scheme_cost", record.scheme_cost
+            ).set_attribute("recipients", len(recipients)).finish()
+        return record
 
     def run(
         self,
@@ -256,4 +342,7 @@ class PubSubBroker:
             policy=policy,
             matcher_backend=self.engine.backend,
             cost_model=self.costs,
+            telemetry=(
+                self.telemetry if self.telemetry.enabled else None
+            ),
         )

@@ -27,6 +27,7 @@ __all__ = [
     "DistributionPolicy",
     "ThresholdPolicy",
     "PerGroupThresholdPolicy",
+    "record_decision",
 ]
 
 
@@ -142,3 +143,30 @@ class PerGroupThresholdPolicy:
         return ThresholdPolicy(self.threshold_for(group)).decide(
             interested, group_size, group
         )
+
+
+def record_decision(telemetry, decision: DistributionDecision) -> None:
+    """Meter one distribution decision into a telemetry registry.
+
+    Counts the per-method decision rate (the unicast-vs-multicast
+    split ``repro stats`` reports) and, when a group applied, the
+    interested-ratio the threshold rule saw — the distribution of the
+    very quantity the paper's Figure 6 sweeps ``t`` over.  A no-op
+    under :class:`~repro.telemetry.base.NullTelemetry`.
+    """
+    if not telemetry.enabled:
+        return
+    telemetry.counter(
+        "decision.total", help="distribution decisions made"
+    ).inc()
+    telemetry.counter(
+        "decision.method",
+        help="decisions per delivery method",
+        method=decision.method.value,
+    ).inc()
+    if decision.group_size > 0:
+        telemetry.histogram(
+            "decision.interested_ratio",
+            help="|s| / |M_q| seen by the threshold rule",
+            bounds=tuple(i / 20.0 for i in range(1, 21)),
+        ).observe(decision.interested_ratio)

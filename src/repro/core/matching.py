@@ -18,6 +18,7 @@ from ..spatial.grid_index import GridIndexMatcher
 from ..spatial.linear import LinearScanMatcher
 from ..spatial.rtree import HilbertRTree
 from ..spatial.stree import STree
+from ..telemetry.base import Telemetry, or_null
 from .event import Event
 from .subscription import SubscriptionTable
 
@@ -56,6 +57,7 @@ class MatchingEngine:
         self,
         table: SubscriptionTable,
         backend: str = "stree",
+        telemetry: "Telemetry | None" = None,
         **backend_options,
     ):
         if len(table) == 0:
@@ -69,6 +71,7 @@ class MatchingEngine:
             ) from None
         self.table = table
         self.backend = backend
+        self.telemetry = or_null(telemetry)
         lows, highs = table.to_arrays()
         self.matcher = matcher_cls.build(lows, highs, **backend_options)
 
@@ -76,6 +79,15 @@ class MatchingEngine:
         """Match raw coordinates (most callers use :meth:`match`)."""
         subscription_ids = self.matcher.match(point)
         subscribers = self.table.subscribers_of(subscription_ids)
+        if self.telemetry.enabled:
+            self.telemetry.counter("match.queries").inc()
+            self.telemetry.counter("match.matched_subscriptions").inc(
+                len(subscription_ids)
+            )
+            self.telemetry.histogram(
+                "match.selectivity",
+                help="distinct interested subscribers per query",
+            ).observe(len(subscribers))
         return MatchResult(
             subscription_ids=tuple(subscription_ids),
             subscribers=tuple(subscribers),

@@ -38,7 +38,7 @@ class TopologySummary:
     diameter_cost: float
     is_connected: bool
 
-    def rows(self) -> "List[Tuple[str, object]]":
+    def rows(self) -> List[Tuple[str, object]]:
         """Key/value rows for table rendering."""
         return [
             ("nodes", self.num_nodes),

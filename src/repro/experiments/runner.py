@@ -26,7 +26,7 @@ from .testbed import build_testbed
 __all__ = ["main"]
 
 
-def main(argv: "List[str] | None" = None) -> int:
+def main(argv: List[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Reproduce the paper's tables and figures."
     )

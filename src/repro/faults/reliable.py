@@ -34,6 +34,8 @@ import networkx as nx
 import numpy as np
 
 from ..simulation.packet_network import PacketNetwork
+from ..telemetry.base import Telemetry, or_null
+from ..telemetry.tracing import Span
 from .plan import FaultState
 
 __all__ = ["RetryConfig", "ReliabilityStats", "ReliableTransport"]
@@ -107,7 +109,7 @@ class ReliabilityStats:
 class _Pending:
     """Sender-side state for one (message, target) delivery."""
 
-    __slots__ = ("source", "target", "attempts", "acked", "failed")
+    __slots__ = ("source", "target", "attempts", "acked", "failed", "span")
 
     def __init__(self, source: int, target: int):
         self.source = source
@@ -115,6 +117,7 @@ class _Pending:
         self.attempts = 0
         self.acked = False
         self.failed = False
+        self.span: Optional[Span] = None
 
 
 class ReliableTransport:
@@ -155,6 +158,7 @@ class ReliableTransport:
         graph: Optional[nx.Graph] = None,
         on_deliver: Optional[Callable[[int, int, float], None]] = None,
         on_give_up: Optional[Callable[[int, int, str], None]] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.network = network
         self.simulator = network.simulator
@@ -164,10 +168,12 @@ class ReliableTransport:
         self.graph = graph if graph is not None else network.topology.graph
         self.on_deliver = on_deliver or (lambda target, key, time: None)
         self.on_give_up = on_give_up or (lambda target, key, reason: None)
+        self.telemetry = or_null(telemetry)
         self.stats = ReliabilityStats()
         self._pending: Dict[Tuple[int, int], _Pending] = {}
         self._seen: Dict[int, Set[int]] = {}
         self._path_cache: Dict[tuple, Optional[List[int]]] = {}
+        self._ack_spans: Dict[Tuple[int, int], Span] = {}
 
     # -- sender side ---------------------------------------------------------
 
@@ -177,6 +183,7 @@ class ReliableTransport:
         source: int,
         targets: Sequence[int],
         first_pass: Optional[Callable[[Callable[[int, float], None]], None]] = None,
+        parent_span: Optional[Span] = None,
     ) -> None:
         """Reliably deliver message ``key`` from ``source`` to ``targets``.
 
@@ -186,13 +193,29 @@ class ReliableTransport:
         and must perform attempt #1 itself (e.g. one multicast down a
         group tree); otherwise attempt #1 is one unicast per target.
         Either way, retries are per-target unicasts.
+
+        With telemetry attached, each tracked target gets a ``deliver``
+        span (child of ``parent_span``, typically the publisher's
+        ``route`` span) that closes at first application-level arrival
+        — or with status ``gave_up`` when the retry budget dies.
         """
         key = int(key)
         source = int(source)
         targets = [int(t) for t in targets]
         self.stats.messages += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.counter("transport.messages").inc()
         for target in targets:
-            self._pending[(key, target)] = _Pending(source, target)
+            pending = _Pending(source, target)
+            if telemetry.enabled:
+                pending.span = telemetry.start_span(
+                    "deliver",
+                    trace_id=key,
+                    parent=parent_span,
+                    target=target,
+                )
+            self._pending[(key, target)] = pending
             self.stats.tracked += 1
         if first_pass is not None:
             first_pass(self._receiver(key, source))
@@ -217,6 +240,16 @@ class ReliableTransport:
         pending.attempts += 1
         if pending.attempts > 1:
             self.stats.retries += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "transport.retries", help="data retransmissions"
+                ).inc()
+                self.telemetry.event(
+                    "retry",
+                    parent=pending.span,
+                    attempt=pending.attempts,
+                    rerouted=path is not None,
+                )
         receive = self._receiver(key, pending.source)
         if path is not None:
             self.network.send_along(path, receive)
@@ -253,6 +286,13 @@ class ReliableTransport:
         if pending.attempts >= self.config.max_attempts:
             pending.failed = True
             self.stats.gave_up += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "transport.gave_up",
+                    help="targets abandoned after the retry budget",
+                ).inc()
+                if pending.span is not None:
+                    pending.span.finish(status="gave_up")
             self.on_give_up(target, key, "retry budget exhausted")
             return
         path = None
@@ -263,6 +303,11 @@ class ReliableTransport:
             path = self._alternate_path(pending.source, target)
             if path is not None:
                 self.stats.reroutes += 1
+                if self.telemetry.enabled:
+                    self.telemetry.counter(
+                        "transport.reroutes",
+                        help="retries sent on a detector-chosen path",
+                    ).inc()
         self._send_data(key, target, path)
 
     def _alternate_path(
@@ -315,13 +360,42 @@ class ReliableTransport:
         seen = self._seen.setdefault(target, set())
         if key in seen:
             self.stats.duplicates_suppressed += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "transport.duplicates_suppressed",
+                    help="data copies deduped at receivers",
+                ).inc()
         else:
             seen.add(key)
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "transport.delivered",
+                    help="first application-level deliveries",
+                ).inc()
+                pending = self._pending.get((key, target))
+                if pending is not None and pending.span is not None:
+                    pending.span.set_attribute(
+                        "attempts", max(1, pending.attempts)
+                    ).finish(time=time)
             self.on_deliver(target, key, time)
         self._send_ack(key, source, target)
 
     def _send_ack(self, key: int, source: int, target: int) -> None:
         self.stats.acks_sent += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.counter("transport.acks_sent").inc()
+            pending = self._pending.get((key, target))
+            if (
+                pending is not None
+                and pending.span is not None
+                and (key, target) not in self._ack_spans
+            ):
+                # Trace the first ack attempt per (message, target);
+                # re-acks of duplicates share its fate.
+                self._ack_spans[(key, target)] = telemetry.start_span(
+                    "ack", parent=pending.span, target=target
+                )
         if target == source:
             self._ack_arrived(key, target)
             return
@@ -346,6 +420,11 @@ class ReliableTransport:
             return
         pending.acked = True
         self.stats.acked += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter("transport.acked").inc()
+            ack_span = self._ack_spans.pop((key, target), None)
+            if ack_span is not None:
+                ack_span.finish()
 
     # -- introspection -------------------------------------------------------
 

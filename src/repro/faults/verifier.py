@@ -26,19 +26,21 @@ the protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..clustering import ForgyKMeansClustering
 from ..core.broker import PubSubBroker
-from ..core.distribution import DeliveryMethod
+from ..core.distribution import DeliveryMethod, record_decision
 from ..core.event import Event
 from ..core.subscription import SubscriptionTable
 from ..network.topology import TransitStubGenerator, TransitStubParams
 from ..simulation.delivery import LatencyStats
 from ..simulation.engine import DiscreteEventSimulator
 from ..simulation.packet_network import PacketNetwork
+from ..telemetry.base import Telemetry, or_null
 from ..workload import (
     PublicationGenerator,
     StockSubscriptionGenerator,
@@ -198,12 +200,18 @@ class ChaosSimulation:
         transmission_time: float = 0.25,
         propagation_scale: float = 1.0,
         hop_retries: int = 4,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.broker = broker
         self.plan = plan
         self.reliable = reliable
         self.simulator = DiscreteEventSimulator()
         self.injector = FaultInjector(plan)
+        # Telemetry runs on simulated time: span timestamps come from
+        # the engine clock, so instrumented chaos runs stay
+        # deterministic (and NullTelemetry keeps this a no-op).
+        self.telemetry = or_null(telemetry)
+        self.telemetry.bind_clock(lambda: self.simulator.now)
         # Reliable mode layers link-level ARQ (masks random loss)
         # under the end-to-end ack/retry protocol (recovers from
         # outages and crashes); fire-and-forget mode gets neither.
@@ -214,6 +222,7 @@ class ChaosSimulation:
             propagation_scale=propagation_scale,
             injector=self.injector,
             hop_retries=hop_retries if reliable else 0,
+            telemetry=telemetry,
         )
         self.ledger = DeliveryLedger()
         self.transport: Optional[ReliableTransport] = None
@@ -231,6 +240,7 @@ class ChaosSimulation:
                         (key, target), reason
                     )
                 ),
+                telemetry=telemetry,
             )
 
     def run(
@@ -252,23 +262,57 @@ class ChaosSimulation:
             raise ValueError("one arrival time per event required")
 
         counters = {"multicast": 0, "unicast": 0, "not_sent": 0}
+        telemetry = self.telemetry
 
         def publish(sequence: int) -> None:
+            # The span tree mirrors the lifecycle: `event` (root) →
+            # `match` / `distribution-decision` / `route`; the
+            # reliable transport hangs `deliver` (→ `retry` / `ack`)
+            # spans off `route`.  Synchronous spans close at publish
+            # time (simulated clock); deliver spans close at
+            # application arrival.
+            instrumented = telemetry.enabled
             event = Event.create(
                 sequence, int(publishers[sequence]), points[sequence]
             )
+            if instrumented:
+                telemetry.counter("broker.events").inc()
+                root = telemetry.start_span(
+                    "event", trace_id=sequence, publisher=event.publisher
+                )
+                match_span = telemetry.start_span("match", parent=root)
+                match_started = perf_counter()
             match = self.broker.engine.match(event)
             q = self.broker.partition.locate(event.point)
+            if instrumented:
+                telemetry.histogram(
+                    "broker.match_latency_us",
+                    help="wall time of one match+locate, microseconds",
+                ).observe((perf_counter() - match_started) * 1e6)
+                match_span.set_attribute(
+                    "subscribers", match.num_subscribers
+                ).finish()
             group_size = (
                 self.broker.partition.group(q).size if q > 0 else 0
             )
+            if instrumented:
+                decision_span = telemetry.start_span(
+                    "distribution-decision", parent=root
+                )
             decision = self.broker.policy.decide(
                 interested=match.num_subscribers,
                 group_size=group_size,
                 group=q,
             )
+            record_decision(telemetry, decision)
+            if instrumented:
+                decision_span.set_attribute(
+                    "method", decision.method.value
+                ).set_attribute("group", q).finish()
             if decision.method is DeliveryMethod.NOT_SENT:
                 counters["not_sent"] += 1
+                if instrumented:
+                    root.set_attribute("method", "not_sent").finish()
                 return
             now = self.simulator.now
             recipients = [
@@ -278,14 +322,27 @@ class ChaosSimulation:
             ]
             self.ledger.expect(sequence, recipients, now)
             if not recipients:
+                if instrumented:
+                    root.set_attribute("method", "self_only").finish()
                 return
             interested = set(recipients)
+            route_span = None
+            if instrumented:
+                route_span = telemetry.start_span(
+                    "route",
+                    parent=root,
+                    method=decision.method.value,
+                    targets=len(recipients),
+                )
 
             if decision.method is DeliveryMethod.UNICAST:
                 counters["unicast"] += 1
                 if self.transport is not None:
                     self.transport.publish(
-                        sequence, event.publisher, recipients
+                        sequence,
+                        event.publisher,
+                        recipients,
+                        parent_span=route_span,
                     )
                 else:
                     for node in recipients:
@@ -296,6 +353,9 @@ class ChaosSimulation:
                                 s, n, t
                             ),
                         )
+                if instrumented:
+                    route_span.finish()
+                    root.set_attribute("method", "unicast").finish()
                 return
 
             counters["multicast"] += 1
@@ -320,7 +380,11 @@ class ChaosSimulation:
                     )
 
                 self.transport.publish(
-                    sequence, event.publisher, recipients, first_pass
+                    sequence,
+                    event.publisher,
+                    recipients,
+                    first_pass,
+                    parent_span=route_span,
                 )
             else:
                 self.network.send_multicast(
@@ -333,6 +397,11 @@ class ChaosSimulation:
                     ),
                     via=via,
                 )
+            if instrumented:
+                route_span.set_attribute(
+                    "group", q
+                ).set_attribute("group_size", len(members)).finish()
+                root.set_attribute("method", "multicast").finish()
 
         for sequence, time in enumerate(arrival_times):
             self.simulator.schedule_at(

@@ -23,6 +23,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from typing import Tuple
 
+from ..telemetry.base import Telemetry, or_null
 from .routing import RoutingTable, path_cost, surviving_path
 from .topology import Topology
 
@@ -86,7 +87,7 @@ class CostTally:
             return 0.0
         return self.scheme / self.messages
 
-    def merge(self, other: "CostTally") -> "CostTally":
+    def merge(self, other: CostTally) -> CostTally:
         """Sum two tallies (for sharded workloads)."""
         return CostTally(
             messages=self.messages + other.messages,
@@ -133,7 +134,12 @@ class DeliveryCostModel:
     #: Recognized multicast mechanisms.
     MODES = ("dense", "sparse", "overlay")
 
-    def __init__(self, topology: Topology, multicast_mode: str = "dense"):
+    def __init__(
+        self,
+        topology: Topology,
+        multicast_mode: str = "dense",
+        telemetry: Optional[Telemetry] = None,
+    ):
         if multicast_mode not in self.MODES:
             raise ValueError(
                 f"multicast_mode must be one of {self.MODES}, got "
@@ -141,10 +147,11 @@ class DeliveryCostModel:
             )
         self.topology = topology
         self.multicast_mode = multicast_mode
+        self.telemetry = or_null(telemetry)
         self.routing = RoutingTable.from_topology(topology)
-        self._group_tree_cache: "dict[tuple[int, frozenset[int]], float]" = {}
-        self._shared_tree_cache: "dict[frozenset[int], tuple[int, float]]" = {}
-        self._overlay_tree_cache: "dict[frozenset[int], float]" = {}
+        self._group_tree_cache: dict[tuple[int, frozenset[int]], float] = {}
+        self._shared_tree_cache: dict[frozenset[int], tuple[int, float]] = {}
+        self._overlay_tree_cache: dict[frozenset[int], float] = {}
 
     def unicast_cost(self, source: int, recipients: Iterable[int]) -> float:
         """Cost of one unicast per recipient."""
@@ -174,8 +181,18 @@ class DeliveryCostModel:
         key = (int(source), members)
         cached = self._group_tree_cache.get(key)
         if cached is None:
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "cost.group_tree.misses",
+                    help="dense-mode group trees built",
+                ).inc()
             cached = self.routing.shortest_path_tree_cost(source, members)
             self._group_tree_cache[key] = cached
+        elif self.telemetry.enabled:
+            self.telemetry.counter(
+                "cost.group_tree.hits",
+                help="dense-mode group trees served from cache",
+            ).inc()
         return cached
 
     def rendezvous_point(self, group_members: Iterable[int]) -> int:
@@ -189,7 +206,7 @@ class DeliveryCostModel:
         rendezvous, _ = self._shared_tree(members)
         return rendezvous
 
-    def _shared_tree(self, members: "frozenset[int]") -> "tuple[int, float]":
+    def _shared_tree(self, members: frozenset[int]) -> tuple[int, float]:
         if not members:
             raise ValueError("cannot build a shared tree for no members")
         cached = self._shared_tree_cache.get(members)
@@ -205,7 +222,7 @@ class DeliveryCostModel:
             self._shared_tree_cache[members] = cached
         return cached
 
-    def _overlay_tree_cost(self, members: "frozenset[int]") -> float:
+    def _overlay_tree_cost(self, members: frozenset[int]) -> float:
         """MST of the complete overlay graph (Prim's, O(m^2))."""
         if not members:
             raise ValueError("cannot build an overlay for no members")
@@ -254,7 +271,7 @@ class DeliveryCostModel:
         recipients: Iterable[int],
         dead_links: Iterable[Tuple[int, int]] = (),
         dead_nodes: Iterable[int] = (),
-    ) -> "DegradedDelivery":
+    ) -> DegradedDelivery:
         """Unicast fan-out over whatever part of the network survives.
 
         Each recipient is charged its shortest path over the surviving
@@ -294,6 +311,7 @@ class DeliveryCostModel:
                 repaired.append(recipient)
             else:
                 reached.append(recipient)
+        self._record_degraded("unicast", repaired, unreachable)
         return DegradedDelivery(
             cost=cost,
             reached=tuple(reached),
@@ -305,10 +323,10 @@ class DeliveryCostModel:
         self,
         source: int,
         group_members: Iterable[int],
-        interested: "Optional[Iterable[int]]" = None,
+        interested: Optional[Iterable[int]] = None,
         dead_links: Iterable[Tuple[int, int]] = (),
         dead_nodes: Iterable[int] = (),
-    ) -> "DegradedDelivery":
+    ) -> DegradedDelivery:
         """Dense-mode multicast with tree repair and unicast fallback.
 
         The message flows down the healthy dense-mode tree as far as it
@@ -341,7 +359,7 @@ class DeliveryCostModel:
         graph = self.topology.graph
 
         # Walk the healthy tree, pruning at the first dead element.
-        children: "dict[int, List[int]]" = {}
+        children: dict[int, List[int]] = {}
         for u, v in self.routing.tree_edges(source, members):
             children.setdefault(u, []).append(v)
         cost = 0.0
@@ -372,6 +390,7 @@ class DeliveryCostModel:
             else:
                 cost += path_cost(graph, path)
                 repaired.append(subscriber)
+        self._record_degraded("multicast", repaired, unreachable)
         return DegradedDelivery(
             cost=cost,
             reached=tuple(reached),
@@ -379,10 +398,35 @@ class DeliveryCostModel:
             unreachable=tuple(unreachable),
         )
 
+    def _record_degraded(
+        self,
+        method: str,
+        repaired: Sequence[int],
+        unreachable: Sequence[int],
+    ) -> None:
+        """Meter one degraded delivery's repair/partition outcome."""
+        if not self.telemetry.enabled:
+            return
+        self.telemetry.counter(
+            "cost.degraded.deliveries",
+            help="deliveries costed against a fault snapshot",
+            method=method,
+        ).inc()
+        if repaired:
+            self.telemetry.counter(
+                "cost.degraded.repaired",
+                help="recipients rescued by detour or fallback unicast",
+            ).inc(len(repaired))
+        if unreachable:
+            self.telemetry.counter(
+                "cost.degraded.unreachable",
+                help="recipients partitioned away entirely",
+            ).inc(len(unreachable))
+
 
 def _normalize_links(
     links: Iterable[Tuple[int, int]]
-) -> "frozenset[Tuple[int, int]]":
+) -> frozenset[Tuple[int, int]]:
     """Canonical (min, max) form for undirected link identities."""
     return frozenset(
         (int(u), int(v)) if int(u) <= int(v) else (int(v), int(u))

@@ -62,7 +62,7 @@ class RoutingTable:
             self._cost_lookup[(v, u)] = cost
 
     @classmethod
-    def from_topology(cls, topology: Topology) -> "RoutingTable":
+    def from_topology(cls, topology: Topology) -> RoutingTable:
         return cls(topology.graph)
 
     # -- primitives --------------------------------------------------------
@@ -178,9 +178,9 @@ def surviving_path(
     graph: nx.Graph,
     source: int,
     target: int,
-    dead_links: "frozenset[Tuple[int, int]] | set",
-    dead_nodes: "frozenset[int] | set",
-) -> "List[int] | None":
+    dead_links: frozenset[Tuple[int, int]] | set,
+    dead_nodes: frozenset[int] | set,
+) -> List[int] | None:
     """Shortest path avoiding dead links/nodes, or ``None`` if cut off.
 
     ``dead_links`` holds undirected node pairs (any orientation).  Used
@@ -206,7 +206,7 @@ def surviving_path(
         return None
 
 
-def path_cost(graph: nx.Graph, path: "Sequence[int]") -> float:
+def path_cost(graph: nx.Graph, path: Sequence[int]) -> float:
     """Summed edge cost of a node path over ``graph``."""
     return float(
         sum(

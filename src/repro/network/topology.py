@@ -151,7 +151,7 @@ class Topology:
         """Cost attribute of the edge ``(u, v)``."""
         return float(self.graph.edges[u, v]["cost"])
 
-    def degree_stats(self) -> "Dict[str, float]":
+    def degree_stats(self) -> Dict[str, float]:
         """Mean/min/max degree (Figure 3's structural summary)."""
         degrees = [d for _, d in self.graph.degree()]
         return {

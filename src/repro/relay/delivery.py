@@ -26,6 +26,7 @@ from ..core.matching import MatchingEngine
 from ..core.subscription import SubscriptionTable
 from ..network.multicast import CostTally, DeliveryCostModel
 from ..network.topology import Topology
+from ..telemetry.base import Telemetry, or_null
 from .overlay import BrokerOverlay
 from .router import ContentRouter, RoutingOutcome
 
@@ -41,10 +42,14 @@ class RelayDeliveryService:
         table: SubscriptionTable,
         aggregation: str = "exact",
         cost_model: Optional[DeliveryCostModel] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.topology = topology
         self.table = table
-        self.costs = cost_model or DeliveryCostModel(topology)
+        self.telemetry = or_null(telemetry)
+        self.costs = cost_model or DeliveryCostModel(
+            topology, telemetry=telemetry
+        )
         self.overlay = BrokerOverlay(
             topology, routing=self.costs.routing
         )
@@ -53,7 +58,9 @@ class RelayDeliveryService:
         )
         # Reference matcher for the unicast/ideal baselines (and the
         # exactness cross-check in tests).
-        self.engine = MatchingEngine(table, backend="stree")
+        self.engine = MatchingEngine(
+            table, backend="stree", telemetry=telemetry
+        )
 
     def publish(
         self, point: Sequence[float], publisher: int, faults=None
@@ -69,6 +76,11 @@ class RelayDeliveryService:
         unicast/ideal references stay fault-free so the overhead of
         degradation is visible in the improvement percentage.
         """
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            route_span = telemetry.start_span(
+                "route", publisher=int(publisher), architecture="relay"
+            )
         outcome = self.router.route(point, int(publisher), faults=faults)
         match = self.engine.match_point(point)
         recipients = [
@@ -102,6 +114,18 @@ class RelayDeliveryService:
                 )
         unicast = self.costs.unicast_cost(publisher, recipients)
         ideal = self.costs.ideal_cost(publisher, recipients)
+        if telemetry.enabled:
+            telemetry.counter("relay.events").inc()
+            telemetry.counter(
+                "relay.fallback_unicasts",
+                help="subscribers rescued by direct unicast",
+            ).inc(outcome.fallback_unicasts)
+            telemetry.histogram(
+                "relay.flood_cost", help="relay cost per event"
+            ).observe(outcome.total_cost)
+            route_span.set_attribute(
+                "delivered", outcome.delivered
+            ).set_attribute("cost", outcome.total_cost).finish()
         return outcome, unicast, ideal
 
     def run(

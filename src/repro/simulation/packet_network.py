@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequ
 
 from ..network.routing import RoutingTable
 from ..network.topology import Topology
+from ..telemetry.base import Telemetry, or_null
 from .engine import DiscreteEventSimulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> simulation)
@@ -55,6 +56,7 @@ class PacketNetwork:
         propagation_scale: float = 1.0,
         injector: "FaultInjector | None" = None,
         hop_retries: int = 0,
+        telemetry: "Telemetry | None" = None,
     ):
         if transmission_time < 0:
             raise ValueError("transmission_time must be non-negative")
@@ -69,8 +71,34 @@ class PacketNetwork:
         self.propagation_scale = propagation_scale
         self.injector = injector
         self.hop_retries = hop_retries
+        self.telemetry = or_null(telemetry)
         self._busy_until: Dict[Tuple[int, int], float] = {}
         self.log = TransferLog()
+
+    #: Modelled payload size of one link-level copy.  The simulator has
+    #: no byte-level content; this fixed size turns per-link copy
+    #: counts into the bytes-per-link figures ``repro stats`` reports.
+    MESSAGE_BYTES = 1024
+
+    def _meter_copies(self, u: int, v: int, copies: int, wait: float) -> None:
+        """Per-link accounting (only called when telemetry is live)."""
+        link = f"{u}-{v}" if u <= v else f"{v}-{u}"
+        telemetry = self.telemetry
+        telemetry.counter(
+            "net.link.transmissions",
+            help="link-level message copies per (undirected) link",
+            link=link,
+        ).inc(copies)
+        telemetry.counter(
+            "net.link.bytes",
+            help="modelled bytes per (undirected) link",
+            link=link,
+        ).inc(copies * self.MESSAGE_BYTES)
+        if wait > 0:
+            telemetry.histogram(
+                "net.queue_wait",
+                help="time spent waiting for a busy link",
+            ).observe(wait)
 
     # -- link primitive ------------------------------------------------------
 
@@ -114,6 +142,8 @@ class PacketNetwork:
             )
             arrival = depart + self.transmission_time + propagation
             self.log.transmissions += 1
+            if self.telemetry.enabled:
+                self._meter_copies(u, v, 1, wait)
             self.simulator.schedule_at(arrival, lambda: on_arrival(arrival))
             return
 
@@ -127,6 +157,8 @@ class PacketNetwork:
         copies = max(1, fate.copies)
         self._busy_until[key] = depart + self.transmission_time * copies
         self.log.transmissions += copies
+        if self.telemetry.enabled:
+            self._meter_copies(u, v, copies, wait)
         propagation = self.routing.edge_cost(u, v) * self.propagation_scale
         delivered_any = False
         if not fate.lost:
@@ -149,6 +181,11 @@ class PacketNetwork:
         # so the sender retransmits this copy.
         retry_ready = depart + self.transmission_time + 2.0 * propagation
         self.log.retransmissions += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "net.link.retransmissions",
+                help="link-layer ARQ retransmission attempts",
+            ).inc()
         self.simulator.schedule_at(
             retry_ready,
             lambda: self._forward(u, v, retry_ready, on_arrival, attempt + 1),

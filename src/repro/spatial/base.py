@@ -74,7 +74,7 @@ def validate_build_inputs(
     lows: np.ndarray,
     highs: np.ndarray,
     ids: Optional[Sequence[int]],
-) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Normalize and sanity-check raw build inputs.
 
     Returns contiguous float64 ``(k, N)`` bounds arrays and an int64
@@ -124,7 +124,7 @@ class PointMatcher(abc.ABC):
         highs: np.ndarray,
         ids: Optional[Sequence[int]] = None,
         **kwargs,
-    ) -> "PointMatcher":
+    ) -> PointMatcher:
         """Build an index over ``(k, N)`` bounds arrays.
 
         ``ids[i]`` is the identifier reported when rectangle ``i``
@@ -139,7 +139,7 @@ class PointMatcher(abc.ABC):
         rectangles: Sequence[Rectangle],
         ids: Optional[Sequence[int]] = None,
         **kwargs,
-    ) -> "PointMatcher":
+    ) -> PointMatcher:
         """Convenience builder from :class:`Rectangle` objects."""
         lows, highs = rectangles_to_arrays(list(rectangles))
         return cls.build(lows, highs, ids, **kwargs)
@@ -162,7 +162,7 @@ class PointMatcher(abc.ABC):
         """Number of rectangles containing ``point``."""
         return len(self.match(point))
 
-    def match_many(self, points: np.ndarray) -> "List[List[int]]":
+    def match_many(self, points: np.ndarray) -> List[List[int]]:
         """Match a batch of points; one sorted id list per row.
 
         The default implementation loops over :meth:`match`;

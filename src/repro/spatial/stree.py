@@ -152,7 +152,7 @@ class _BinaryNode:
             return 1
         return sum(child.leaf_node_count() for child in self.children)
 
-    def collect_leaves(self) -> "List[_BinaryNode]":
+    def collect_leaves(self) -> List[_BinaryNode]:
         """All leaf nodes in this subtree, left to right."""
         if self.is_leaf:
             return [self]
@@ -227,7 +227,7 @@ class STree(PointMatcher):
 
     def _best_split(
         self, indices: np.ndarray
-    ) -> "tuple[np.ndarray, np.ndarray]":
+    ) -> tuple[np.ndarray, np.ndarray]:
         """One binarization step.
 
         Sweeps candidate split positions (respecting the skew bounds,
@@ -407,7 +407,7 @@ class STree(PointMatcher):
 
 def _packing_frame_clip(
     lows: np.ndarray, highs: np.ndarray
-) -> "tuple[np.ndarray, np.ndarray]":
+) -> tuple[np.ndarray, np.ndarray]:
     """Clip bounds to a finite frame for packing-geometry purposes.
 
     The frame spans the finite coordinates present in the data,

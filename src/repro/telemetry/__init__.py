@@ -1,0 +1,74 @@
+"""repro.telemetry — metrics + event-lifecycle tracing for the pipeline.
+
+The measurement substrate for every layer of the pub-sub system:
+
+- :mod:`~repro.telemetry.metrics` — counters, gauges, fixed-bucket
+  histograms with p50/p95/p99 estimates, behind a
+  :class:`MetricsRegistry`;
+- :mod:`~repro.telemetry.tracing` — parent/child spans over the event
+  lifecycle (``match → distribution-decision → route → deliver →
+  ack/retry``) with deterministic, seedable span ids and an injected
+  clock (the simulator's, inside simulations);
+- :mod:`~repro.telemetry.exporters` — JSONL span dumps and Prometheus
+  text exposition;
+- :mod:`~repro.telemetry.base` — the :class:`Telemetry` facade and its
+  :class:`NullTelemetry` twin, the default for every ``telemetry=``
+  hook, which guarantees uninstrumented runs are unchanged.
+
+Attach to any entry point::
+
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(seed=7)
+    broker = PubSubBroker.preprocess(..., telemetry=telemetry)
+    broker.run(points, publishers)
+    print(telemetry.histogram("broker.match_latency_us").p95)
+
+or drive the whole instrumented pipeline from the CLI: ``repro stats``
+(run summary + exporters) and ``repro trace --event <id>`` (one
+event's span tree as JSONL).
+"""
+
+from .base import NULL_TELEMETRY, NullTelemetry, Telemetry, or_null
+from .exporters import (
+    format_span_tree,
+    prometheus_text,
+    span_tree,
+    spans_to_jsonl,
+    write_prometheus,
+    write_spans_jsonl,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    exponential_buckets,
+)
+from .tracing import NULL_SPAN, NullTracer, Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "or_null",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "exponential_buckets",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_SPAN",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "span_tree",
+    "format_span_tree",
+]

@@ -1,5 +1,9 @@
 """Unit tests for the distribution fitters."""
 
+import os
+import subprocess
+import sys
+
 import numpy as np
 import pytest
 
@@ -82,3 +86,64 @@ class TestFitParetoTail:
     def test_small_sample_rejected(self):
         with pytest.raises(ValueError):
             fit_pareto_tail(np.ones(8))
+
+
+class TestValidationMessages:
+    """Validation is ValueError-based with uniform, diagnosable text."""
+
+    CASES = [
+        (lambda: fit_normal(np.zeros(4)),
+         "fit_normal: need at least 8 observations (got 4)"),
+        (lambda: fit_normal(np.full(100, 3.0)),
+         "fit_normal: sample standard deviation must be positive (got 0.0)"),
+        (lambda: fit_zipf(np.array([5.0, 3.0])),
+         "fit_zipf: need at least 8 positive ranked counts (got 2)"),
+        (lambda: fit_pareto_tail(np.ones(100), tail_fraction=1.5),
+         "fit_pareto_tail: tail_fraction must lie in (0, 1] (got 1.5)"),
+        (lambda: fit_pareto_tail(np.ones(8)),
+         "fit_pareto_tail: need at least 16 positive observations (got 8)"),
+    ]
+
+    def test_messages_name_function_and_got_value(self):
+        for call, expected in self.CASES:
+            with pytest.raises(ValueError) as excinfo:
+                call()
+            assert str(excinfo.value) == expected
+
+    def test_validation_survives_python_O(self):
+        # ``python -O`` strips assert statements; the fitters must not
+        # rely on them for input validation.  Run every bad input in an
+        # optimized subprocess and require the same ValueErrors.
+        program = (
+            "import numpy as np\n"
+            "from repro.analysis import fit_normal, fit_pareto_tail, "
+            "fit_zipf\n"
+            "cases = [\n"
+            "    (lambda: fit_normal(np.zeros(4)), 'fit_normal:'),\n"
+            "    (lambda: fit_normal(np.full(100, 3.0)), 'fit_normal:'),\n"
+            "    (lambda: fit_zipf(np.array([5.0, 3.0])), 'fit_zipf:'),\n"
+            "    (lambda: fit_pareto_tail(np.ones(100), tail_fraction=1.5),"
+            " 'fit_pareto_tail:'),\n"
+            "    (lambda: fit_pareto_tail(np.ones(8)),"
+            " 'fit_pareto_tail:'),\n"
+            "]\n"
+            "assert False  # proves -O is active: this must not raise\n"
+            "for call, prefix in cases:\n"
+            "    try:\n"
+            "        call()\n"
+            "    except ValueError as error:\n"
+            "        if not str(error).startswith(prefix):\n"
+            "            raise SystemExit(f'wrong message: {error}')\n"
+            "    else:\n"
+            "        raise SystemExit('ValueError not raised under -O')\n"
+            "print('OK')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-O", "-c", program],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "OK"

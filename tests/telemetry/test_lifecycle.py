@@ -1,0 +1,172 @@
+"""End-to-end trace integrity on a faulty, retrying chaos run.
+
+One seeded run with lossy links and a broker crash produces the full
+lifecycle — ``event → match / distribution-decision / route →
+deliver → retry / ack`` — and the trace must hold together: every
+parent id resolves, children nest inside their parents' trace, retries
+actually appear, and the whole thing is byte-identical when re-run.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.verifier import (
+    ChaosSimulation,
+    build_chaos_plan,
+    build_chaos_testbed,
+)
+from repro.telemetry import Telemetry, span_tree, spans_to_jsonl
+from repro.workload import PublicationGenerator
+
+EVENTS = 60
+SEED = 23
+
+
+def _instrumented_run():
+    broker, density = build_chaos_testbed(seed=SEED, subscriptions=150)
+    plan = build_chaos_plan(
+        broker.topology, seed=SEED, loss=0.12, horizon=float(EVENTS)
+    )
+    telemetry = Telemetry(seed=SEED)
+    simulation = ChaosSimulation(
+        broker, plan, reliable=True, telemetry=telemetry
+    )
+    points, publishers = PublicationGenerator(
+        density, broker.topology.all_stub_nodes(), seed=SEED + 9
+    ).generate(EVENTS)
+    report = simulation.run(points, publishers)
+    return report, telemetry
+
+
+@pytest.fixture(scope="module")
+def faulty_run():
+    return _instrumented_run()
+
+
+class TestSpanIntegrity:
+    def test_retries_happened(self, faulty_run):
+        # The scenario must actually exercise the retry path, or the
+        # rest of this module proves nothing.
+        report, telemetry = faulty_run
+        assert report.exactly_once
+        assert telemetry.metrics.value("transport.retries") > 0
+        assert any(s.name == "retry" for s in telemetry.tracer.spans)
+
+    def test_every_parent_resolves_within_its_trace(self, faulty_run):
+        _, telemetry = faulty_run
+        spans = telemetry.tracer.spans
+        assert telemetry.tracer.dropped == 0
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]
+            assert parent.trace_id == span.trace_id
+
+    def test_lifecycle_shape(self, faulty_run):
+        _, telemetry = faulty_run
+        spans = telemetry.tracer.spans
+        by_id = {s.span_id: s for s in spans}
+        expected_parent = {
+            "match": "event",
+            "distribution-decision": "event",
+            "route": "event",
+            "deliver": "route",
+            "retry": "deliver",
+            "ack": "deliver",
+        }
+        for span in spans:
+            if span.name == "event":
+                assert span.parent_id is None
+            else:
+                assert span.name in expected_parent
+                assert by_id[span.parent_id].name == expected_parent[
+                    span.name
+                ]
+
+    def test_roots_cover_every_published_event(self, faulty_run):
+        _, telemetry = faulty_run
+        roots = [s for s in telemetry.tracer.spans if s.name == "event"]
+        assert len(roots) == EVENTS
+        assert sorted(s.trace_id for s in roots) == list(range(EVENTS))
+
+    def test_spans_are_finished_and_causally_ordered(self, faulty_run):
+        _, telemetry = faulty_run
+        by_id = {s.span_id: s for s in telemetry.tracer.spans}
+        for span in telemetry.tracer.spans:
+            assert span.end is not None
+            assert span.end >= span.start
+            if span.parent_id is not None:
+                # A child never starts before its parent.
+                assert span.start >= by_id[span.parent_id].start
+
+    def test_timestamps_are_simulated_time(self, faulty_run):
+        report, telemetry = faulty_run
+        # Simulated time, not wall time: the latest span activity fits
+        # inside the simulation horizon the report measured.
+        last = max(s.end for s in telemetry.tracer.spans)
+        assert last <= report.finished_at
+
+    def test_retry_spans_attach_to_their_delivery(self, faulty_run):
+        _, telemetry = faulty_run
+        by_id = {s.span_id: s for s in telemetry.tracer.spans}
+        retries = [
+            s for s in telemetry.tracer.spans if s.name == "retry"
+        ]
+        assert retries
+        for retry in retries:
+            assert by_id[retry.parent_id].name == "deliver"
+            # The first data send is attempt 1; retries start at 2.
+            assert retry.attributes["attempt"] >= 2
+
+    def test_retry_spans_match_retry_counter(self, faulty_run):
+        _, telemetry = faulty_run
+        spans = telemetry.tracer.spans
+        retry_spans = sum(1 for s in spans if s.name == "retry")
+        assert retry_spans == telemetry.metrics.value(
+            "transport.retries"
+        )
+        gave_up = [
+            s
+            for s in spans
+            if s.name == "deliver" and s.status == "gave_up"
+        ]
+        assert not gave_up  # exactly-once run delivered everything
+        # ``attempts`` counts sends up to first arrival, so it can lag
+        # the retry total (a timeout may race an in-flight ack) but
+        # never exceed attempts-per-delivery overall.
+        extra_attempts = sum(
+            s.attributes["attempts"] - 1
+            for s in spans
+            if s.name == "deliver"
+        )
+        assert extra_attempts <= retry_spans
+
+
+class TestDeterminism:
+    def test_rerun_is_byte_identical(self, faulty_run):
+        _, first = faulty_run
+        _, second = _instrumented_run()
+        first_lines = "\n".join(spans_to_jsonl(first.tracer.spans))
+        second_lines = "\n".join(spans_to_jsonl(second.tracer.spans))
+        assert first_lines == second_lines
+
+    def test_single_trace_export_is_well_formed(self, faulty_run):
+        _, telemetry = faulty_run
+        with_retry = next(
+            s.trace_id
+            for s in telemetry.tracer.spans
+            if s.name == "retry"
+        )
+        ordered = span_tree(telemetry.tracer.spans, with_retry)
+        seen = set()
+        for line in spans_to_jsonl(ordered):
+            decoded = json.loads(line)
+            assert (
+                decoded["parent_id"] is None
+                or decoded["parent_id"] in seen
+            )
+            seen.add(decoded["span_id"])
+        names = {s.name for s in ordered}
+        assert {"event", "match", "route", "deliver", "retry"} <= names

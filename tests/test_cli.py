@@ -144,6 +144,111 @@ class TestChaos:
         assert "lost (no retransmission)" in out
 
 
+class TestStats:
+    ARGS = [
+        "--events", "60",
+        "--subscriptions", "120",
+        "--seed", "7",
+        "--loss", "0.08",
+        "--crashes", "1",
+        "--crash-length", "30",
+    ]
+
+    def test_prints_pipeline_metrics(self, capsys):
+        code = main(["stats", *self.ARGS])
+        assert code == 0  # run stayed exactly-once
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        assert "match latency p50 (us)" in out
+        assert "match latency p95 (us)" in out
+        assert "match latency p99 (us)" in out
+        assert "multicasts" in out
+        assert "unicasts" in out
+        assert "retries" in out
+        assert "duplicates suppressed" in out
+        assert "link traffic:" in out
+        assert "bytes" in out
+
+    def test_exports_prometheus_and_jsonl(self, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "metrics.prom"
+        trace_path = tmp_path / "spans.jsonl"
+        code = main(
+            [
+                "stats",
+                *self.ARGS,
+                "--metrics-out", str(metrics_path),
+                "--trace-out", str(trace_path),
+            ]
+        )
+        assert code == 0
+        prom = metrics_path.read_text()
+        assert "# TYPE broker_events counter" in prom
+        assert "# TYPE broker_match_latency_us histogram" in prom
+        lines = trace_path.read_text().strip().splitlines()
+        names = {json.loads(line)["name"] for line in lines}
+        assert {"event", "match", "route", "deliver"} <= names
+
+
+class TestTrace:
+    ARGS = [
+        "--events", "60",
+        "--subscriptions", "120",
+        "--seed", "7",
+        "--loss", "0.08",
+        "--crashes", "1",
+        "--crash-length", "30",
+    ]
+
+    def _first_delivered_event(self, capsys):
+        # Find an event that actually routed (trace has >1 span).
+        import json
+
+        for candidate in range(10):
+            code = main(["trace", "--event", str(candidate), *self.ARGS])
+            out = capsys.readouterr().out
+            if code == 0:
+                spans = [json.loads(line) for line in out.splitlines()]
+                if len(spans) > 1:
+                    return candidate, spans
+        pytest.fail("no routed event in the first 10")
+
+    def test_emits_well_formed_span_tree(self, capsys):
+        event, spans = self._first_delivered_event(capsys)
+        seen = set()
+        for span in spans:
+            assert span["trace_id"] == event
+            assert span["parent_id"] is None or span["parent_id"] in seen
+            seen.add(span["span_id"])
+        assert spans[0]["name"] == "event"
+        assert spans[0]["parent_id"] is None
+
+    def test_pretty_mode(self, capsys):
+        event, _ = self._first_delivered_event(capsys)
+        code = main(
+            ["trace", "--event", str(event), "--pretty", *self.ARGS]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("event ")
+        assert "\n  " in out  # children are indented
+
+    def test_out_of_range_event_rejected(self, capsys):
+        code = main(["trace", "--event", "999", *self.ARGS])
+        assert code == 2
+        assert "outside workload" in capsys.readouterr().err
+
+    def test_deterministic_across_runs(self, capsys):
+        event, first = self._first_delivered_event(capsys)
+        main(["trace", "--event", str(event), *self.ARGS])
+        second = capsys.readouterr().out
+        import json
+
+        assert [json.dumps(s, sort_keys=True, separators=(",", ":"))
+                for s in first] == second.strip().splitlines()
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
