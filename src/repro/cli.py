@@ -8,14 +8,20 @@ The subcommands cover the library's main workflows::
     repro tune      --testbed testbed.json --groups 11 --modes 9
     repro experiments [--small]
     repro chaos     --events 500 --loss 0.1 --crashes 2
-    repro stats     --events 200 --loss 0.1
+    repro chaos     --overload --scenario burst --queue-capacity 32
+    repro stats     --events 200 --loss 0.1 [--overload]
     repro trace     --event 3 --events 200
 
 ``repro chaos`` replays a workload through the packet simulator with
 injected faults (lossy links, broker crash/restart windows) and
 verifies the exactly-once delivery guarantee of the reliable
 protocol — or, with ``--unreliable``, reports precisely what the raw
-substrate loses.
+substrate loses.  With ``--overload`` the same replay runs behind the
+full overload-protection stack (token-bucket admission, bounded
+ingress queue with pluggable shedding, degraded group-flood mode,
+per-subscriber circuit breakers) against a canned saturation
+scenario: a burst storm, a slow or permanently-dead subscriber, or a
+thundering-resubscribe herd.
 
 ``repro stats`` runs the same pipeline with live telemetry and prints
 the operational picture: events/sec, match-latency percentiles, the
@@ -50,6 +56,7 @@ from .core import (
 )
 from .io import load_testbed, save_testbed
 from .network import TransitStubGenerator
+from .overload import SHED_POLICIES
 from .workload import (
     PublicationGenerator,
     StockSubscriptionGenerator,
@@ -106,6 +113,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiments", help="reproduce every paper table and figure"
     )
     experiments.add_argument("--small", action="store_true")
+    experiments.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress campaign output (warnings still shown)",
+    )
 
     chaos = commands.add_parser(
         "chaos",
@@ -152,6 +164,59 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable acks/retries/dedup (demonstrates what gets lost)",
     )
+    overload = chaos.add_argument_group(
+        "overload protection (with --overload)"
+    )
+    overload.add_argument(
+        "--overload",
+        action="store_true",
+        help="run the saturation harness: token-bucket admission, "
+        "bounded ingress queue, degraded group-flood mode, and "
+        "per-subscriber circuit breakers",
+    )
+    overload.add_argument(
+        "--scenario",
+        choices=("burst", "slow-subscriber", "dead-subscriber", "resubscribe"),
+        default="burst",
+        help="canned overload scenario (default: burst storm)",
+    )
+    overload.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=64,
+        help="bounded ingress queue capacity",
+    )
+    overload.add_argument(
+        "--shed-policy",
+        choices=sorted(SHED_POLICIES),
+        default="drop-newest",
+        help="what the full queue sheds",
+    )
+    overload.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        help="per-event lifetime (simulation time units; default: none)",
+    )
+    overload.add_argument(
+        "--admission-rate",
+        type=float,
+        default=None,
+        help="token-bucket refill rate, events/time unit "
+        "(default: admission control off)",
+    )
+    overload.add_argument(
+        "--admission-burst",
+        type=float,
+        default=32.0,
+        help="token-bucket burst size",
+    )
+    overload.add_argument(
+        "--service-time",
+        type=float,
+        default=0.5,
+        help="simulated broker cost of serving one queued event",
+    )
 
     def add_telemetry_workload_options(sub: argparse.ArgumentParser) -> None:
         # Same knobs as `repro chaos` so `stats`/`trace` replay the
@@ -165,6 +230,12 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--loss", type=float, default=0.05)
         sub.add_argument("--crashes", type=int, default=1)
         sub.add_argument("--crash-length", type=float, default=50.0)
+        sub.add_argument(
+            "--overload",
+            action="store_true",
+            help="replay a burst storm through the overload-protected "
+            "pipeline instead of the plain chaos run",
+        )
 
     stats = commands.add_parser(
         "stats",
@@ -320,12 +391,106 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments.runner import main as runner_main
 
-    return runner_main(["--small"] if args.small else [])
+    argv = []
+    if args.small:
+        argv.append("--small")
+    if args.quiet:
+        argv.append("--quiet")
+    return runner_main(argv)
+
+
+def _overload_config(args: argparse.Namespace):
+    """Overload-protection knobs shared by ``chaos --overload``."""
+    from .overload import OverloadConfig
+
+    return OverloadConfig(
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+        service_time=args.service_time,
+        ttl=args.ttl,
+        admission_rate=args.admission_rate,
+        admission_burst=args.admission_burst,
+    )
+
+
+def _cmd_chaos_overload(args: argparse.Namespace) -> int:
+    from .faults import OverloadChaosSimulation
+    from .faults.verifier import (
+        build_burst_storm_times,
+        build_chaos_plan,
+        build_chaos_testbed,
+        build_resubscribe_storm,
+        build_slow_subscriber_plan,
+    )
+
+    scenario = args.scenario
+    broker, density = build_chaos_testbed(
+        seed=args.seed,
+        subscriptions=args.subscriptions,
+        num_groups=args.groups,
+        dynamic=scenario == "resubscribe",
+    )
+    # ``with_policy`` builds a plain sibling broker; the resubscribe
+    # scenario must keep its DynamicPubSubBroker, so set in place.
+    broker.policy = ThresholdPolicy(args.threshold)
+    points, publishers = PublicationGenerator(
+        density, broker.topology.all_stub_nodes(), seed=args.seed + 9
+    ).generate(args.events)
+    arrival_times = build_burst_storm_times(args.events)
+    horizon = max(arrival_times[-1] * 2.0, 500.0)
+    churn = []
+    victim = None
+    if scenario in ("slow-subscriber", "dead-subscriber"):
+        plan, victim = build_slow_subscriber_plan(
+            broker.topology,
+            seed=args.seed,
+            # A dead subscriber stays dead: the crash window must
+            # outlive every retry the transport could schedule.
+            horizon=1e9 if scenario == "dead-subscriber" else horizon,
+            dead=scenario == "dead-subscriber",
+        )
+    else:
+        plan = build_chaos_plan(
+            broker.topology,
+            seed=args.seed,
+            loss=args.loss,
+            duplicate=args.duplicate,
+            crashes=args.crashes,
+            crash_length=args.crash_length,
+            horizon=horizon,
+        )
+        if scenario == "resubscribe":
+            churn = build_resubscribe_storm(
+                broker,
+                at=arrival_times[len(arrival_times) // 2],
+                count=min(50, args.subscriptions),
+                seed=args.seed,
+            )
+    simulation = OverloadChaosSimulation(
+        broker,
+        plan,
+        config=_overload_config(args),
+        reliable=not args.unreliable,
+    )
+    report = simulation.run(points, publishers, arrival_times, churn=churn)
+    print(
+        f"overload run ({scenario}): {broker.topology.num_nodes} nodes, "
+        f"{len(points)} events, queue={args.queue_capacity} "
+        f"({args.shed_policy}), ttl={args.ttl}, "
+        f"admission={args.admission_rate}"
+    )
+    if victim is not None:
+        print(f"victim subscriber: node {victim}")
+    print(format_table(("metric", "value"), report.summary_rows()))
+    return 0 if report.accounted and report.within_capacity else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import ChaosSimulation, RetryConfig
     from .faults.verifier import build_chaos_plan, build_chaos_testbed
+
+    if args.overload:
+        return _cmd_chaos_overload(args)
 
     broker, density = build_chaos_testbed(
         seed=args.seed,
@@ -380,8 +545,12 @@ def _run_instrumented(args: argparse.Namespace):
     """
     from time import perf_counter
 
-    from .faults import ChaosSimulation
-    from .faults.verifier import build_chaos_plan, build_chaos_testbed
+    from .faults import ChaosSimulation, OverloadChaosSimulation
+    from .faults.verifier import (
+        build_burst_storm_times,
+        build_chaos_plan,
+        build_chaos_testbed,
+    )
     from .telemetry import Telemetry
 
     broker, density = build_chaos_testbed(
@@ -402,11 +571,19 @@ def _run_instrumented(args: argparse.Namespace):
         horizon=float(args.events),
     )
     telemetry = Telemetry(seed=args.seed)
-    simulation = ChaosSimulation(
-        broker, plan, reliable=True, telemetry=telemetry
-    )
     started = perf_counter()
-    report = simulation.run(points, publishers)
+    if getattr(args, "overload", False):
+        simulation = OverloadChaosSimulation(
+            broker, plan, reliable=True, telemetry=telemetry
+        )
+        report = simulation.run(
+            points, publishers, build_burst_storm_times(args.events)
+        )
+    else:
+        simulation = ChaosSimulation(
+            broker, plan, reliable=True, telemetry=telemetry
+        )
+        report = simulation.run(points, publishers)
     wall = perf_counter() - started
     return report, telemetry, wall
 
@@ -451,6 +628,49 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     )
     print(format_table(("metric", "value"), rows))
 
+    # Broker health summary (live when the overload stack ran).
+    overload_active = metrics.get("overload.queue_depth") is not None
+    if overload_active:
+        health_rows = [
+            (
+                "ingress queue depth (at last arrival)",
+                int(metrics.value("overload.queue_depth")),
+            ),
+        ]
+        family = metrics.get("overload.health_transitions")
+        if family is not None:
+            for labels, metric in sorted(family.children.items()):
+                state = dict(labels).get("state", "?")
+                health_rows.append(
+                    (f"entered {state}", int(metric.value))
+                )
+        family = metrics.get("overload.shed")
+        if family is not None:
+            for labels, metric in sorted(family.children.items()):
+                reason = dict(labels).get("reason", "?")
+                health_rows.append((f"shed: {reason}", int(metric.value)))
+        health_rows.extend(
+            [
+                ("expired in broker", counter("overload.expired")),
+                ("late drops at receiver", counter("overload.late_drops")),
+                (
+                    "degraded (group flood)",
+                    counter("broker.degraded_events"),
+                ),
+                (
+                    "short-circuited (breaker open)",
+                    counter("transport.short_circuited"),
+                ),
+            ]
+        )
+        print("\nbroker health (overload protection):")
+        print(format_table(("signal", "value"), health_rows))
+    else:
+        print(
+            "\nbroker health: overload protection inactive "
+            "(re-run with --overload for the saturation pipeline)"
+        )
+
     per_link = []
     family = metrics.get("net.link.bytes")
     if family is not None:
@@ -481,7 +701,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.trace_out:
         write_spans_jsonl(telemetry.tracer.spans, args.trace_out)
         print(f"wrote {args.trace_out} ({len(telemetry.tracer.spans)} spans)")
-    return 0 if report.exactly_once else 1
+    if hasattr(report, "exactly_once"):
+        return 0 if report.exactly_once else 1
+    return 0 if report.accounted and report.within_capacity else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:

@@ -36,6 +36,7 @@ from .distribution import (
     DistributionDecision,
     DistributionPolicy,
     ThresholdPolicy,
+    degraded_flood,
     record_decision,
 )
 from .event import Event
@@ -145,7 +146,9 @@ class PubSubBroker:
 
     # -- the dynamic path --------------------------------------------------------
 
-    def publish(self, event: Event, faults=None) -> DeliveryRecord:
+    def publish(
+        self, event: Event, faults=None, degraded: bool = False
+    ) -> DeliveryRecord:
         """Match, decide and cost one event (paper Section 4's loop).
 
         With a fault snapshot (``faults`` exposing ``dead_links`` /
@@ -156,7 +159,21 @@ class PubSubBroker:
         the surviving graph; unicast fan-outs pay surviving-path
         prices.  The unicast/ideal reference costs stay fault-free, so
         the repair overhead is visible in the improvement percentage.
+
+        With ``degraded=True`` (the overload HealthMonitor's DEGRADED
+        state) the broker skips the exact S-tree point query and
+        floods the precomputed cluster group ``S_q`` falls in — the
+        paper's multicast arm taken unconditionally.  Group membership
+        is a superset of the interested set by the clustering
+        invariant, so correctness is preserved; the price is the
+        expected-waste bandwidth the paper's EW metric quantifies.
+        Catchall events (``q = 0``, no covering group) have no group to
+        flood and take the exact path regardless.
         """
+        if degraded:
+            record = self._publish_degraded(event, faults)
+            if record is not None:
+                return record
         telemetry = self.telemetry
         instrumented = telemetry.enabled
         if instrumented:
@@ -197,6 +214,56 @@ class PubSubBroker:
                 "interested", decision.interested
             ).finish()
 
+        record = self._cost(
+            event,
+            match,
+            decision,
+            q,
+            faults,
+            telemetry,
+            parent_span=root if instrumented else None,
+        )
+        if instrumented:
+            telemetry.counter("broker.events").inc()
+            root.set_attribute("method", record.method.value).finish()
+        return record
+
+    def _publish_degraded(
+        self, event: Event, faults
+    ) -> Optional[DeliveryRecord]:
+        """The DEGRADED fast path: locate, flood ``M_q``, no matching.
+
+        Returns ``None`` for catchall events (no covering group) so
+        :meth:`publish` falls back to the exact path.
+        """
+        telemetry = self.telemetry
+        q = self.partition.locate(event.point)
+        if q <= 0:
+            return None
+        members = self.partition.group(q).members
+        recipients = [node for node in members if node != event.publisher]
+        # The exact interested set is unknown by design; the whole
+        # group is treated as interested (``M_q ⊇ interested``).
+        match = MatchResult(
+            subscription_ids=(), subscribers=tuple(sorted(recipients))
+        )
+        decision = degraded_flood(
+            interested=len(recipients),
+            group_size=self.partition.group(q).size,
+            group=q,
+        )
+        instrumented = telemetry.enabled
+        if instrumented:
+            root = telemetry.start_span(
+                "event",
+                trace_id=event.sequence,
+                publisher=event.publisher,
+                degraded=True,
+            )
+            telemetry.counter(
+                "broker.degraded_events",
+                help="events delivered by group flood (match skipped)",
+            ).inc()
         record = self._cost(
             event,
             match,

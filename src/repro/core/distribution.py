@@ -27,6 +27,7 @@ __all__ = [
     "DistributionPolicy",
     "ThresholdPolicy",
     "PerGroupThresholdPolicy",
+    "degraded_flood",
     "record_decision",
 ]
 
@@ -143,6 +144,30 @@ class PerGroupThresholdPolicy:
         return ThresholdPolicy(self.threshold_for(group)).decide(
             interested, group_size, group
         )
+
+
+def degraded_flood(
+    interested: int, group_size: int, group: int
+) -> DistributionDecision:
+    """The overload DEGRADED decision: multicast unconditionally.
+
+    When the broker's :class:`~repro.overload.HealthMonitor` reports
+    DEGRADED, the threshold rule is skipped entirely — the paper's
+    multicast arm taken unconditionally, flooding the whole group
+    ``M_q`` without the exact match that ``|s|`` would require.  Only
+    valid for events with a covering group (``group >= 1``); catchall
+    events have nothing to flood and must take the exact path.
+    """
+    if group <= 0:
+        raise ValueError(
+            f"degraded_flood: group must be >= 1 (got {group})"
+        )
+    return DistributionDecision(
+        DeliveryMethod.MULTICAST,
+        interested=interested,
+        group_size=group_size,
+        group=group,
+    )
 
 
 def record_decision(telemetry, decision: DistributionDecision) -> None:

@@ -9,6 +9,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List
 
@@ -24,6 +25,29 @@ from .table1 import run_table1
 from .testbed import build_testbed
 
 __all__ = ["main"]
+
+#: All campaign output flows through this logger; ``--quiet`` raises its
+#: level so only warnings escape, while the default handler reproduces
+#: the historical ``print`` output byte for byte.
+_log = logging.getLogger("repro.experiments")
+
+
+def _configure_logging(quiet: bool) -> None:
+    _log.setLevel(logging.WARNING if quiet else logging.INFO)
+    # Rebind the handler on every call: ``print`` resolves
+    # ``sys.stdout`` per call, and callers (tests, notebooks) that swap
+    # the stream between runs expect the same behaviour.
+    for handler in list(_log.handlers):
+        _log.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    _log.addHandler(handler)
+    _log.propagate = False
+
+
+def _emit(message: str = "") -> None:
+    """Log one line of campaign output (the former ``print``)."""
+    _log.info("%s", message)
 
 
 def main(argv: List[str] | None = None) -> int:
@@ -41,20 +65,27 @@ def main(argv: List[str] | None = None) -> int:
         help="also run the beyond-the-paper extension experiments",
     )
     parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress campaign output (results still computed; "
+        "warnings still shown)",
+    )
+    parser.add_argument(
         "--csv",
         metavar="DIR",
         default=None,
         help="also export the figure series as CSV files into DIR",
     )
     args = parser.parse_args(argv)
+    _configure_logging(args.quiet)
     config = SMALL_CONFIG if args.small else ExperimentConfig()
     testbed = build_testbed(config)
 
-    print("== Figure 3: generated network topology ==")
+    _emit("== Figure 3: generated network topology ==")
     summary = run_figure3(config)
-    print(format_table(("property", "value"), summary.rows()))
+    _emit(format_table(("property", "value"), summary.rows()))
 
-    print("\n== Section 5 parameter table: workload verification ==")
+    _emit("\n== Section 5 parameter table: workload verification ==")
     rows = []
     for row in run_table1(config, testbed):
         rows.append(
@@ -68,16 +99,16 @@ def main(argv: List[str] | None = None) -> int:
                 "ok" if row.within_tolerance() else "OFF-SPEC",
             )
         )
-    print(
+    _emit(
         format_table(
             ("field", "wildcard", "lower-ray", "upper-ray", "bounded", "check"),
             rows,
         )
     )
 
-    print("\n== Figure 4: stock trade distributions ==")
+    _emit("\n== Figure 4: stock trade distributions ==")
     fig4 = run_figure4(config)
-    print(
+    _emit(
         format_table(
             ("panel", "fit", "goodness"),
             [
@@ -100,7 +131,7 @@ def main(argv: List[str] | None = None) -> int:
         )
     )
 
-    print("\n== Figure 5: top-3 most traded stocks ==")
+    _emit("\n== Figure 5: top-3 most traded stocks ==")
     rows = []
     for panel in run_figure5(config):
         rows.append(
@@ -111,14 +142,14 @@ def main(argv: List[str] | None = None) -> int:
                 f"x^{panel.amount_fit.slope:.2f}",
             )
         )
-    print(format_table(("stock", "trades", "price fit", "amount tail"), rows))
+    _emit(format_table(("stock", "trades", "price fit", "amount tail"), rows))
 
-    print("\n== Figure 6: threshold sweeps ==")
+    _emit("\n== Figure 6: threshold sweeps ==")
     figure6_results = run_figure6(config, testbed)
     for sweep in figure6_results:
         improvements = [p.improvement_percent for p in sweep.points]
         best = sweep.best()
-        print(
+        _emit(
             f"{sweep.algorithm:>9}  modes={sweep.modes}  "
             f"groups={sweep.num_groups:>3}  "
             f"[{sparkline(improvements)}]  "
@@ -126,7 +157,7 @@ def main(argv: List[str] | None = None) -> int:
             f"best={best.improvement_percent:6.2f}% @ t={best.threshold:.2f}"
         )
 
-    print("\n== Clustering comparison ==")
+    _emit("\n== Clustering comparison ==")
     rows = [
         (
             r.algorithm,
@@ -139,14 +170,14 @@ def main(argv: List[str] | None = None) -> int:
         )
         for r in run_clustering_comparison(config, testbed)
     ]
-    print(
+    _emit(
         format_table(
             ("algorithm", "groups", "time", "EW", "coverage", "t=0", "t=0.15"),
             rows,
         )
     )
 
-    print("\n== Matching comparison ==")
+    _emit("\n== Matching comparison ==")
     matching_rows = run_matching_comparison(config, testbed)
     rows = [
         (
@@ -159,7 +190,7 @@ def main(argv: List[str] | None = None) -> int:
         )
         for r in matching_rows
     ]
-    print(
+    _emit(
         format_table(
             ("backend", "k", "build", "query", "nodes/q", "entries/q"), rows
         )
@@ -175,7 +206,7 @@ def main(argv: List[str] | None = None) -> int:
         figure4_to_csv(fig4, directory)
         figure6_to_csv(figure6_results, directory / "figure6.csv")
         matching_to_csv(matching_rows, directory / "matching.csv")
-        print(f"\nCSV series written to {directory}/")
+        _emit(f"\nCSV series written to {directory}/")
 
     if args.extensions:
         _run_extensions(config, testbed)
@@ -187,7 +218,7 @@ def _run_extensions(config, testbed) -> None:
     from .latency_experiment import run_latency_experiment
     from .replication import run_replication
 
-    print("\n== Extension: packet-level transport ==")
+    _emit("\n== Extension: packet-level transport ==")
     rows = [
         (
             row.label,
@@ -203,16 +234,16 @@ def _run_extensions(config, testbed) -> None:
             num_events=min(config.num_events, 150),
         )
     ]
-    print(
+    _emit(
         format_table(
             ("policy", "deliveries", "tx/delivery", "p95", "queueing"),
             rows,
         )
     )
 
-    print("\n== Extension: replication across seeds ==")
+    _emit("\n== Extension: replication across seeds ==")
     summary = run_replication(config, seeds=(11, 23, 47))
-    print(
+    _emit(
         format_table(
             ("seed", "static", "best", "best t"),
             [
@@ -226,7 +257,7 @@ def _run_extensions(config, testbed) -> None:
             ],
         )
     )
-    print(
+    _emit(
         f"shapes hold on every replicate: {summary.all_shapes_hold()}"
     )
 

@@ -14,9 +14,14 @@ story, in three layers:
   exactly-once application delivery;
 - :mod:`repro.faults.verifier` — the chaos harness: replay a workload
   under a fault plan and verify (or precisely refute) the delivery
-  guarantee, exposed as the ``repro chaos`` CLI subcommand.
+  guarantee, exposed as the ``repro chaos`` CLI subcommand;
+- :mod:`repro.faults.overload` — the saturation harness: the same
+  replay behind the full overload-protection stack
+  (:mod:`repro.overload`), with strict shed/expire accounting and
+  per-subscriber circuit breakers (``repro chaos --overload``).
 """
 
+from .overload import OverloadChaosSimulation, OverloadReport
 from .plan import (
     BrokerCrash,
     FaultInjector,
@@ -32,11 +37,16 @@ from .verifier import (
     ChaosReport,
     ChaosSimulation,
     DeliveryLedger,
+    build_burst_storm_times,
     build_chaos_plan,
     build_chaos_testbed,
+    build_resubscribe_storm,
+    build_slow_subscriber_plan,
 )
 
 __all__ = [
+    "OverloadChaosSimulation",
+    "OverloadReport",
     "BrokerCrash",
     "FaultInjector",
     "FaultPlan",
@@ -51,6 +61,9 @@ __all__ = [
     "ChaosReport",
     "ChaosSimulation",
     "DeliveryLedger",
+    "build_burst_storm_times",
     "build_chaos_plan",
     "build_chaos_testbed",
+    "build_resubscribe_storm",
+    "build_slow_subscriber_plan",
 ]

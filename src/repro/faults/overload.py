@@ -1,0 +1,602 @@
+"""Chaos harness for saturation: the overload-protected event pipeline.
+
+:class:`OverloadChaosSimulation` is the saturated-broker counterpart
+of :class:`~repro.faults.verifier.ChaosSimulation`.  Where the plain
+chaos harness feeds every published event straight into match → decide
+→ route, this one interposes the full overload-protection stack from
+:mod:`repro.overload` at the publisher edge:
+
+    publish burst ──▶ token bucket ──▶ bounded ingress queue ──▶ serve loop
+                      (admission)       (shed per policy,          │
+                                         TTL purge)               ▼
+                                                    HealthMonitor decides:
+                                                    HEALTHY    exact match + threshold rule
+                                                    DEGRADED   flood ``M_q`` (no S-tree query)
+                                                    OVERLOADED shed new arrivals outright
+
+and the reliable transport runs with per-subscriber circuit breakers,
+so a dead subscriber stops consuming retry budget after its failure
+budget trips.
+
+Accounting is strict: every published event lands in **exactly one**
+of three buckets — *delivered* (fully processed by the broker, even
+if it matched nobody), *shed* (refused by admission control, the
+health governor, or the queue policy) or *expired* (its TTL lapsed
+inside the broker) — so ``delivered + shed + expired == published``
+holds for every run.  Per-(event, subscriber) delivery truth is still
+tracked by a :class:`~repro.faults.verifier.DeliveryLedger`; expired
+copies are additionally dropped at the *receiver* (counted as late
+drops) rather than delivered past their deadline.
+
+Everything — timers, shedding, breaker trips, health transitions —
+runs off the simulator clock, so a seeded scenario produces a
+byte-identical :class:`OverloadReport` on every rerun.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.broker import PubSubBroker
+from ..core.distribution import DeliveryMethod, record_decision
+from ..core.event import Event
+from ..overload import BrokerHealth, OverloadConfig
+from ..simulation.delivery import LatencyStats
+from ..simulation.engine import DiscreteEventSimulator
+from ..simulation.packet_network import PacketNetwork
+from ..telemetry.base import Telemetry, or_null
+from .plan import FaultInjector, FaultPlan, FaultStats
+from .reliable import ReliabilityStats, ReliableTransport, RetryConfig
+from .verifier import DeliveryLedger
+
+__all__ = ["EventOutcome", "OverloadReport", "OverloadChaosSimulation"]
+
+
+#: The per-event terminal buckets of the overload ledger.
+EventOutcome = str  # "delivered" | "shed" | "expired"
+
+
+@dataclass
+class OverloadReport:
+    """Everything one saturated run proved about the protection stack."""
+
+    # -- the per-event ledger (delivered + shed + expired == published) --
+    published: int
+    delivered_events: int
+    shed_events: int
+    expired_events: int
+    shed_reasons: Dict[str, int]
+    degraded_events: int          # delivered via group flood, match skipped
+    # -- load machinery ---------------------------------------------------
+    peak_queue_depth: int
+    queue_capacity: int
+    health_transitions: List[Tuple[float, str]]
+    health_samples: Dict[str, int]
+    admission_rejected: int
+    breaker_opens: int
+    breaker_closes: int
+    short_circuited: int
+    open_targets: List[int]
+    # -- per-delivery truth ----------------------------------------------
+    expected: int
+    delivered: int
+    duplicate_deliveries: int
+    late_drops: int               # receiver-side deadline drops
+    missing: List[Tuple[int, int, str]]
+    latency: LatencyStats
+    finished_at: float
+    fault_stats: FaultStats
+    reliability: Optional[ReliabilityStats] = None
+
+    @property
+    def accounted(self) -> bool:
+        """The ledger invariant every run must satisfy."""
+        return (
+            self.delivered_events + self.shed_events + self.expired_events
+            == self.published
+        )
+
+    @property
+    def within_capacity(self) -> bool:
+        """Whether the ingress queue ever burst its configured bound."""
+        return self.peak_queue_depth <= self.queue_capacity
+
+    def summary_rows(self) -> List[Tuple[str, object]]:
+        """(metric, value) rows for the CLI report table."""
+        rows: List[Tuple[str, object]] = [
+            ("published", self.published),
+            ("delivered (events)", self.delivered_events),
+            ("shed (events)", self.shed_events),
+            ("expired (events)", self.expired_events),
+            ("ledger accounted", "yes" if self.accounted else "NO"),
+            ("degraded (group flood)", self.degraded_events),
+            (
+                "peak queue depth",
+                f"{self.peak_queue_depth}/{self.queue_capacity}",
+            ),
+            ("within capacity", "yes" if self.within_capacity else "NO"),
+            ("admission rejected", self.admission_rejected),
+        ]
+        for reason in sorted(self.shed_reasons):
+            rows.append((f"shed: {reason}", self.shed_reasons[reason]))
+        for state in BrokerHealth:
+            rows.append(
+                (
+                    f"health samples: {state.value}",
+                    self.health_samples.get(state.value, 0),
+                )
+            )
+        rows.append(
+            (
+                "health transitions",
+                " -> ".join(
+                    f"{state}@{time:.1f}"
+                    for time, state in self.health_transitions
+                )
+                or "(none)",
+            )
+        )
+        rows.extend(
+            [
+                ("breaker opens", self.breaker_opens),
+                ("breaker closes", self.breaker_closes),
+                ("short-circuited", self.short_circuited),
+                (
+                    "isolated targets",
+                    ",".join(map(str, self.open_targets)) or "(none)",
+                ),
+                ("expected deliveries", self.expected),
+                ("delivered", self.delivered),
+                ("app-level duplicates", self.duplicate_deliveries),
+                ("late drops (expired at receiver)", self.late_drops),
+                ("missing", len(self.missing)),
+            ]
+        )
+        if self.reliability is not None:
+            rows.extend(
+                [
+                    ("retries", self.reliability.retries),
+                    ("gave up", self.reliability.gave_up),
+                ]
+            )
+        rows.append(("p95 latency", f"{self.latency.p95:.2f}"))
+        rows.append(("finished at", f"{self.finished_at:.2f}"))
+        return rows
+
+
+class OverloadChaosSimulation:
+    """Packet-level replay of a publish storm behind overload protection.
+
+    Parameters mirror :class:`~repro.faults.verifier.ChaosSimulation`
+    plus an :class:`~repro.overload.OverloadConfig` describing the
+    protection stack.  ``churn`` optionally schedules subscription
+    churn mid-run (the thundering-resubscribe scenario): a sequence of
+    ``(time, callable)`` pairs executed on the simulator clock.
+    """
+
+    def __init__(
+        self,
+        broker: PubSubBroker,
+        plan: FaultPlan,
+        config: Optional[OverloadConfig] = None,
+        reliable: bool = True,
+        retry: Optional[RetryConfig] = None,
+        transmission_time: float = 0.25,
+        propagation_scale: float = 1.0,
+        hop_retries: int = 4,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.broker = broker
+        self.plan = plan
+        self.config = config or OverloadConfig()
+        self.reliable = reliable
+        self.simulator = DiscreteEventSimulator()
+        self.injector = FaultInjector(plan)
+        self.telemetry = or_null(telemetry)
+        self.telemetry.bind_clock(lambda: self.simulator.now)
+        self.network = PacketNetwork(
+            broker.topology,
+            self.simulator,
+            transmission_time=transmission_time,
+            propagation_scale=propagation_scale,
+            injector=self.injector,
+            hop_retries=hop_retries if reliable else 0,
+            telemetry=telemetry,
+        )
+        self.queue = self.config.build_queue()
+        self.bucket = self.config.build_bucket()
+        self.monitor = self.config.build_monitor()
+        self.breakers = self.config.build_breakers()
+        self.ledger = DeliveryLedger()
+        #: sequence -> terminal bucket ("delivered" / "shed" / "expired").
+        self.outcomes: Dict[int, EventOutcome] = {}
+        self.shed_reasons: Dict[str, int] = {}
+        self.degraded_events = 0
+        self.late_drops = 0
+        self._interested: Dict[int, frozenset] = {}
+        self._deadlines: Dict[int, Optional[float]] = {}
+        self._serving = False
+        self.transport: Optional[ReliableTransport] = None
+        if reliable:
+            self.transport = ReliableTransport(
+                self.network,
+                config=retry or RetryConfig.for_network(self.network),
+                seed=plan.seed + 1,
+                detector=self.injector,
+                on_deliver=self._on_deliver,
+                on_give_up=lambda target, key, reason: (
+                    self.ledger.fail_reasons.__setitem__(
+                        (key, target), reason
+                    )
+                ),
+                telemetry=telemetry,
+                breakers=self.breakers,
+            )
+
+    # -- accounting helpers --------------------------------------------------
+
+    def _finish(self, sequence: int, outcome: EventOutcome) -> None:
+        """Assign the event its terminal bucket, exactly once."""
+        if sequence in self.outcomes:
+            raise RuntimeError(
+                f"event {sequence} already accounted as "
+                f"{self.outcomes[sequence]!r}"
+            )
+        self.outcomes[sequence] = outcome
+
+    def _shed(self, sequence: int, reason: str) -> None:
+        self._finish(sequence, "shed")
+        self.shed_reasons[reason] = self.shed_reasons.get(reason, 0) + 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "overload.shed",
+                help="events shed at the broker edge, by reason",
+                reason=reason,
+            ).inc()
+
+    def _expire(self, sequence: int) -> None:
+        self._finish(sequence, "expired")
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "overload.expired",
+                help="events dropped past their deadline inside the broker",
+            ).inc()
+
+    def _on_deliver(self, target: int, key: int, time: float) -> None:
+        """Application arrival: filter interest + deadline, then record."""
+        deadline = self._deadlines.get(key)
+        if deadline is not None and time >= deadline:
+            self.late_drops += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "overload.late_drops",
+                    help="arrivals discarded at the receiver past deadline",
+                ).inc()
+            return
+        if target in self._interested.get(key, ()):
+            self.ledger.record(key, target, time)
+
+    # -- the protected pipeline ----------------------------------------------
+
+    def _load_signal(self, now: float) -> float:
+        """The monitor's scalar: worst of queue-fill and head latency."""
+        fill = self.queue.fill_fraction
+        wait = self.queue.head_wait(now)
+        return max(fill, wait / self.config.effective_latency_budget)
+
+    def _observe(self, now: float) -> BrokerHealth:
+        """Feed the monitor one sample, metering any state change."""
+        before = self.monitor.state
+        state = self.monitor.observe(now, self._load_signal(now))
+        if state is not before and self.telemetry.enabled:
+            self.telemetry.counter(
+                "overload.health_transitions",
+                help="health state entries, by state",
+                state=state.value,
+            ).inc()
+            self.telemetry.event("health-transition", state=state.value)
+        return state
+
+    def _ingress(self, sequence: int) -> None:
+        """The publisher edge: admission control + bounded queueing."""
+        now = self.simulator.now
+        config = self.config
+        deadline = now + config.ttl if config.ttl is not None else None
+        self._deadlines[sequence] = deadline
+        state = self._observe(now)
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                "overload.queue_depth", help="ingress queue depth"
+            ).set(self.queue.depth)
+        if state is BrokerHealth.OVERLOADED:
+            self._shed(sequence, "overloaded")
+            return
+        if self.bucket is not None and not self.bucket.try_acquire(now):
+            self._shed(sequence, "admission")
+            return
+        victims = self.queue.offer(sequence, now, deadline)
+        for victim in self.queue.expired_in_last_offer():
+            self._expire(victim)
+        for victim in victims:
+            self._shed(
+                victim,
+                "queue-full"
+                if victim == sequence
+                else f"evicted ({self.queue.policy})",
+            )
+            if victim == sequence:
+                return
+        self._ensure_serving()
+
+    def _ensure_serving(self) -> None:
+        if self._serving or self.queue.depth == 0:
+            return
+        self._serving = True
+        self.simulator.schedule(self.config.service_time, self._serve)
+
+    def _serve(self) -> None:
+        """Drain one event from the ingress queue and publish it."""
+        now = self.simulator.now
+        sequence, expired = self.queue.poll(now)
+        for victim in expired:
+            self._expire(victim)
+        if sequence is None:
+            self._serving = False
+            return
+        deadline = self._deadlines.get(sequence)
+        if deadline is not None and now >= deadline:
+            self._expire(sequence)
+        else:
+            state = self._observe(now)
+            self._publish(sequence, degraded=state is not BrokerHealth.HEALTHY)
+        if self.queue.depth > 0:
+            self.simulator.schedule(self.config.service_time, self._serve)
+        else:
+            self._serving = False
+
+    def _publish(self, sequence: int, degraded: bool) -> None:
+        """Match (unless degraded), decide, and hand off to the network."""
+        broker = self.broker
+        telemetry = self.telemetry
+        now = self.simulator.now
+        event = Event.create(
+            sequence,
+            int(self._publishers[sequence]),
+            self._points[sequence],
+            deadline=self._deadlines.get(sequence),
+        )
+        instrumented = telemetry.enabled
+        root = match_span = None
+        match_started = 0.0
+        if instrumented:
+            telemetry.counter("broker.events").inc()
+            root = telemetry.start_span(
+                "event",
+                trace_id=sequence,
+                publisher=event.publisher,
+                degraded=degraded,
+            )
+            if not degraded:
+                # Degraded mode skips the match as *broker work*; the
+                # exact set below is verifier ground truth only, so
+                # its cost must not pollute the latency histogram.
+                match_span = telemetry.start_span("match", parent=root)
+                match_started = perf_counter()
+        # Ground truth for the delivery ledger (and the receivers'
+        # local subscription filter) is always the exact interested
+        # set; in degraded mode the *broker's decision* ignores it.
+        match = broker.engine.match(event)
+        q = broker.partition.locate(event.point)
+        if match_span is not None:
+            telemetry.histogram(
+                "broker.match_latency_us",
+                help="wall time of one match+locate, microseconds",
+            ).observe((perf_counter() - match_started) * 1e6)
+            match_span.set_attribute(
+                "subscribers", match.num_subscribers
+            ).finish()
+        recipients = [
+            node for node in match.subscribers if node != event.publisher
+        ]
+        self._interested[sequence] = frozenset(recipients)
+        self._finish(sequence, "delivered")
+
+        if degraded and q > 0:
+            # The paper's S_q fallback: flood the precomputed group,
+            # skip the threshold rule entirely.
+            self.degraded_events += 1
+            members = broker.partition.group(q).members
+            targets = [n for n in members if n != event.publisher]
+            self.ledger.expect(sequence, recipients, now)
+            if instrumented:
+                telemetry.counter(
+                    "broker.degraded_events",
+                    help="events delivered by group flood (match skipped)",
+                ).inc()
+            if targets:
+                # The broker does not know who is interested, so the
+                # whole group enters the reliable protocol; receivers
+                # run the subscription filter at the application layer.
+                self._dispatch_multicast(
+                    sequence, event, members, targets, root, restrict=None
+                )
+            if instrumented:
+                root.set_attribute("method", "degraded-multicast").finish()
+            return
+
+        group_size = broker.partition.group(q).size if q > 0 else 0
+        decision = broker.policy.decide(
+            interested=match.num_subscribers,
+            group_size=group_size,
+            group=q,
+        )
+        record_decision(telemetry, decision)
+        if decision.method is DeliveryMethod.NOT_SENT:
+            if instrumented:
+                root.set_attribute("method", "not_sent").finish()
+            return
+        self.ledger.expect(sequence, recipients, now)
+        if not recipients:
+            if instrumented:
+                root.set_attribute("method", "self_only").finish()
+            return
+        if decision.method is DeliveryMethod.UNICAST:
+            if self.transport is not None:
+                self.transport.publish(
+                    sequence, event.publisher, recipients, parent_span=root
+                )
+            else:
+                for node in recipients:
+                    self.network.send_unicast(
+                        event.publisher,
+                        node,
+                        lambda n, t, s=sequence: self._on_deliver(n, s, t),
+                    )
+            if instrumented:
+                root.set_attribute("method", "unicast").finish()
+            return
+        members = broker.partition.group(q).members
+        self._dispatch_multicast(
+            sequence,
+            event,
+            members,
+            recipients,
+            root,
+            restrict=self._interested[sequence],
+        )
+        if instrumented:
+            root.set_attribute("method", "multicast").finish()
+
+    def _dispatch_multicast(
+        self,
+        sequence: int,
+        event: Event,
+        members: Sequence[int],
+        targets: List[int],
+        root,
+        restrict: Optional[FrozenSet[int]],
+    ) -> None:
+        """One tree flood to ``members``, reliably tracking ``targets``.
+
+        ``restrict`` keeps non-interested group members out of the
+        reliable protocol (the healthy-mode behaviour); ``None`` lets
+        every member ack — degraded mode, where the broker cannot
+        tell who is interested.
+        """
+        via = None
+        if self.broker.costs.multicast_mode == "sparse":
+            via = self.broker.costs.rendezvous_point(members)
+        if self.transport is not None:
+            def first_pass(receive, m=members, v=via, allow=restrict):
+                self.network.send_multicast(
+                    event.publisher,
+                    m,
+                    receive
+                    if allow is None
+                    else (
+                        lambda node, time: (
+                            receive(node, time) if node in allow else None
+                        )
+                    ),
+                    via=v,
+                )
+
+            self.transport.publish(
+                sequence,
+                event.publisher,
+                targets,
+                first_pass,
+                parent_span=root,
+            )
+        else:
+            self.network.send_multicast(
+                event.publisher,
+                members,
+                lambda node, time, s=sequence: self._on_deliver(node, s, time),
+                via=via,
+            )
+
+    # -- the run -------------------------------------------------------------
+
+    def run(
+        self,
+        points: np.ndarray,
+        publishers: Sequence[int],
+        arrival_times: Sequence[float],
+        churn: Sequence[Tuple[float, Callable[[], None]]] = (),
+    ) -> OverloadReport:
+        """Replay the storm and report what the protection stack did."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] != len(publishers):
+            raise ValueError(
+                "points must be (m, N) with one publisher per row"
+            )
+        if len(arrival_times) != len(points):
+            raise ValueError("one arrival time per event required")
+        self._points = points
+        self._publishers = [int(p) for p in publishers]
+        for sequence, time in enumerate(arrival_times):
+            self.simulator.schedule_at(
+                float(time), lambda s=sequence: self._ingress(s)
+            )
+        for time, action in churn:
+            self.simulator.schedule_at(float(time), action)
+        finished_at = self.simulator.run()
+
+        # Anything still queued at simulation end was never served:
+        # account it so the ledger closes.
+        while True:
+            sequence, expired = self.queue.poll(finished_at)
+            for victim in expired:
+                self._expire(victim)
+            if sequence is None:
+                break
+            self._shed(sequence, "unserved at simulation end")
+
+        counts = {"delivered": 0, "shed": 0, "expired": 0}
+        for outcome in self.outcomes.values():
+            counts[outcome] += 1
+        default_reason = (
+            "unacknowledged at simulation end"
+            if self.reliable
+            else "lost (no retransmission)"
+        )
+        return OverloadReport(
+            published=len(points),
+            delivered_events=counts["delivered"],
+            shed_events=counts["shed"],
+            expired_events=counts["expired"],
+            shed_reasons=dict(sorted(self.shed_reasons.items())),
+            degraded_events=self.degraded_events,
+            peak_queue_depth=self.queue.stats.peak_depth,
+            queue_capacity=self.queue.capacity,
+            health_transitions=[
+                (time, state.value) for time, state in self.monitor.transitions
+            ],
+            health_samples={
+                state.value: count
+                for state, count in self.monitor.samples.items()
+            },
+            admission_rejected=(
+                self.bucket.stats.rejected if self.bucket is not None else 0
+            ),
+            breaker_opens=self.breakers.stats.opens,
+            breaker_closes=self.breakers.stats.closes,
+            short_circuited=self.breakers.stats.short_circuits,
+            open_targets=self.breakers.open_targets(),
+            expected=self.ledger.expected_total,
+            delivered=self.ledger.delivered_distinct,
+            duplicate_deliveries=self.ledger.duplicate_deliveries,
+            late_drops=self.late_drops,
+            missing=self.ledger.missing(default_reason),
+            latency=LatencyStats.from_samples(self.ledger.latencies),
+            finished_at=finished_at,
+            fault_stats=self.injector.stats,
+            reliability=(
+                self.transport.stats if self.transport is not None else None
+            ),
+        )

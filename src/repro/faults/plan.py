@@ -66,13 +66,18 @@ class LinkFault:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss <= 1.0:
-            raise ValueError(f"loss must be a probability, got {self.loss}")
+            raise ValueError(
+                f"LinkFault: loss must lie in [0, 1] (got {self.loss})"
+            )
         if not 0.0 <= self.duplicate <= 1.0:
             raise ValueError(
-                f"duplicate must be a probability, got {self.duplicate}"
+                f"LinkFault: duplicate must lie in [0, 1] "
+                f"(got {self.duplicate})"
             )
         if self.delay < 0.0:
-            raise ValueError(f"delay must be non-negative, got {self.delay}")
+            raise ValueError(
+                f"LinkFault: delay must be non-negative (got {self.delay})"
+            )
 
 
 @dataclass(frozen=True)
@@ -87,8 +92,8 @@ class LinkOutage:
     def __post_init__(self) -> None:
         if not self.start < self.end:
             raise ValueError(
-                f"outage window must satisfy start < end, got "
-                f"[{self.start}, {self.end})"
+                f"LinkOutage: window must satisfy start < end "
+                f"(got [{self.start}, {self.end}))"
             )
 
     def active(self, time: float) -> bool:
@@ -112,8 +117,8 @@ class BrokerCrash:
     def __post_init__(self) -> None:
         if not self.start < self.end:
             raise ValueError(
-                f"crash window must satisfy start < end, got "
-                f"[{self.start}, {self.end})"
+                f"BrokerCrash: window must satisfy start < end "
+                f"(got [{self.start}, {self.end}))"
             )
 
     def active(self, time: float) -> bool:
@@ -141,16 +146,18 @@ class FaultPlan:
     def __post_init__(self) -> None:
         if not 0.0 <= self.default_loss <= 1.0:
             raise ValueError(
-                f"default_loss must be a probability, got {self.default_loss}"
+                f"FaultPlan: default_loss must lie in [0, 1] "
+                f"(got {self.default_loss})"
             )
         if not 0.0 <= self.default_duplicate <= 1.0:
             raise ValueError(
-                "default_duplicate must be a probability, got "
-                f"{self.default_duplicate}"
+                f"FaultPlan: default_duplicate must lie in [0, 1] "
+                f"(got {self.default_duplicate})"
             )
         if self.default_delay < 0.0:
             raise ValueError(
-                f"default_delay must be non-negative, got {self.default_delay}"
+                f"FaultPlan: default_delay must be non-negative "
+                f"(got {self.default_delay})"
             )
         object.__setattr__(self, "link_faults", tuple(self.link_faults))
         object.__setattr__(self, "outages", tuple(self.outages))

@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 import networkx as nx
 import numpy as np
 
+from ..overload.breaker import BreakerBoard
 from ..simulation.packet_network import PacketNetwork
 from ..telemetry.base import Telemetry, or_null
 from ..telemetry.tracing import Span
@@ -104,6 +105,7 @@ class ReliabilityStats:
     acks_sent: int = 0
     duplicates_suppressed: int = 0  # data copies deduped at receivers
     gave_up: int = 0              # targets abandoned after the budget
+    short_circuited: int = 0      # targets fast-failed by an open breaker
 
 
 class _Pending:
@@ -146,7 +148,16 @@ class ReliableTransport:
         target) at first application-level arrival.
     on_give_up:
         ``(target, key, reason)`` — called when the retry budget for a
-        target is exhausted.
+        target is exhausted, or when an open circuit breaker
+        short-circuits the target up front.
+    breakers:
+        Optional :class:`~repro.overload.breaker.BreakerBoard`.  When
+        present, each target's breaker gates :meth:`publish`: an OPEN
+        breaker fails the target immediately ("short circuit") without
+        consuming any retry budget; acked deliveries feed the breaker
+        success, exhausted budgets feed it failure, so a permanently
+        dead subscriber is isolated after ``failure_threshold``
+        give-ups and re-probed once per ``reset_timeout``.
     """
 
     def __init__(
@@ -159,6 +170,7 @@ class ReliableTransport:
         on_deliver: Optional[Callable[[int, int, float], None]] = None,
         on_give_up: Optional[Callable[[int, int, str], None]] = None,
         telemetry: Optional[Telemetry] = None,
+        breakers: Optional[BreakerBoard] = None,
     ):
         self.network = network
         self.simulator = network.simulator
@@ -169,6 +181,7 @@ class ReliableTransport:
         self.on_deliver = on_deliver or (lambda target, key, time: None)
         self.on_give_up = on_give_up or (lambda target, key, reason: None)
         self.telemetry = or_null(telemetry)
+        self.breakers = breakers
         self.stats = ReliabilityStats()
         self._pending: Dict[Tuple[int, int], _Pending] = {}
         self._seen: Dict[int, Set[int]] = {}
@@ -206,6 +219,8 @@ class ReliableTransport:
         telemetry = self.telemetry
         if telemetry.enabled:
             telemetry.counter("transport.messages").inc()
+        if self.breakers is not None:
+            targets = self._gate_targets(key, targets, parent_span)
         for target in targets:
             pending = _Pending(source, target)
             if telemetry.enabled:
@@ -226,6 +241,42 @@ class ReliableTransport:
         else:
             for target in targets:
                 self._send_data(key, target, path=None)
+
+    def _gate_targets(
+        self,
+        key: int,
+        targets: List[int],
+        parent_span: Optional[Span],
+    ) -> List[int]:
+        """Drop targets whose breaker is OPEN; they fail fast, untracked.
+
+        A short-circuited target still gets an immediate
+        ``on_give_up`` (the failure is loud) and shows up in
+        :meth:`failed`, but costs zero transmissions and zero retry
+        budget.  A breaker past its reset timeout admits the target as
+        its HALF_OPEN probe.
+        """
+        now = self.simulator.now
+        admitted: List[int] = []
+        telemetry = self.telemetry
+        for target in targets:
+            if self.breakers.allow(target, now):
+                admitted.append(target)
+                continue
+            pending = _Pending(-1, target)
+            pending.failed = True
+            self._pending[(key, target)] = pending
+            self.stats.short_circuited += 1
+            if telemetry.enabled:
+                telemetry.counter(
+                    "transport.short_circuited",
+                    help="targets fast-failed by an open circuit breaker",
+                ).inc()
+                telemetry.event(
+                    "short-circuit", parent=parent_span, target=target
+                )
+            self.on_give_up(target, key, "short-circuited (breaker open)")
+        return admitted
 
     def _receiver(
         self, key: int, source: int
@@ -293,6 +344,8 @@ class ReliableTransport:
                 ).inc()
                 if pending.span is not None:
                     pending.span.finish(status="gave_up")
+            if self.breakers is not None:
+                self.breakers.record_failure(target, self.simulator.now)
             self.on_give_up(target, key, "retry budget exhausted")
             return
         path = None
@@ -420,6 +473,8 @@ class ReliableTransport:
             return
         pending.acked = True
         self.stats.acked += 1
+        if self.breakers is not None:
+            self.breakers.record_success(target, self.simulator.now)
         if self.telemetry.enabled:
             self.telemetry.counter("transport.acked").inc()
             ack_span = self._ack_spans.pop((key, target), None)

@@ -46,7 +46,7 @@ from ..workload import (
     StockSubscriptionGenerator,
     publication_distribution,
 )
-from .plan import BrokerCrash, FaultInjector, FaultPlan, FaultStats
+from .plan import BrokerCrash, FaultInjector, FaultPlan, FaultStats, LinkFault
 from .reliable import ReliabilityStats, ReliableTransport, RetryConfig
 
 __all__ = [
@@ -55,6 +55,9 @@ __all__ = [
     "ChaosSimulation",
     "build_chaos_testbed",
     "build_chaos_plan",
+    "build_burst_storm_times",
+    "build_slow_subscriber_plan",
+    "build_resubscribe_storm",
 ]
 
 
@@ -445,12 +448,15 @@ def build_chaos_testbed(
     num_groups: int = 11,
     modes: int = 9,
     params: Optional[TransitStubParams] = None,
+    dynamic: bool = False,
 ):
     """A ~100-node broker testbed sized for chaos experiments.
 
     Returns ``(broker, density)``; pair with
     :class:`~repro.workload.publications.PublicationGenerator` for the
-    event stream.
+    event stream.  ``dynamic=True`` builds a
+    :class:`~repro.core.dynamic.DynamicPubSubBroker` instead (required
+    by churn scenarios such as :func:`build_resubscribe_storm`).
     """
     params = params or TransitStubParams(
         transit_blocks=3,
@@ -465,13 +471,24 @@ def build_chaos_testbed(
     )
     table = SubscriptionTable.from_placed(placed)
     density = publication_distribution(modes)
-    broker = PubSubBroker.preprocess(
-        topology,
-        table,
-        ForgyKMeansClustering(),
-        num_groups=num_groups,
-        density=density,
-    )
+    if dynamic:
+        from ..core.dynamic import DynamicPubSubBroker
+
+        broker = DynamicPubSubBroker.preprocess_dynamic(
+            topology,
+            table,
+            ForgyKMeansClustering(),
+            num_groups=num_groups,
+            density=density,
+        )
+    else:
+        broker = PubSubBroker.preprocess(
+            topology,
+            table,
+            ForgyKMeansClustering(),
+            num_groups=num_groups,
+            density=density,
+        )
     return broker, density
 
 
@@ -518,3 +535,120 @@ def build_chaos_plan(
         default_delay=delay,
         crashes=tuple(crash_windows),
     )
+
+
+# -- overload chaos scenarios ------------------------------------------------
+
+
+def build_burst_storm_times(
+    events: int,
+    base_interval: float = 1.0,
+    bursts: int = 3,
+    burst_fraction: float = 0.5,
+    burst_interval: float = 0.02,
+) -> "List[float]":
+    """Arrival times for a bursty storm: calm baseline, violent spikes.
+
+    A ``burst_fraction`` share of the events is concentrated into
+    ``bursts`` near-instantaneous volleys (``burst_interval`` apart —
+    far faster than any broker's service rate) spread evenly through
+    an otherwise steady ``base_interval`` stream.  Deterministic: the
+    times are a pure function of the arguments.
+    """
+    if events < 1:
+        raise ValueError(f"events must be >= 1 (got {events})")
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise ValueError(
+            f"burst_fraction must lie in [0, 1] (got {burst_fraction})"
+        )
+    burst_events = int(events * burst_fraction)
+    calm_events = events - burst_events
+    times: List[float] = [i * base_interval for i in range(calm_events)]
+    horizon = max(calm_events * base_interval, 1.0)
+    if bursts > 0 and burst_events > 0:
+        per_burst = burst_events // bursts
+        extra = burst_events - per_burst * bursts
+        for index in range(bursts):
+            start = horizon * (index + 1) / (bursts + 1)
+            count = per_burst + (1 if index < extra else 0)
+            times.extend(
+                start + k * burst_interval for k in range(count)
+            )
+    times.sort()
+    return times[:events]
+
+
+def build_slow_subscriber_plan(
+    topology,
+    seed: int = 2003,
+    horizon: float = 500.0,
+    slow_delay: float = 40.0,
+    slow_loss: float = 0.5,
+    dead: bool = False,
+) -> "Tuple[FaultPlan, int]":
+    """A plan where one deterministic stub subscriber is slow — or dead.
+
+    The victim (a stub node drawn from ``seed``) either answers over a
+    high-delay, lossy access path (``dead=False``: the slow-subscriber
+    scenario, which stalls `ReliableTransport` retries) or is crashed
+    for the entire horizon (``dead=True``: the permanently-dead
+    subscriber the circuit breakers must isolate).  Returns
+    ``(plan, victim_node)``.
+    """
+    rng = np.random.default_rng(seed + 17)
+    stubs = topology.all_stub_nodes()
+    victim = int(stubs[int(rng.integers(len(stubs)))])
+    if dead:
+        plan = FaultPlan(
+            seed=seed,
+            crashes=(BrokerCrash(node=victim, start=0.0, end=horizon),),
+        )
+        return plan, victim
+    faults = tuple(
+        LinkFault(
+            u=victim, v=int(neighbor), loss=slow_loss, delay=slow_delay
+        )
+        for neighbor in topology.graph.neighbors(victim)
+    )
+    return FaultPlan(seed=seed, link_faults=faults), victim
+
+
+def build_resubscribe_storm(
+    broker,
+    at: float,
+    count: int = 50,
+    spacing: float = 0.05,
+    seed: int = 2003,
+) -> "List[Tuple[float, object]]":
+    """A thundering-resubscribe schedule for a dynamic broker.
+
+    At time ``at`` a herd of subscribers unsubscribes and immediately
+    resubscribes with the same rectangles (the classic reconnect storm
+    after a broker restart) — ``count`` churn pairs, ``spacing`` time
+    units apart, forcing overflow-index growth and possibly a full
+    repack mid-storm.  Returns ``(time, action)`` pairs for
+    :meth:`~repro.faults.overload.OverloadChaosSimulation.run`'s
+    ``churn`` argument.  Requires a broker with ``subscribe`` /
+    ``unsubscribe`` (a :class:`~repro.core.dynamic.DynamicPubSubBroker`).
+    """
+    rng = np.random.default_rng(seed + 29)
+    total = len(broker.table)
+    if count > total:
+        raise ValueError(
+            f"cannot churn {count} subscriptions; table holds {total}"
+        )
+    victims = sorted(
+        int(v) for v in rng.choice(total, size=count, replace=False)
+    )
+    schedule: "List[Tuple[float, object]]" = []
+    for index, subscription_id in enumerate(victims):
+        subscription = broker.table[subscription_id]
+        subscriber = subscription.subscriber
+        rectangle = subscription.rectangle
+
+        def churn(sid=subscription_id, node=subscriber, rect=rectangle):
+            broker.unsubscribe(sid)
+            broker.subscribe(node, rect)
+
+        schedule.append((at + index * spacing, churn))
+    return schedule

@@ -1,0 +1,133 @@
+"""Overload protection: backpressure, admission control, degradation.
+
+The pieces, edge to core, in the order a publish burst meets them:
+
+1. :class:`TokenBucket` — admission control at the publisher edge;
+   sustained rates above the budget are refused before they cost any
+   matching work.
+2. :class:`BoundedQueue` — the broker's finite ingress buffer with a
+   pluggable shedding policy (``drop-newest`` / ``drop-oldest`` /
+   ``ttl-priority``); its fill fraction is the load signal.
+3. :class:`HealthMonitor` — hysteresis state machine HEALTHY →
+   DEGRADED → OVERLOADED.  DEGRADED switches the broker to the
+   paper's group-multicast fallback (flood ``M_q``, skip the exact
+   S-tree query); OVERLOADED sheds new arrivals outright.
+4. :class:`BreakerBoard` — per-subscriber-link circuit breakers fed
+   by the reliable transport's ack/give-up signals, so one dead
+   subscriber cannot drain the retry budget.
+
+Everything takes time as an argument (the simulator clock in chaos
+runs) and draws no randomness, so seeded overload scenarios replay
+byte-identically.  :class:`OverloadConfig` bundles the knobs the
+chaos harness and CLI share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .admission import AdmissionStats, TokenBucket
+from .breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    BreakerStats,
+    CircuitBreaker,
+)
+from .health import BrokerHealth, HealthMonitor, HealthThresholds
+from .queues import SHED_POLICIES, BoundedQueue, QueueItem, QueueStats
+
+__all__ = [
+    "AdmissionStats",
+    "TokenBucket",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerState",
+    "BreakerStats",
+    "CircuitBreaker",
+    "BrokerHealth",
+    "HealthMonitor",
+    "HealthThresholds",
+    "SHED_POLICIES",
+    "BoundedQueue",
+    "QueueItem",
+    "QueueStats",
+    "OverloadConfig",
+]
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """One broker's complete overload-protection configuration.
+
+    ``service_time`` is the simulated cost of serving one queued event
+    (the drain rate is ``1 / service_time``); ``ttl`` is the default
+    per-event lifetime stamped at the publisher edge (``None`` = events
+    never expire).  ``admission_rate``/``admission_burst`` parameterise
+    the edge token bucket; ``None`` rate disables admission control.
+    """
+
+    queue_capacity: int = 64
+    shed_policy: str = "drop-newest"
+    service_time: float = 0.5
+    ttl: Optional[float] = None
+    admission_rate: Optional[float] = None
+    admission_burst: float = 32.0
+    #: Head-of-line wait considered "fully loaded" by the latency
+    #: signal; ``None`` derives it as ``queue_capacity * service_time``
+    #: (the time a full queue takes to drain).
+    latency_budget: Optional[float] = None
+    thresholds: HealthThresholds = HealthThresholds()
+    breakers: BreakerConfig = BreakerConfig()
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError(
+                "OverloadConfig: queue_capacity must be >= 1 "
+                f"(got {self.queue_capacity})"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"OverloadConfig: unknown shed_policy {self.shed_policy!r}; "
+                f"choose from {sorted(SHED_POLICIES)}"
+            )
+        if self.service_time <= 0:
+            raise ValueError(
+                "OverloadConfig: service_time must be positive "
+                f"(got {self.service_time})"
+            )
+        if self.ttl is not None and self.ttl <= 0:
+            raise ValueError(
+                f"OverloadConfig: ttl must be positive (got {self.ttl})"
+            )
+        if self.admission_rate is not None and self.admission_rate <= 0:
+            raise ValueError(
+                "OverloadConfig: admission_rate must be positive "
+                f"(got {self.admission_rate})"
+            )
+        if self.latency_budget is not None and self.latency_budget <= 0:
+            raise ValueError(
+                "OverloadConfig: latency_budget must be positive "
+                f"(got {self.latency_budget})"
+            )
+
+    @property
+    def effective_latency_budget(self) -> float:
+        if self.latency_budget is not None:
+            return self.latency_budget
+        return self.queue_capacity * self.service_time
+
+    def build_queue(self) -> BoundedQueue:
+        return BoundedQueue(self.queue_capacity, self.shed_policy)
+
+    def build_bucket(self) -> Optional[TokenBucket]:
+        if self.admission_rate is None:
+            return None
+        return TokenBucket(self.admission_rate, self.admission_burst)
+
+    def build_monitor(self) -> HealthMonitor:
+        return HealthMonitor(self.thresholds)
+
+    def build_breakers(self) -> BreakerBoard:
+        return BreakerBoard(self.breakers)

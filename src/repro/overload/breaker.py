@@ -1,0 +1,186 @@
+"""Per-subscriber-link circuit breakers.
+
+A permanently-dead subscriber is poison for the reliable transport:
+every event matched to it burns the full exponential-backoff retry
+budget, and during a burst those doomed retries crowd out retries that
+could still succeed.  The standard fix is the circuit breaker state
+machine:
+
+    CLOSED ──(failure_threshold consecutive failures)──▶ OPEN
+      ▲                                                    │
+      │ probe succeeds                  reset_timeout elapses
+      │                                                    ▼
+      └───────────────────────── HALF_OPEN ──(probe fails)─▶ OPEN
+
+While OPEN, deliveries to the target fail immediately ("short
+circuit") without consuming any retry budget.  After ``reset_timeout``
+the breaker admits exactly one *probe* delivery (HALF_OPEN); its fate
+decides whether the breaker closes again or re-opens for another
+timeout.
+
+All timing is the caller's injected ``now`` — inside a simulation that
+is the engine clock, so breaker trips land at byte-identical instants
+on every seeded rerun.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "BreakerState",
+    "BreakerConfig",
+    "BreakerStats",
+    "CircuitBreaker",
+    "BreakerBoard",
+]
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip and recovery knobs shared by every breaker on a board.
+
+    ``failure_threshold`` consecutive failures open the breaker;
+    ``reset_timeout`` simulated time units later one probe is allowed
+    through.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                "BreakerConfig: failure_threshold must be >= 1 "
+                f"(got {self.failure_threshold})"
+            )
+        if self.reset_timeout <= 0:
+            raise ValueError(
+                "BreakerConfig: reset_timeout must be positive "
+                f"(got {self.reset_timeout})"
+            )
+
+
+@dataclass
+class BreakerStats:
+    """Board-wide transition and short-circuit counts."""
+
+    opens: int = 0
+    closes: int = 0
+    probes: int = 0
+    short_circuits: int = 0
+
+
+class CircuitBreaker:
+    """One target's breaker (see the module docstring for the machine)."""
+
+    __slots__ = ("config", "state", "failures", "opened_at", "probing")
+
+    def __init__(self, config: BreakerConfig):
+        self.config = config
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probing = False
+
+    def allow(self, now: float) -> bool:
+        """May a delivery attempt to this target start at ``now``?"""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at >= self.config.reset_timeout:
+                self.state = BreakerState.HALF_OPEN
+                self.probing = False
+            else:
+                return False
+        # HALF_OPEN: exactly one in-flight probe at a time.
+        if self.probing:
+            return False
+        self.probing = True
+        return True
+
+    def record_success(self, now: float) -> bool:
+        """A delivery completed; returns True when this closed the breaker."""
+        closed = self.state is not BreakerState.CLOSED
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.probing = False
+        return closed
+
+    def record_failure(self, now: float) -> bool:
+        """A delivery failed; returns True when this opened the breaker."""
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe died: straight back to OPEN, timer re-armed.
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.probing = False
+            return True
+        self.failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self.failures >= self.config.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            return True
+        return False
+
+
+class BreakerBoard:
+    """Lazily-created breakers keyed by target node, with shared stats."""
+
+    def __init__(self, config: "BreakerConfig | None" = None):
+        self.config = config or BreakerConfig()
+        self.stats = BreakerStats()
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        #: (time, target, state) transition log, in trip order —
+        #: deterministic under the injected clock, handy for reports.
+        self.transitions: List[Tuple[float, int, str]] = []
+
+    def breaker(self, target: int) -> CircuitBreaker:
+        breaker = self._breakers.get(target)
+        if breaker is None:
+            breaker = self._breakers[target] = CircuitBreaker(self.config)
+        return breaker
+
+    def state(self, target: int) -> BreakerState:
+        breaker = self._breakers.get(target)
+        return breaker.state if breaker is not None else BreakerState.CLOSED
+
+    def allow(self, target: int, now: float) -> bool:
+        """Gate one delivery attempt; False = short-circuit the target."""
+        breaker = self.breaker(target)
+        was_open = breaker.state is BreakerState.OPEN
+        allowed = breaker.allow(now)
+        if allowed and was_open:
+            self.stats.probes += 1
+            self.transitions.append((now, target, "half_open"))
+        if not allowed:
+            self.stats.short_circuits += 1
+        return allowed
+
+    def record_success(self, target: int, now: float) -> None:
+        if self.breaker(target).record_success(now):
+            self.stats.closes += 1
+            self.transitions.append((now, target, "closed"))
+
+    def record_failure(self, target: int, now: float) -> None:
+        if self.breaker(target).record_failure(now):
+            self.stats.opens += 1
+            self.transitions.append((now, target, "open"))
+
+    def open_targets(self) -> List[int]:
+        """Targets currently isolated (OPEN), sorted for stable output."""
+        return sorted(
+            target
+            for target, breaker in self._breakers.items()
+            if breaker.state is BreakerState.OPEN
+        )

@@ -1,0 +1,209 @@
+"""Bounded ingress queues with pluggable shedding policies.
+
+The paper's broker implicitly assumes infinite buffering: every
+published event is matched and routed, however fast publishers fire.
+A real broker has a finite ingress buffer, and what it does when that
+buffer fills is a *policy decision* with very different failure modes:
+
+- **drop-newest** — reject the arriving event (classic tail drop);
+  cheapest and fairest to work already admitted, but bursts starve
+  latecomers;
+- **drop-oldest** — evict the head to admit the arrival; keeps the
+  queue fresh (good when stale events are worthless) at the price of
+  wasting the work already spent on the victim;
+- **ttl-priority** — first purge entries whose deadline already
+  passed, then evict the entry with the *nearest* deadline (it is the
+  most likely to expire in queue anyway), falling back to tail drop
+  when nothing carries a deadline.
+
+All decisions are pure functions of (queue contents, the injected
+``now``); nothing here consults a wall clock or RNG, so seeded
+simulations shed byte-identically on every rerun.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Generic, List, Optional, Tuple, TypeVar
+
+__all__ = [
+    "SHED_POLICIES",
+    "QueueItem",
+    "QueueStats",
+    "BoundedQueue",
+]
+
+T = TypeVar("T")
+
+#: The recognised shedding policies (CLI ``--shed-policy`` choices).
+SHED_POLICIES = ("drop-newest", "drop-oldest", "ttl-priority")
+
+
+@dataclass(frozen=True)
+class QueueItem(Generic[T]):
+    """One queued entry: the payload plus its scheduling metadata."""
+
+    payload: T
+    enqueued_at: float
+    deadline: Optional[float] = None
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+@dataclass
+class QueueStats:
+    """What one bounded queue did over its lifetime."""
+
+    offered: int = 0      # offer() calls
+    admitted: int = 0     # entries that entered the buffer
+    shed: int = 0         # entries rejected or evicted by the policy
+    expired: int = 0      # entries purged past their deadline
+    peak_depth: int = 0   # high-water mark of the buffer
+
+
+class BoundedQueue(Generic[T]):
+    """A FIFO with a hard capacity and a named shedding policy.
+
+    ``offer(payload, now)`` returns the list of payloads the policy
+    shed to (fail to) make room — possibly including the offered one —
+    so the caller can account for every loss.  ``poll(now)`` pops the
+    head, transparently purging expired entries (returned separately
+    via ``drain_expired``-style accounting in :attr:`stats`).
+
+    The buffer depth never exceeds ``capacity``; that invariant is the
+    backbone of the overload acceptance test.
+    """
+
+    def __init__(self, capacity: int, policy: str = "drop-newest"):
+        if capacity < 1:
+            raise ValueError(
+                f"BoundedQueue: capacity must be >= 1 (got {capacity})"
+            )
+        if policy not in SHED_POLICIES:
+            raise ValueError(
+                f"BoundedQueue: unknown policy {policy!r}; choose from "
+                f"{sorted(SHED_POLICIES)}"
+            )
+        self.capacity = int(capacity)
+        self.policy = policy
+        self.stats = QueueStats()
+        self._buffer: Deque[QueueItem[T]] = deque()
+        self._last_expired: List[T] = []
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def depth(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def fill_fraction(self) -> float:
+        """Queue depth as a fraction of capacity (the health signal)."""
+        return len(self._buffer) / self.capacity
+
+    def head_wait(self, now: float) -> float:
+        """How long the head entry has queued — the latency signal."""
+        if not self._buffer:
+            return 0.0
+        return max(0.0, now - self._buffer[0].enqueued_at)
+
+    # -- ingress -------------------------------------------------------------
+
+    def offer(
+        self,
+        payload: T,
+        now: float,
+        deadline: Optional[float] = None,
+    ) -> List[T]:
+        """Try to admit ``payload``; returns the payloads shed, if any.
+
+        An empty return means the payload was admitted at no cost.  A
+        non-empty return lists every payload the policy gave up on —
+        either the offered one (drop-newest / a full queue of
+        deadline-free entries under ttl-priority) or evicted older
+        entries (drop-oldest, ttl-priority).  Expired entries purged
+        along the way are counted in ``stats.expired`` and *also*
+        returned, tagged by the caller's bookkeeping via
+        :meth:`expired_in_last_offer`.
+        """
+        self.stats.offered += 1
+        self._last_expired = []
+        shed: List[T] = []
+        if len(self._buffer) >= self.capacity and self.policy == "ttl-priority":
+            self._purge_expired(now)
+        if len(self._buffer) >= self.capacity:
+            victim = self._choose_victim(deadline)
+            if victim is None:
+                self.stats.shed += 1
+                return [payload]
+            self._buffer.remove(victim)
+            self.stats.shed += 1
+            shed.append(victim.payload)
+        self._buffer.append(QueueItem(payload, now, deadline))
+        self.stats.admitted += 1
+        self.stats.peak_depth = max(self.stats.peak_depth, len(self._buffer))
+        return shed
+
+    def _choose_victim(
+        self, arriving_deadline: Optional[float]
+    ) -> Optional[QueueItem[T]]:
+        """Pick the entry to evict for an arrival at a full queue.
+
+        ``None`` means "shed the arrival itself instead".
+        """
+        if self.policy == "drop-newest":
+            return None
+        if self.policy == "drop-oldest":
+            return self._buffer[0]
+        # ttl-priority: evict the queued entry with the nearest
+        # deadline, but only if it is sooner than the arrival's own —
+        # otherwise the arrival is the most-likely-to-expire entry and
+        # shedding it wastes the least admitted work.  Deadline-free
+        # entries are never evicted by this policy.
+        dated = [item for item in self._buffer if item.deadline is not None]
+        if not dated:
+            return None
+        nearest = min(dated, key=lambda item: item.deadline)
+        if arriving_deadline is not None and nearest.deadline >= arriving_deadline:
+            return None
+        return nearest
+
+    def _purge_expired(self, now: float) -> None:
+        """Drop every entry whose deadline already passed."""
+        if not any(item.expired(now) for item in self._buffer):
+            return
+        kept: Deque[QueueItem[T]] = deque()
+        for item in self._buffer:
+            if item.expired(now):
+                self.stats.expired += 1
+                self._last_expired.append(item.payload)
+            else:
+                kept.append(item)
+        self._buffer = kept
+
+    def expired_in_last_offer(self) -> List[T]:
+        """Payloads purged as expired during the most recent offer()."""
+        return list(self._last_expired)
+
+    # -- egress --------------------------------------------------------------
+
+    def poll(self, now: float) -> "Tuple[Optional[T], List[T]]":
+        """Pop the next live entry.
+
+        Returns ``(payload, expired)`` where ``expired`` lists the
+        entries skipped because their deadline passed while queued
+        (dropped *at this stage* rather than processed late).
+        ``payload`` is ``None`` when the queue drained completely.
+        """
+        expired: List[T] = []
+        while self._buffer:
+            item = self._buffer.popleft()
+            if item.expired(now):
+                self.stats.expired += 1
+                expired.append(item.payload)
+                continue
+            return item.payload, expired
+        return None, expired

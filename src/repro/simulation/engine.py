@@ -54,7 +54,9 @@ class DiscreteEventSimulator:
         Negative delays are rejected — time never flows backwards.
         """
         if delay < 0:
-            raise ValueError(f"cannot schedule into the past: {delay}")
+            raise ValueError(
+                f"schedule: delay must be non-negative (got {delay})"
+            )
         heapq.heappush(
             self._queue,
             (self._now + delay, next(self._sequence), callback),
@@ -66,7 +68,8 @@ class DiscreteEventSimulator:
         """Run ``callback`` at an absolute time (not before ``now``)."""
         if time < self._now:
             raise ValueError(
-                f"cannot schedule at {time}, current time is {self._now}"
+                f"schedule_at: time must be >= current time {self._now} "
+                f"(got {time})"
             )
         heapq.heappush(
             self._queue, (time, next(self._sequence), callback)

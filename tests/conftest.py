@@ -1,6 +1,17 @@
-"""Shared fixtures: small seeded testbeds reused across the suite."""
+"""Shared fixtures: small seeded testbeds reused across the suite.
+
+Also installs a per-test timeout guard (SIGALRM-based, POSIX only, no
+third-party plugin needed): any single test that runs longer than
+``REPRO_TEST_TIMEOUT`` seconds (default 120) fails with a clear
+message instead of hanging the suite — chaos and overload scenarios
+are event-driven loops, and a regression there would otherwise stall
+CI until the job-level timeout.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
 
 import numpy as np
 import pytest
@@ -12,6 +23,30 @@ from repro.workload import (
     StockSubscriptionGenerator,
     publication_distribution,
 )
+
+_TEST_TIMEOUT = int(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+_HAS_ALARM = hasattr(signal, "SIGALRM")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if not _HAS_ALARM or _TEST_TIMEOUT <= 0:
+        yield
+        return
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {_TEST_TIMEOUT}s per-test timeout "
+            "(set REPRO_TEST_TIMEOUT to adjust, 0 to disable)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(_TEST_TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

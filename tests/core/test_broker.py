@@ -180,3 +180,55 @@ class TestPreprocessOptions:
         # Identical semantics regardless of index backend.
         assert tallies[0].scheme == pytest.approx(tallies[1].scheme)
         assert tallies[0].multicasts_sent == tallies[1].multicasts_sent
+
+
+class TestDegradedPublish:
+    """publish(degraded=True): the overload DEGRADED fast path floods
+    the covering group instead of running the exact match."""
+
+    def find_grouped_event(self, broker, small_events):
+        points, publishers = small_events
+        for i, point in enumerate(points):
+            if broker.partition.locate(point) > 0:
+                return Event.create(i, int(publishers[i]), point)
+        pytest.skip("workload produced no grouped event")
+
+    def test_floods_whole_group_as_multicast(self, broker, small_events):
+        event = self.find_grouped_event(broker, small_events)
+        record = broker.publish(event, degraded=True)
+        q = broker.partition.locate(event.point)
+        members = set(broker.partition.group(q).members) - {event.publisher}
+        assert record.method is DeliveryMethod.MULTICAST
+        assert set(record.match.subscribers) == members
+        # The exact match was skipped: no subscription ids attach.
+        assert record.match.subscription_ids == ()
+
+    def test_flood_covers_the_exact_interested_set(
+        self, broker, small_events
+    ):
+        # Superset delivery: M_q ⊇ interested, the clustering invariant
+        # degraded mode leans on.
+        points, publishers = small_events
+        checked = 0
+        for i, point in enumerate(points):
+            if broker.partition.locate(point) <= 0:
+                continue
+            event = Event.create(i, int(publishers[i]), point)
+            exact = set(broker.publish(event).match.subscribers)
+            flooded = set(
+                broker.publish(event, degraded=True).match.subscribers
+            )
+            assert exact - {event.publisher} <= flooded
+            checked += 1
+        assert checked > 0
+
+    def test_catchall_falls_back_to_exact_path(self, broker):
+        # A point far outside every cluster lands in the catchall
+        # (q = 0): nothing to flood, so the exact path runs anyway.
+        point = (1e6, 1e6, 1e6, 1e6)
+        assert broker.partition.locate(point) == 0
+        event = Event.create(0, 0, point)
+        degraded = broker.publish(event, degraded=True)
+        exact = broker.publish(event)
+        assert degraded.match.subscription_ids == exact.match.subscription_ids
+        assert degraded.method is exact.method

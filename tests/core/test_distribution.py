@@ -69,3 +69,24 @@ class TestThresholdPolicy:
     def test_ratio_with_no_group(self):
         decision = ThresholdPolicy(0.5).decide(5, 0, group=0)
         assert decision.interested_ratio == 0.0
+
+
+class TestDegradedFlood:
+    def test_always_multicast(self):
+        from repro.core.distribution import degraded_flood
+
+        decision = degraded_flood(interested=3, group_size=12, group=4)
+        assert decision.method is DeliveryMethod.MULTICAST
+        assert decision.group == 4
+        assert decision.group_size == 12
+        # Even a ratio far below any threshold floods in degraded mode.
+        assert decision.interested_ratio == pytest.approx(0.25)
+
+    def test_catchall_rejected(self):
+        from repro.core.distribution import degraded_flood
+
+        with pytest.raises(ValueError) as excinfo:
+            degraded_flood(interested=1, group_size=0, group=0)
+        assert str(excinfo.value) == (
+            "degraded_flood: group must be >= 1 (got 0)"
+        )

@@ -263,3 +263,116 @@ class TestDynamicBroker:
             for i in range(30)
         ]
         assert before == after
+
+
+class TestChurnGuarantees:
+    """Issue-mandated contracts: churn drains to zero on rebuild, and
+    unknown removals fail loudly with a clear message."""
+
+    def test_pending_churn_returns_to_zero_after_rebuild(self, engine):
+        for i in range(20):
+            engine.add(8000 + i, rect4(float(i), float(i) + 1.0))
+        assert engine.pending_churn > 0
+        engine.rebuild()
+        assert engine.pending_churn == 0
+        # And the guarantee holds repeatedly, not just once.
+        sub = engine.add(8999, Rectangle.full(4))
+        engine.remove(sub.subscription_id)
+        assert engine.pending_churn > 0
+        engine.rebuild()
+        assert engine.pending_churn == 0
+
+    def test_remove_unknown_id_message(self, engine):
+        with pytest.raises(KeyError) as excinfo:
+            engine.remove(10_000)
+        assert excinfo.value.args[0] == "unknown subscription id 10000"
+
+    def test_remove_twice_message(self, engine):
+        sub = engine.add(1, Rectangle.full(4))
+        engine.remove(sub.subscription_id)
+        with pytest.raises(KeyError) as excinfo:
+            engine.remove(sub.subscription_id)
+        assert excinfo.value.args[0] == (
+            f"subscription {sub.subscription_id} already removed"
+        )
+
+
+class TestSustainedChurnDelivery:
+    """rebalance_partition / repreprocess interleaved with a live event
+    stream: deliveries are never lost mid-rebuild."""
+
+    @pytest.fixture()
+    def broker(self, small_topology, small_placed, nine_mode_density):
+        table = SubscriptionTable.from_placed(small_placed)
+        return DynamicPubSubBroker.preprocess_dynamic(
+            small_topology,
+            table,
+            ForgyKMeansClustering(),
+            6,
+            density=nine_mode_density,
+            cells_per_dim=6,
+            max_cells=60,
+        )
+
+    @staticmethod
+    def interested(broker, point):
+        """Omniscient ground truth over the current live set."""
+        engine = broker.engine
+        return {
+            s.subscriber
+            for s in engine.table
+            if s.subscription_id not in engine._removed
+            and s.rectangle.contains_point(point)
+        }
+
+    def test_no_delivery_lost_mid_rebuild(
+        self, broker, small_events, small_topology, rng
+    ):
+        points, publishers = small_events
+        nodes = small_topology.all_stub_nodes()
+        added = []
+        for i, point in enumerate(points[:80]):
+            # Sustained churn: add/remove every step, with periodic
+            # maintenance passes racing the publish stream.
+            if added and rng.random() < 0.4:
+                broker.unsubscribe(added.pop(int(rng.integers(len(added)))))
+            else:
+                lo = rng.uniform(-5, 15, size=4)
+                sub = broker.subscribe(
+                    int(rng.choice(nodes)),
+                    Rectangle.from_bounds(lo, lo + rng.uniform(0.5, 10, 4)),
+                )
+                added.append(sub.subscription_id)
+            if i % 17 == 11:
+                broker.rebalance_partition(max_moves=10)
+            if i % 29 == 23:
+                broker.repreprocess()
+                # repreprocess() compacts the table and reassigns ids;
+                # the ones we held are no longer valid handles.
+                added.clear()
+
+            expected = self.interested(broker, point)
+            record = broker.publish(
+                Event.create(i, int(publishers[i]), point)
+            )
+            # Exact matching never loses an interested subscriber...
+            assert set(record.match.subscribers) == expected
+            # ...and a multicast group still covers the whole match.
+            q = record.decision.group
+            if q > 0:
+                members = set(broker.partition.group(q).members)
+                assert expected <= members
+
+    def test_churn_counters_drain_after_maintenance(
+        self, broker, small_topology
+    ):
+        node = small_topology.all_stub_nodes()[0]
+        subs = [
+            broker.subscribe(node, Rectangle.full(4)) for _ in range(10)
+        ]
+        for sub in subs:
+            broker.unsubscribe(sub.subscription_id)
+        broker.engine.rebuild()
+        assert broker.engine.pending_churn == 0
+        broker.repreprocess()
+        assert broker.engine.pending_churn == 0

@@ -186,3 +186,69 @@ class TestProbabilisticStream:
         )
         assert injector.filter_transmission(0, 1, 0.0).lost
         assert not injector.filter_transmission(2, 3, 0.0).lost
+
+
+class TestValidationMessages:
+    CASES = [
+        (lambda: LinkFault(0, 1, loss=2.0),
+         "LinkFault: loss must lie in [0, 1] (got 2.0)"),
+        (lambda: LinkFault(0, 1, duplicate=-0.1),
+         "LinkFault: duplicate must lie in [0, 1] (got -0.1)"),
+        (lambda: LinkFault(0, 1, delay=-1.0),
+         "LinkFault: delay must be non-negative (got -1.0)"),
+        (lambda: LinkOutage(0, 1, 5.0, 5.0),
+         "LinkOutage: window must satisfy start < end (got [5.0, 5.0))"),
+        (lambda: BrokerCrash(0, 9.0, 2.0),
+         "BrokerCrash: window must satisfy start < end (got [9.0, 2.0))"),
+        (lambda: FaultPlan(default_loss=1.5),
+         "FaultPlan: default_loss must lie in [0, 1] (got 1.5)"),
+        (lambda: FaultPlan(default_duplicate=1.5),
+         "FaultPlan: default_duplicate must lie in [0, 1] (got 1.5)"),
+        (lambda: FaultPlan(default_delay=-2.0),
+         "FaultPlan: default_delay must be non-negative (got -2.0)"),
+    ]
+
+    def test_messages_name_type_and_got_value(self):
+        for call, expected in self.CASES:
+            with pytest.raises(ValueError) as excinfo:
+                call()
+            assert str(excinfo.value) == expected
+
+    def test_validation_survives_python_O(self):
+        # Duration/probability validation must hold even when asserts
+        # are stripped by ``python -O``.
+        import os
+        import subprocess
+        import sys
+
+        program = (
+            "from repro.faults.plan import (\n"
+            "    BrokerCrash, FaultPlan, LinkFault, LinkOutage)\n"
+            "assert False  # proves -O is active: this must not raise\n"
+            "cases = [\n"
+            "    (lambda: LinkFault(0, 1, loss=2.0), 'LinkFault:'),\n"
+            "    (lambda: LinkFault(0, 1, delay=-1.0), 'LinkFault:'),\n"
+            "    (lambda: LinkOutage(0, 1, 5.0, 5.0), 'LinkOutage:'),\n"
+            "    (lambda: BrokerCrash(0, 9.0, 2.0), 'BrokerCrash:'),\n"
+            "    (lambda: FaultPlan(default_loss=1.5), 'FaultPlan:'),\n"
+            "    (lambda: FaultPlan(default_delay=-2.0), 'FaultPlan:'),\n"
+            "]\n"
+            "for call, prefix in cases:\n"
+            "    try:\n"
+            "        call()\n"
+            "    except ValueError as error:\n"
+            "        if not str(error).startswith(prefix):\n"
+            "            raise SystemExit(f'wrong message: {error}')\n"
+            "    else:\n"
+            "        raise SystemExit('ValueError not raised under -O')\n"
+            "print('OK')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-O", "-c", program],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "OK"

@@ -1,0 +1,69 @@
+"""Unit tests for token-bucket admission control."""
+
+import pytest
+
+from repro.overload import TokenBucket
+
+
+class TestValidation:
+    def test_rate_message(self):
+        with pytest.raises(ValueError) as excinfo:
+            TokenBucket(0.0, 4.0)
+        assert str(excinfo.value) == (
+            "TokenBucket: rate must be positive (got 0.0)"
+        )
+
+    def test_burst_message(self):
+        with pytest.raises(ValueError) as excinfo:
+            TokenBucket(1.0, 0.5)
+        assert str(excinfo.value) == (
+            "TokenBucket: burst must be >= 1 (got 0.5)"
+        )
+
+
+class TestBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert bucket.tokens_at(0.0) == 3.0
+
+    def test_burst_then_reject(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert all(bucket.try_acquire(0.0) for _ in range(3))
+        assert not bucket.try_acquire(0.0)
+        assert bucket.stats.admitted == 3
+        assert bucket.stats.rejected == 1
+
+    def test_lazy_refill_is_exact(self):
+        bucket = TokenBucket(rate=2.0, burst=10.0)
+        for _ in range(10):
+            bucket.try_acquire(0.0)
+        assert bucket.tokens_at(0.0) == 0.0
+        # 2 tokens/unit * 1.5 units = 3 tokens.
+        assert bucket.tokens_at(1.5) == pytest.approx(3.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=5.0, burst=4.0)
+        bucket.try_acquire(0.0)
+        assert bucket.tokens_at(1000.0) == 4.0
+
+    def test_sustained_rate_bounded_by_rate(self):
+        # Offer 10 events/unit against a 2/unit budget: admissions
+        # settle at the configured rate once the burst is spent.
+        bucket = TokenBucket(rate=2.0, burst=5.0)
+        admitted = sum(
+            bucket.try_acquire(i * 0.1) for i in range(1, 201)
+        )
+        # 20 time units * 2/unit = 40 refilled + 5 initial burst.
+        assert admitted <= 45
+        assert admitted >= 40
+
+    def test_multi_token_acquire(self):
+        bucket = TokenBucket(rate=1.0, burst=4.0)
+        assert bucket.try_acquire(0.0, tokens=4.0)
+        assert not bucket.try_acquire(0.0, tokens=1.0)
+
+    def test_time_never_flows_backwards_in_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0)
+        bucket.try_acquire(10.0)
+        # An out-of-order (earlier) timestamp must not mint tokens.
+        assert bucket.tokens_at(5.0) <= 2.0

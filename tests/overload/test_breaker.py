@@ -1,0 +1,124 @@
+"""Unit tests for the circuit-breaker state machine."""
+
+import pytest
+
+from repro.overload import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+
+
+class TestValidation:
+    def test_threshold_message(self):
+        with pytest.raises(ValueError) as excinfo:
+            BreakerConfig(failure_threshold=0)
+        assert str(excinfo.value) == (
+            "BreakerConfig: failure_threshold must be >= 1 (got 0)"
+        )
+
+    def test_reset_timeout_message(self):
+        with pytest.raises(ValueError) as excinfo:
+            BreakerConfig(reset_timeout=0.0)
+        assert str(excinfo.value) == (
+            "BreakerConfig: reset_timeout must be positive (got 0.0)"
+        )
+
+
+@pytest.fixture()
+def breaker():
+    return CircuitBreaker(BreakerConfig(failure_threshold=3, reset_timeout=50.0))
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self, breaker):
+        assert not breaker.record_failure(1.0)
+        assert not breaker.record_failure(2.0)
+        assert breaker.record_failure(3.0)  # third strike opens
+        assert breaker.state is BreakerState.OPEN
+
+    def test_success_resets_the_failure_count(self, breaker):
+        breaker.record_failure(1.0)
+        breaker.record_failure(2.0)
+        breaker.record_success(3.0)
+        assert not breaker.record_failure(4.0)
+        assert not breaker.record_failure(5.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_open_blocks_until_reset_timeout(self, breaker):
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert not breaker.allow(10.0)
+        assert not breaker.allow(52.9)
+        assert breaker.allow(53.0)  # 3.0 + 50.0
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_admits_exactly_one_probe(self, breaker):
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert breaker.allow(60.0)
+        assert not breaker.allow(60.0)  # probe already in flight
+        assert not breaker.allow(61.0)
+
+    def test_probe_success_closes(self, breaker):
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert breaker.allow(60.0)
+        assert breaker.record_success(61.0)
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow(61.0)
+
+    def test_probe_failure_rearms_the_timer(self, breaker):
+        for t in (1.0, 2.0, 3.0):
+            breaker.record_failure(t)
+        assert breaker.allow(60.0)
+        assert breaker.record_failure(61.0)  # probe died -> OPEN again
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow(100.0)
+        assert breaker.allow(111.0)  # 61.0 + 50.0
+
+
+class TestBreakerBoard:
+    def test_targets_are_independent(self):
+        board = BreakerBoard(BreakerConfig(failure_threshold=2))
+        board.record_failure(7, 1.0)
+        board.record_failure(7, 2.0)
+        assert board.state(7) is BreakerState.OPEN
+        assert board.state(8) is BreakerState.CLOSED
+        assert board.allow(8, 3.0)
+        assert not board.allow(7, 3.0)
+        assert board.open_targets() == [7]
+
+    def test_stats_and_transition_log(self):
+        board = BreakerBoard(
+            BreakerConfig(failure_threshold=1, reset_timeout=10.0)
+        )
+        board.record_failure(5, 1.0)    # open
+        assert not board.allow(5, 2.0)  # short circuit
+        assert board.allow(5, 12.0)     # probe
+        board.record_success(5, 13.0)   # close
+        assert board.stats.opens == 1
+        assert board.stats.short_circuits == 1
+        assert board.stats.probes == 1
+        assert board.stats.closes == 1
+        assert board.transitions == [
+            (1.0, 5, "open"),
+            (12.0, 5, "half_open"),
+            (13.0, 5, "closed"),
+        ]
+
+    def test_deterministic_under_injected_clock(self):
+        def run():
+            board = BreakerBoard(
+                BreakerConfig(failure_threshold=2, reset_timeout=5.0)
+            )
+            for t in range(20):
+                now = float(t)
+                if board.allow(3, now):
+                    (board.record_failure if t % 3 else board.record_success)(
+                        3, now
+                    )
+            return board.transitions, vars(board.stats)
+
+        assert run() == run()

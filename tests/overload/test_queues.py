@@ -1,0 +1,134 @@
+"""Unit tests for the bounded ingress queue and its shedding policies."""
+
+import pytest
+
+from repro.overload import SHED_POLICIES, BoundedQueue
+
+
+class TestValidation:
+    def test_capacity_message(self):
+        with pytest.raises(ValueError) as excinfo:
+            BoundedQueue(0)
+        assert str(excinfo.value) == (
+            "BoundedQueue: capacity must be >= 1 (got 0)"
+        )
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            BoundedQueue(4, "drop-random")
+
+    def test_known_policies_construct(self):
+        for policy in SHED_POLICIES:
+            assert BoundedQueue(4, policy).policy == policy
+
+
+class TestDropNewest:
+    def test_full_queue_sheds_the_arrival(self):
+        queue = BoundedQueue(2, "drop-newest")
+        assert queue.offer("a", 0.0) == []
+        assert queue.offer("b", 1.0) == []
+        assert queue.offer("c", 2.0) == ["c"]
+        assert queue.depth == 2
+        assert queue.stats.shed == 1
+
+    def test_fifo_order_preserved(self):
+        queue = BoundedQueue(3)
+        for name in "abc":
+            queue.offer(name, 0.0)
+        assert queue.poll(1.0) == ("a", [])
+        assert queue.poll(1.0) == ("b", [])
+        assert queue.poll(1.0) == ("c", [])
+        assert queue.poll(1.0) == (None, [])
+
+
+class TestDropOldest:
+    def test_full_queue_evicts_the_head(self):
+        queue = BoundedQueue(2, "drop-oldest")
+        queue.offer("a", 0.0)
+        queue.offer("b", 1.0)
+        assert queue.offer("c", 2.0) == ["a"]
+        assert queue.poll(3.0) == ("b", [])
+        assert queue.poll(3.0) == ("c", [])
+
+
+class TestTtlPriority:
+    def test_expired_entries_purged_before_eviction(self):
+        queue = BoundedQueue(2, "ttl-priority")
+        queue.offer("stale", 0.0, deadline=1.0)
+        queue.offer("fresh", 0.0, deadline=100.0)
+        # At t=5 "stale" is past its deadline: purged, not evicted.
+        assert queue.offer("new", 5.0, deadline=100.0) == []
+        assert queue.expired_in_last_offer() == ["stale"]
+        assert queue.stats.expired == 1
+        assert queue.depth == 2
+
+    def test_evicts_nearest_deadline_when_sooner_than_arrival(self):
+        queue = BoundedQueue(2, "ttl-priority")
+        queue.offer("soon", 0.0, deadline=10.0)
+        queue.offer("later", 0.0, deadline=50.0)
+        assert queue.offer("new", 1.0, deadline=30.0) == ["soon"]
+
+    def test_sheds_arrival_when_its_deadline_is_nearest(self):
+        queue = BoundedQueue(2, "ttl-priority")
+        queue.offer("a", 0.0, deadline=40.0)
+        queue.offer("b", 0.0, deadline=50.0)
+        assert queue.offer("new", 1.0, deadline=5.0) == ["new"]
+
+    def test_deadline_free_entries_never_evicted(self):
+        queue = BoundedQueue(2, "ttl-priority")
+        queue.offer("a", 0.0)
+        queue.offer("b", 0.0)
+        assert queue.offer("new", 1.0, deadline=5.0) == ["new"]
+
+
+class TestCapacityInvariant:
+    @pytest.mark.parametrize("policy", SHED_POLICIES)
+    def test_depth_never_exceeds_capacity(self, policy):
+        queue = BoundedQueue(5, policy)
+        for i in range(50):
+            queue.offer(i, float(i), deadline=float(i) + 7.0)
+            assert queue.depth <= 5
+        assert queue.stats.peak_depth <= 5
+
+    def test_every_offer_is_accounted(self):
+        # admitted + shed == offered, and every admitted entry either
+        # polls out, expires, or remains queued.
+        queue = BoundedQueue(4, "drop-oldest")
+        shed = []
+        for i in range(20):
+            shed.extend(queue.offer(i, float(i), deadline=float(i) + 3.0))
+        stats = queue.stats
+        # drop-oldest always admits the arrival; each shed is an eviction.
+        assert stats.admitted == stats.offered
+        assert stats.shed == len(shed)
+        polled, expired = [], []
+        while True:
+            payload, late = queue.poll(25.0)
+            expired.extend(late)
+            if payload is None:
+                break
+            polled.append(payload)
+        assert len(polled) + len(expired) + len(shed) == 20
+
+
+class TestPollAndSignals:
+    def test_poll_skips_expired_entries(self):
+        queue = BoundedQueue(4)
+        queue.offer("a", 0.0, deadline=1.0)
+        queue.offer("b", 0.0, deadline=100.0)
+        payload, expired = queue.poll(10.0)
+        assert payload == "b"
+        assert expired == ["a"]
+
+    def test_head_wait_and_fill_fraction(self):
+        queue = BoundedQueue(4)
+        assert queue.head_wait(5.0) == 0.0
+        queue.offer("a", 2.0)
+        queue.offer("b", 3.0)
+        assert queue.head_wait(5.0) == 3.0
+        assert queue.fill_fraction == 0.5
+
+    def test_expired_at_exact_deadline(self):
+        queue = BoundedQueue(2)
+        queue.offer("a", 0.0, deadline=4.0)
+        assert queue.poll(4.0) == (None, ["a"])

@@ -174,3 +174,58 @@ class TestRunUntil:
         sim.run()
         assert sim.events_processed == 5
         assert sim.pending == 0
+
+
+class TestValidationMessages:
+    def test_schedule_rejects_negative_delay(self):
+        sim = DiscreteEventSimulator()
+        with pytest.raises(ValueError) as excinfo:
+            sim.schedule(-1.0, lambda: None)
+        assert str(excinfo.value) == (
+            "schedule: delay must be non-negative (got -1.0)"
+        )
+
+    def test_schedule_at_rejects_past_times(self):
+        sim = DiscreteEventSimulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError) as excinfo:
+            sim.schedule_at(2.0, lambda: None)
+        assert str(excinfo.value) == (
+            "schedule_at: time must be >= current time 5.0 (got 2.0)"
+        )
+
+    def test_validation_survives_python_O(self):
+        # ``python -O`` strips assert statements; scheduling must not
+        # rely on them for time-sanity checks.
+        import os
+        import subprocess
+        import sys
+
+        program = (
+            "from repro.simulation import DiscreteEventSimulator\n"
+            "sim = DiscreteEventSimulator()\n"
+            "assert False  # proves -O is active: this must not raise\n"
+            "for call, prefix in [\n"
+            "    (lambda: sim.schedule(-1.0, lambda: None), 'schedule:'),\n"
+            "    (lambda: sim.schedule_at(-1.0, lambda: None),"
+            " 'schedule_at:'),\n"
+            "]:\n"
+            "    try:\n"
+            "        call()\n"
+            "    except ValueError as error:\n"
+            "        if not str(error).startswith(prefix):\n"
+            "            raise SystemExit(f'wrong message: {error}')\n"
+            "    else:\n"
+            "        raise SystemExit('ValueError not raised under -O')\n"
+            "print('OK')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-O", "-c", program],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.join(os.path.dirname(__file__), "..", ".."),
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip() == "OK"
