@@ -9,7 +9,10 @@ The subcommands cover the library's main workflows::
     repro experiments [--small]
     repro chaos     --events 500 --loss 0.1 --crashes 2
     repro chaos     --overload --scenario burst --queue-capacity 32
-    repro stats     --events 200 --loss 0.1 [--overload]
+    repro chaos     --crash-recovery --corrupt-wal torn-tail \\
+                    --wal-out broker.wal
+    repro wal       --path broker.wal
+    repro stats     --events 200 --loss 0.1 [--overload|--crash-recovery]
     repro trace     --event 3 --events 200
 
 ``repro chaos`` replays a workload through the packet simulator with
@@ -21,7 +24,15 @@ full overload-protection stack (token-bucket admission, bounded
 ingress queue with pluggable shedding, degraded group-flood mode,
 per-subscriber circuit breakers) against a canned saturation
 scenario: a burst storm, a slow or permanently-dead subscriber, or a
-thundering-resubscribe herd.
+thundering-resubscribe herd.  With ``--crash-recovery`` the home
+broker journals subscriptions, publish intents and delivery
+completions to a write-ahead log; each crash window wipes its
+volatile state (and, with ``--corrupt-wal``, damages the log), and
+each restart recovers from snapshot + WAL replay — the ledger then
+proves the guarantee held across the restarts.  ``repro wal``
+inspects a log file written with ``--wal-out``: record counts,
+corruption status (exit 1 when the tail is damaged), and the last
+few records.
 
 ``repro stats`` runs the same pipeline with live telemetry and prints
 the operational picture: events/sec, match-latency percentiles, the
@@ -217,6 +228,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.5,
         help="simulated broker cost of serving one queued event",
     )
+    durability = chaos.add_argument_group(
+        "durable broker state (with --crash-recovery)"
+    )
+    durability.add_argument(
+        "--crash-recovery",
+        action="store_true",
+        help="journal the home broker to a write-ahead log and "
+        "recover from every crash window (snapshot load + WAL "
+        "replay + in-flight redelivery)",
+    )
+    durability.add_argument(
+        "--corrupt-wal",
+        choices=("torn-tail", "bit-flip"),
+        default=None,
+        help="damage the WAL at every crash, so each restart must "
+        "also truncate/repair the log",
+    )
+    durability.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        help="take a snapshot + truncate the WAL prefix every N "
+        "journaled deliveries",
+    )
+    durability.add_argument(
+        "--wal-out",
+        default=None,
+        help="back the journal with this WAL file (inspect it "
+        "afterwards with `repro wal`)",
+    )
 
     def add_telemetry_workload_options(sub: argparse.ArgumentParser) -> None:
         # Same knobs as `repro chaos` so `stats`/`trace` replay the
@@ -235,6 +276,13 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="replay a burst storm through the overload-protected "
             "pipeline instead of the plain chaos run",
+        )
+        sub.add_argument(
+            "--crash-recovery",
+            action="store_true",
+            help="journal the home broker to a write-ahead log and "
+            "recover it from every crash window (durability "
+            "counters appear in the report)",
         )
 
     stats = commands.add_parser(
@@ -279,6 +327,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out",
         default=None,
         help="write the JSONL here instead of stdout",
+    )
+
+    wal = commands.add_parser(
+        "wal",
+        help="inspect and verify a write-ahead log file",
+    )
+    wal.add_argument("--path", required=True, help="WAL file to scan")
+    wal.add_argument(
+        "--tail",
+        type=int,
+        default=10,
+        help="how many trailing records to print (0: none)",
     )
 
     dot = commands.add_parser(
@@ -485,12 +545,115 @@ def _cmd_chaos_overload(args: argparse.Namespace) -> int:
     return 0 if report.accounted and report.within_capacity else 1
 
 
+def _cmd_chaos_crash_recovery(args: argparse.Namespace) -> int:
+    import os
+
+    from .durability import FileWAL
+    from .faults import (
+        CrashRecoverySimulation,
+        RetryConfig,
+        build_crash_recovery_plan,
+    )
+    from .faults.verifier import build_chaos_testbed
+
+    broker, density = build_chaos_testbed(
+        seed=args.seed,
+        subscriptions=args.subscriptions,
+        num_groups=args.groups,
+        dynamic=True,
+    )
+    # Recovery rebuilds the engine through the dynamic machinery, so
+    # the DynamicPubSubBroker must survive: set the policy in place.
+    broker.policy = ThresholdPolicy(args.threshold)
+    points, publishers = PublicationGenerator(
+        density, broker.topology.all_stub_nodes(), seed=args.seed + 9
+    ).generate(args.events)
+    try:
+        plan, home = build_crash_recovery_plan(
+            broker.topology,
+            seed=args.seed,
+            loss=args.loss,
+            duplicate=args.duplicate,
+            crashes=args.crashes,
+            crash_length=args.crash_length,
+            horizon=float(args.events),
+            corrupt=args.corrupt_wal,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    wal = None
+    if args.wal_out:
+        # A fresh run wants a fresh log, not appends onto a stale one.
+        if os.path.exists(args.wal_out):
+            os.unlink(args.wal_out)
+        wal = FileWAL(args.wal_out)
+    simulation = CrashRecoverySimulation(
+        broker,
+        plan,
+        home=home,
+        wal=wal,
+        checkpoint_every=args.checkpoint_every,
+    )
+    if wal is not None:
+        wal.clock = lambda: simulation.simulator.now
+    simulation.transport.config = RetryConfig.for_network(
+        simulation.network, max_attempts=args.max_attempts
+    )
+    report = simulation.run(points, publishers)
+    corrupt = f", corrupting ({args.corrupt_wal})" if args.corrupt_wal else ""
+    print(
+        f"crash-recovery run: {broker.topology.num_nodes} nodes, "
+        f"{len(points)} events, home broker {home}, "
+        f"{len(simulation.windows)} crash windows{corrupt}"
+    )
+    print(format_table(("metric", "value"), report.summary_rows()))
+    if report.durability.corruptions:
+        print("\nwal corruptions applied:")
+        for entry in report.durability.corruptions:
+            print(f"  {entry}")
+    if report.durability.recovery_digests:
+        print("\nrecovery state digests (determinism witnesses):")
+        for index, digest in enumerate(report.durability.recovery_digests):
+            print(f"  recovery {index}: {digest}")
+    if report.missing:
+        print("\nfirst missing deliveries (event, subscriber, reason):")
+        for sequence, subscriber, reason in report.missing[:10]:
+            print(f"  event {sequence} -> node {subscriber}: {reason}")
+        if len(report.missing) > 10:
+            print(f"  ... and {len(report.missing) - 10} more")
+    if args.wal_out:
+        print(
+            f"\nwrote {args.wal_out} "
+            f"(inspect with `repro wal --path {args.wal_out}`)"
+        )
+    if args.corrupt_wal:
+        # A damaged log may legitimately lose intents journaled in the
+        # torn tail; the hard guarantees are that every crash window
+        # produced a recovery and that nothing was delivered twice.
+        healthy = (
+            report.durability.recoveries == len(simulation.windows)
+            and report.duplicate_deliveries == 0
+        )
+        return 0 if healthy else 1
+    return 0 if report.exactly_once else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import ChaosSimulation, RetryConfig
     from .faults.verifier import build_chaos_plan, build_chaos_testbed
 
+    if args.overload and args.crash_recovery:
+        print(
+            "error: --overload and --crash-recovery are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return 2
     if args.overload:
         return _cmd_chaos_overload(args)
+    if args.crash_recovery:
+        return _cmd_chaos_crash_recovery(args)
 
     broker, density = build_chaos_testbed(
         seed=args.seed,
@@ -545,7 +708,12 @@ def _run_instrumented(args: argparse.Namespace):
     """
     from time import perf_counter
 
-    from .faults import ChaosSimulation, OverloadChaosSimulation
+    from .faults import (
+        ChaosSimulation,
+        CrashRecoverySimulation,
+        OverloadChaosSimulation,
+        build_crash_recovery_plan,
+    )
     from .faults.verifier import (
         build_burst_storm_times,
         build_chaos_plan,
@@ -553,26 +721,53 @@ def _run_instrumented(args: argparse.Namespace):
     )
     from .telemetry import Telemetry
 
+    crash_recovery = getattr(args, "crash_recovery", False)
+    if crash_recovery and getattr(args, "overload", False):
+        print(
+            "error: --overload and --crash-recovery are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     broker, density = build_chaos_testbed(
         seed=args.seed,
         subscriptions=args.subscriptions,
         num_groups=args.groups,
+        dynamic=crash_recovery,
     )
-    broker = broker.with_policy(ThresholdPolicy(args.threshold))
+    if crash_recovery:
+        # Recovery rebuilds the engine through the dynamic machinery,
+        # so the DynamicPubSubBroker must survive: set in place.
+        broker.policy = ThresholdPolicy(args.threshold)
+    else:
+        broker = broker.with_policy(ThresholdPolicy(args.threshold))
     points, publishers = PublicationGenerator(
         density, broker.topology.all_stub_nodes(), seed=args.seed + 9
     ).generate(args.events)
-    plan = build_chaos_plan(
-        broker.topology,
-        seed=args.seed,
-        loss=args.loss,
-        crashes=args.crashes,
-        crash_length=args.crash_length,
-        horizon=float(args.events),
-    )
     telemetry = Telemetry(seed=args.seed)
     started = perf_counter()
-    if getattr(args, "overload", False):
+    if crash_recovery:
+        plan, home = build_crash_recovery_plan(
+            broker.topology,
+            seed=args.seed,
+            loss=args.loss,
+            crashes=args.crashes,
+            crash_length=args.crash_length,
+            horizon=float(args.events),
+        )
+        simulation = CrashRecoverySimulation(
+            broker, plan, home=home, telemetry=telemetry
+        )
+        report = simulation.run(points, publishers)
+    elif getattr(args, "overload", False):
+        plan = build_chaos_plan(
+            broker.topology,
+            seed=args.seed,
+            loss=args.loss,
+            crashes=args.crashes,
+            crash_length=args.crash_length,
+            horizon=float(args.events),
+        )
         simulation = OverloadChaosSimulation(
             broker, plan, reliable=True, telemetry=telemetry
         )
@@ -580,6 +775,14 @@ def _run_instrumented(args: argparse.Namespace):
             points, publishers, build_burst_storm_times(args.events)
         )
     else:
+        plan = build_chaos_plan(
+            broker.topology,
+            seed=args.seed,
+            loss=args.loss,
+            crashes=args.crashes,
+            crash_length=args.crash_length,
+            horizon=float(args.events),
+        )
         simulation = ChaosSimulation(
             broker, plan, reliable=True, telemetry=telemetry
         )
@@ -671,6 +874,37 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "(re-run with --overload for the saturation pipeline)"
         )
 
+    # Durability summary (live when the home broker journaled to a WAL).
+    family = metrics.get("wal.appends")
+    if family is not None:
+        durability_rows = []
+        total_appends = 0
+        for labels, metric in sorted(family.children.items()):
+            kind = dict(labels).get("kind", "?")
+            durability_rows.append(
+                (f"wal appends: {kind}", int(metric.value))
+            )
+            total_appends += int(metric.value)
+        durability_rows[:0] = [("wal appends (total)", total_appends)]
+        durability_rows.extend(
+            [
+                ("checkpoints", counter("wal.checkpoints")),
+                ("recoveries", counter("recovery.runs")),
+                ("records replayed", counter("recovery.replayed")),
+                ("wal bytes truncated", counter("recovery.truncated")),
+                ("in-flight found on recovery", counter("recovery.inflight")),
+                ("in-flight wiped by crash", counter("transport.wiped")),
+                ("events deferred while down", counter("broker.deferred")),
+            ]
+        )
+        print("\nbroker durability (write-ahead log):")
+        print(format_table(("signal", "value"), durability_rows))
+    elif getattr(args, "crash_recovery", False) is False:
+        print(
+            "\nbroker durability: journaling inactive "
+            "(re-run with --crash-recovery for the WAL pipeline)"
+        )
+
     per_link = []
     family = metrics.get("net.link.bytes")
     if family is not None:
@@ -742,6 +976,67 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_wal(args: argparse.Namespace) -> int:
+    import json
+    import os
+    from collections import Counter as TallyCounter
+
+    from .durability import FileWAL, RecordKind
+
+    if not os.path.exists(args.path):
+        print(f"error: {args.path}: no such file", file=sys.stderr)
+        return 2
+    try:
+        wal = FileWAL(args.path)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = wal.scan()
+    by_kind = TallyCounter(record.kind for record in result.records)
+    rows = [
+        ("base lsn", wal.base_lsn),
+        ("end lsn", wal.end_lsn),
+        ("records", len(result.records)),
+    ]
+    rows.extend(
+        (f"  {kind.name.lower()}", by_kind[kind])
+        for kind in RecordKind
+        if by_kind[kind]
+    )
+    rows.append(
+        ("status", "clean" if result.clean else "CORRUPT")
+    )
+    print(f"wal: {args.path}")
+    print(format_table(("field", "value"), rows))
+    if args.tail and result.records:
+        tail = result.records[-args.tail :]
+        print(f"\nlast {len(tail)} records:")
+
+        def render(body: dict) -> str:
+            text = json.dumps(body, sort_keys=True)
+            return text if len(text) <= 64 else text[:61] + "..."
+
+        print(
+            format_table(
+                ("lsn", "kind", "body"),
+                [
+                    (record.lsn, record.kind.name.lower(), render(record.body))
+                    for record in tail
+                ],
+            )
+        )
+    if not result.clean:
+        print(
+            f"\n{result.corruption}\n"
+            f"{wal.end_lsn - result.valid_end} trailing bytes are "
+            f"unreadable; recovery would truncate at lsn "
+            f"{result.valid_end}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     from .network.visualize import write_dot
 
@@ -769,6 +1064,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
+        "wal": _cmd_wal,
         "dot": _cmd_dot,
     }
     return handlers[args.command](args)

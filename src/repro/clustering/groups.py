@@ -122,6 +122,62 @@ class SpacePartition:
             grown.append(q)
         return grown
 
+    # -- persistence (checkpoint/recovery support) --------------------------
+
+    def to_state(self) -> Dict:
+        """JSON-ready encoding of the assignment (not the grid).
+
+        Captures everything a restarted broker needs to route exactly
+        as before: the grid *geometry* (frame + resolution, so
+        ``locate`` lands points in the same cells), the cell→group
+        mapping and each group's member list.  The grid's membership
+        bitmasks and densities are derived state — rebuilt from the
+        subscription table on :meth:`restore`, never stored.
+        """
+        return {
+            "algorithm": self.algorithm,
+            "frame_lo": [float(x) for x in self.grid.frame_lo],
+            "frame_hi": [float(x) for x in self.grid.frame_hi],
+            "cells_per_dim": int(self.grid.cells_per_dim),
+            "groups": [
+                {
+                    "q": group.q,
+                    "members": [int(m) for m in group.members],
+                    "expected_waste": float(group.expected_waste),
+                }
+                for group in self.groups
+            ],
+            "cell_to_group": [
+                [list(index), q]
+                for index, q in sorted(self._cell_to_group.items())
+            ],
+        }
+
+    @classmethod
+    def restore(cls, grid: EventGrid, state: Dict) -> "SpacePartition":
+        """Rebuild a partition from :meth:`to_state` output.
+
+        ``grid`` must be built over the recovered subscription set with
+        the frame/resolution recorded in ``state`` — the stored
+        assignment is authoritative, so no clustering runs.
+        """
+        partition = cls.__new__(cls)
+        partition.grid = grid
+        partition.algorithm = state["algorithm"]
+        partition._cell_to_group = {
+            tuple(int(x) for x in index): int(q)
+            for index, q in state["cell_to_group"]
+        }
+        partition.groups = [
+            MulticastGroup(
+                q=int(entry["q"]),
+                members=tuple(int(m) for m in entry["members"]),
+                expected_waste=float(entry["expected_waste"]),
+            )
+            for entry in sorted(state["groups"], key=lambda e: e["q"])
+        ]
+        return partition
+
     def covered_probability(self) -> float:
         """Publication mass covered by ``S_1 .. S_n`` (vs the catchall).
 

@@ -395,6 +395,24 @@ class PubSubBroker:
 
     # -- maintenance ------------------------------------------------------------
 
+    def durable_state(self) -> dict:
+        """The broker's durable state, JSON-ready.
+
+        Everything a restarted broker cannot re-derive: the
+        subscription table (full id space, tombstones included), the
+        withdrawn ids, and the partition's group assignment.  The
+        S-tree, the grid's membership lists and the routing caches are
+        all recomputed from these on recovery (see
+        :mod:`repro.durability`).
+        """
+        from .. import io as _io
+
+        return {
+            "table": _io.table_to_dict(self.table),
+            "removed": sorted(getattr(self, "_removed", ()) or ()),
+            "partition": self.partition.to_state(),
+        }
+
     def with_policy(self, policy: DistributionPolicy) -> "PubSubBroker":
         """A sibling broker sharing all state except the threshold.
 

@@ -57,6 +57,7 @@ class DynamicMatchingEngine:
         table: SubscriptionTable,
         backend: str = "stree",
         rebuild_fraction: float = DEFAULT_REBUILD_FRACTION,
+        removed: Optional[Set[int]] = None,
         **backend_options,
     ):
         if not 0.0 < rebuild_fraction <= 1.0:
@@ -70,7 +71,9 @@ class DynamicMatchingEngine:
         self.backend = backend
         self.rebuild_fraction = rebuild_fraction
         self._backend_options = backend_options
-        self._removed: Set[int] = set()
+        # ``removed`` seeds pre-existing tombstones (crash recovery
+        # rebuilds an engine whose table still holds withdrawn rows).
+        self._removed: Set[int] = set(removed) if removed else set()
         self._removals_since_rebuild = 0
         self._overflow_ids: List[int] = []
         self._overflow_lows: List[np.ndarray] = []
@@ -225,6 +228,8 @@ class DynamicPubSubBroker(PubSubBroker):
         self._cells_per_dim = cells_per_dim
         self._max_cells = max_cells
         self._removed: Set[int] = set()
+        #: Optional durability hook (see :meth:`attach_journal`).
+        self.journal = None
 
     @classmethod
     def preprocess_dynamic(
@@ -268,11 +273,23 @@ class DynamicPubSubBroker(PubSubBroker):
 
     # -- churn -----------------------------------------------------------------
 
+    def attach_journal(self, journal) -> None:
+        """Journal every subscribe/unsubscribe to durable storage.
+
+        ``journal`` is a :class:`~repro.durability.journal.
+        BrokerJournal` (duck-typed: anything with ``log_subscribe`` /
+        ``log_unsubscribe``).  Publish intents and delivery
+        completions are journaled by the transport harness, not here.
+        """
+        self.journal = journal
+
     def subscribe(
         self, subscriber: int, rectangle: Rectangle
     ) -> Subscription:
         """Admit a new subscription; effective for the next event."""
         subscription = self.engine.add(subscriber, rectangle)
+        if self.journal is not None:
+            self.journal.log_subscribe(subscription)
         grown = self.partition.add_subscription(rectangle, subscriber)
         if grown:
             # Group membership changed: memoized trees are stale.
@@ -287,6 +304,8 @@ class DynamicPubSubBroker(PubSubBroker):
         """
         self.engine.remove(subscription_id)
         self._removed.add(subscription_id)
+        if self.journal is not None:
+            self.journal.log_unsubscribe(subscription_id)
 
     def rebalance_partition(self, max_moves: int = 20) -> int:
         """Incrementally refresh and improve the live partition.

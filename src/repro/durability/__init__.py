@@ -1,0 +1,68 @@
+"""Durable broker state: write-ahead log, snapshots, crash recovery.
+
+The paper's architecture front-loads expensive state — the packed
+S-tree index and the cluster→multicast-group assignment — and
+implicitly assumes brokers live long enough to amortize it.  The fault
+model of :mod:`repro.faults` made crashes *visible* (a crashed broker
+blackholes traffic) but kept them harmless: the broker resumed with
+pristine in-memory state, which real systems only achieve by paying
+for durability.
+
+This package pays:
+
+- :mod:`~repro.durability.wal` — an append-only, CRC-checked,
+  length-prefixed write-ahead log of every state mutation
+  (subscription add/remove, event-publish intents, per-target delivery
+  completions, checkpoint markers), with in-memory and file-backed
+  implementations behind one interface;
+- :mod:`~repro.durability.snapshot` — checkpoints serializing the
+  live subscription table plus the cluster→group assignment (reusing
+  the :mod:`repro.io` codecs), enabling WAL prefix truncation;
+- :mod:`~repro.durability.journal` — the broker-side writer:
+  journals mutations write-ahead, takes periodic checkpoints, and
+  tracks the in-flight low-water mark so truncation never drops an
+  unacked delivery;
+- :mod:`~repro.durability.recovery` — the restart path: load the
+  newest valid snapshot, replay the WAL tail (stopping at the first
+  torn or corrupt record), rebuild the S-tree via the existing
+  dynamic-engine machinery, and report the unacked in-flight
+  deliveries so the reliable transport can finish them.
+
+Everything runs off injected clocks and is deterministic: the same
+snapshot + WAL bytes always recover byte-identical broker state.
+"""
+
+from .journal import BrokerJournal
+from .recovery import InflightDelivery, RecoveredState, recover, restore_broker
+from .snapshot import (
+    FileSnapshotStore,
+    MemorySnapshotStore,
+    Snapshot,
+    SnapshotStore,
+)
+from .wal import (
+    FileWAL,
+    MemoryWAL,
+    RecordKind,
+    ScanResult,
+    WalRecord,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "RecordKind",
+    "WalRecord",
+    "ScanResult",
+    "WriteAheadLog",
+    "MemoryWAL",
+    "FileWAL",
+    "Snapshot",
+    "SnapshotStore",
+    "MemorySnapshotStore",
+    "FileSnapshotStore",
+    "BrokerJournal",
+    "InflightDelivery",
+    "RecoveredState",
+    "recover",
+    "restore_broker",
+]

@@ -1,0 +1,207 @@
+"""The broker-side WAL writer: journal first, mutate second.
+
+:class:`BrokerJournal` sits between a broker and its durable storage.
+Call sites log each mutation *before* it takes effect (write-ahead),
+so a crash between the append and the in-memory update loses nothing
+that matters: recovery replays the record and converges on the state
+the mutation would have produced.
+
+Checkpointing is automatic: every ``checkpoint_every`` appends, the
+journal serializes the broker's durable state (table + tombstones +
+partition assignment) into a :class:`~repro.durability.snapshot.
+Snapshot` and truncates the WAL prefix.  Truncation respects the
+**in-flight low-water mark** — the smallest LSN of any PUBLISH intent
+whose deliveries are not all acked — so recovery can always
+reconstruct the unfinished deliveries, no matter how recent the last
+checkpoint was.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..io import _encode_bound
+from ..telemetry.base import Telemetry, or_null
+from .recovery import RecoveredState
+from .snapshot import Snapshot, SnapshotStore
+from .wal import RecordKind, WriteAheadLog
+
+__all__ = ["BrokerJournal"]
+
+
+class BrokerJournal:
+    """Write-ahead journaling + periodic checkpoints for one broker."""
+
+    def __init__(
+        self,
+        broker,
+        wal: WriteAheadLog,
+        store: SnapshotStore,
+        checkpoint_every: int = 256,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.broker = broker
+        self.wal = wal
+        self.store = store
+        self.checkpoint_every = checkpoint_every
+        self.telemetry = or_null(telemetry)
+        #: sequence → LSN of its PUBLISH intent (the low-water candidates).
+        self._intent_lsn: Dict[int, int] = {}
+        #: sequence → targets still awaiting a DELIVER completion.
+        self._intent_targets: Dict[int, Set[int]] = {}
+        self._appends_since_checkpoint = 0
+        existing = self.store.ids()
+        self._next_snapshot_id = (max(existing) + 1) if existing else 0
+        self.checkpoints = 0
+
+    # -- record writers ------------------------------------------------------
+
+    def _append(self, kind: RecordKind, body: Dict) -> int:
+        lsn = self.wal.append(kind, body)
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "wal.appends",
+                help="WAL records appended",
+                kind=kind.name.lower(),
+            ).inc()
+        self._appends_since_checkpoint += 1
+        return lsn
+
+    def log_subscribe(self, subscription) -> int:
+        """Journal a subscription add (call before the engine mutates)."""
+        rect = subscription.rectangle
+        return self._append(
+            RecordKind.SUBSCRIBE,
+            {
+                "sid": int(subscription.subscription_id),
+                "subscriber": int(subscription.subscriber),
+                "lows": [_encode_bound(x) for x in rect.lows],
+                "highs": [_encode_bound(x) for x in rect.highs],
+            },
+        )
+
+    def log_unsubscribe(self, subscription_id: int) -> int:
+        """Journal a subscription removal (tombstone)."""
+        return self._append(
+            RecordKind.UNSUBSCRIBE, {"sid": int(subscription_id)}
+        )
+
+    def log_publish(
+        self,
+        sequence: int,
+        publisher: int,
+        targets: Iterable[int],
+        method: str = "",
+        group: int = 0,
+    ) -> int:
+        """Journal a publish intent with its full recipient set.
+
+        The intent's LSN becomes a truncation low-water candidate until
+        every target's completion is journaled via :meth:`log_delivery`.
+        """
+        target_set = {int(t) for t in targets}
+        lsn = self._append(
+            RecordKind.PUBLISH,
+            {
+                "seq": int(sequence),
+                "publisher": int(publisher),
+                "targets": sorted(target_set),
+                "method": method,
+                "group": int(group),
+            },
+        )
+        if target_set:
+            self._intent_lsn[int(sequence)] = lsn
+            self._intent_targets[int(sequence)] = target_set
+        return lsn
+
+    def log_delivery(self, sequence: int, target: int) -> int:
+        """Journal one target's acked delivery; retires finished intents."""
+        lsn = self._append(
+            RecordKind.DELIVER,
+            {"seq": int(sequence), "target": int(target)},
+        )
+        remaining = self._intent_targets.get(int(sequence))
+        if remaining is not None:
+            remaining.discard(int(target))
+            if not remaining:
+                del self._intent_targets[int(sequence)]
+                del self._intent_lsn[int(sequence)]
+        self.maybe_checkpoint()
+        return lsn
+
+    # -- checkpointing -------------------------------------------------------
+
+    def low_water_mark(self, checkpoint_lsn: int) -> int:
+        """The highest LSN the WAL prefix may be truncated at."""
+        candidates = list(self._intent_lsn.values())
+        candidates.append(checkpoint_lsn)
+        return min(candidates)
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint if enough records accumulated since the last one."""
+        if self._appends_since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+            return True
+        return False
+
+    def checkpoint(self) -> Snapshot:
+        """Snapshot the broker's durable state and truncate the WAL.
+
+        The snapshot's ``checkpoint_lsn`` is the WAL end at capture
+        time: every SUBSCRIBE/UNSUBSCRIBE below it is inside the
+        snapshot, so recovery skips them.  The physical truncation
+        point is the in-flight low-water mark, which may lag the
+        checkpoint LSN while deliveries are outstanding.
+        """
+        checkpoint_lsn = self.wal.end_lsn
+        state = self.broker.durable_state()
+        snapshot = Snapshot(
+            snapshot_id=self._next_snapshot_id,
+            checkpoint_lsn=checkpoint_lsn,
+            table=state["table"],
+            removed=state["removed"],
+            partition=state["partition"],
+            taken_at=self.wal.clock(),
+        )
+        self.store.save(snapshot)
+        self._next_snapshot_id += 1
+        self._append(
+            RecordKind.CHECKPOINT,
+            {"snapshot_id": snapshot.snapshot_id, "lsn": checkpoint_lsn},
+        )
+        self.wal.truncate_prefix(self.low_water_mark(checkpoint_lsn))
+        self._appends_since_checkpoint = 0
+        self.checkpoints += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "wal.checkpoints", help="checkpoints taken"
+            ).inc()
+        return snapshot
+
+    # -- recovery hand-off ---------------------------------------------------
+
+    def rearm(self, state: RecoveredState) -> None:
+        """Resume journaling after recovery.
+
+        Reseeds the in-flight tracking from what recovery found (their
+        original intent LSNs keep holding the truncation low-water
+        mark) and realigns the snapshot-id counter with the store.
+        """
+        self._intent_lsn = {
+            seq: entry.lsn for seq, entry in state.inflight.items()
+        }
+        self._intent_targets = {
+            seq: set(entry.targets)
+            for seq, entry in state.inflight.items()
+        }
+        self._appends_since_checkpoint = 0
+        existing = self.store.ids()
+        self._next_snapshot_id = (max(existing) + 1) if existing else 0
+
+    @property
+    def inflight_sequences(self) -> Set[int]:
+        """Sequences with at least one unacked delivery (diagnostics)."""
+        return set(self._intent_targets)

@@ -1,0 +1,401 @@
+"""The write-ahead log: append-only, CRC-checked, seekable records.
+
+Physical layout (all integers little-endian)::
+
+    header:  MAGIC b"REPROWAL" | version u8 | base_lsn u64
+    record:  payload_length u32 | crc32(payload) u32 | payload
+    payload: kind u8 | canonical JSON body (utf-8)
+
+An **LSN** is the logical byte offset of a record's first header byte,
+counted from the beginning of the log's *lifetime* — prefix truncation
+(checkpointing) rewrites the physical file but bumps ``base_lsn`` so
+every surviving record keeps its original LSN, and readers can seek by
+LSN forever.
+
+The scan path is the whole point of the format: :meth:`WriteAheadLog.
+scan` walks records front to back, verifying the length prefix and the
+CRC of every payload, and stops — without raising — at the first
+evidence of a torn write (fewer bytes than the header promises) or
+corruption (CRC mismatch, absurd length, bad kind).  Recovery then
+:meth:`~WriteAheadLog.repair`\\ s the log by truncating the physical
+tail at the last valid record, which is exactly the "truncate, don't
+replay garbage" contract crash recovery needs.
+
+Both implementations are fsync-free by design (the simulation's crash
+model decides what survives, not the page cache) and take an injected
+``clock`` — records are stamped with simulated time, never wall time.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import os
+import struct
+import tempfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+__all__ = [
+    "RecordKind",
+    "WalRecord",
+    "ScanResult",
+    "WriteAheadLog",
+    "MemoryWAL",
+    "FileWAL",
+]
+
+_MAGIC = b"REPROWAL"
+_VERSION = 1
+_HEADER = struct.Struct("<8sBQ")          # magic, version, base_lsn
+_RECORD_HEADER = struct.Struct("<II")     # payload length, crc32(payload)
+
+#: Upper bound on one payload; anything larger in a length prefix is
+#: treated as corruption, not as a 4 GiB allocation request.
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+
+class RecordKind(enum.IntEnum):
+    """What one WAL record describes."""
+
+    SUBSCRIBE = 1      # a subscription entered the table
+    UNSUBSCRIBE = 2    # a subscription was withdrawn (tombstoned)
+    PUBLISH = 3        # an event-publish intent with its tracked targets
+    DELIVER = 4        # one (event, target) delivery completed (acked)
+    CHECKPOINT = 5     # a snapshot covering everything before this LSN
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded record: where it sits, what it says."""
+
+    lsn: int
+    kind: RecordKind
+    body: dict
+
+    @property
+    def end_lsn(self) -> int:
+        """LSN of the byte just past this record."""
+        payload = 1 + len(_encode_body(self.body))
+        return self.lsn + _RECORD_HEADER.size + payload
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Everything one front-to-back WAL scan established."""
+
+    records: Tuple[WalRecord, ...]
+    #: LSN just past the last valid record (= where appends resume
+    #: after :meth:`WriteAheadLog.repair`).
+    valid_end: int
+    #: Human-readable reason the scan stopped early, or ``None`` when
+    #: every byte decoded cleanly.
+    corruption: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.corruption is None
+
+
+def _encode_body(body: dict) -> bytes:
+    """Canonical JSON: sorted keys, no whitespace — digest-stable."""
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def encode_record(kind: RecordKind, body: dict) -> bytes:
+    """One length-prefixed, CRC-protected record as raw bytes."""
+    payload = bytes([int(kind)]) + _encode_body(body)
+    return (
+        _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+    )
+
+
+class WriteAheadLog:
+    """The storage-agnostic WAL contract (and its shared scan logic).
+
+    Subclasses supply raw-byte primitives (:meth:`_load`,
+    :meth:`_append_bytes`, :meth:`_store`); everything else — framing,
+    CRC verification, torn-tail detection, LSN arithmetic, corruption
+    injection — lives here, so the in-memory and file-backed logs are
+    bit-compatible.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock: Callable[[], float] = clock or (lambda: 0.0)
+        self.appends = 0
+
+    # -- storage primitives (subclass responsibility) -----------------------
+
+    def _load(self) -> bytes:
+        """Every byte after the header, in LSN order."""
+        raise NotImplementedError
+
+    def _append_bytes(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _store(self, base_lsn: int, data: bytes) -> None:
+        """Atomically replace the whole log body (and its base LSN)."""
+        raise NotImplementedError
+
+    @property
+    def base_lsn(self) -> int:
+        """LSN of the first physically retained byte."""
+        raise NotImplementedError
+
+    # -- the public contract -------------------------------------------------
+
+    @property
+    def end_lsn(self) -> int:
+        """LSN one past the last physically stored byte."""
+        return self.base_lsn + len(self._load())
+
+    def append(self, kind: RecordKind, body: dict) -> int:
+        """Durably append one record; returns its LSN.
+
+        The record is stamped with the injected clock (key ``"t"``)
+        unless the caller already supplied one.
+        """
+        if "t" not in body:
+            body = {**body, "t": float(self.clock())}
+        lsn = self.end_lsn
+        self._append_bytes(encode_record(kind, body))
+        self.appends += 1
+        return lsn
+
+    def scan(self, from_lsn: Optional[int] = None) -> ScanResult:
+        """Decode records front to back, stopping at the first damage.
+
+        ``from_lsn`` (a record boundary, e.g. a checkpoint LSN) seeks
+        before decoding; records are never split across the base, so
+        seeking below ``base_lsn`` reads from the physical start.
+        """
+        data = self._load()
+        base = self.base_lsn
+        offset = 0
+        if from_lsn is not None and from_lsn > base:
+            offset = from_lsn - base
+            if offset > len(data):
+                return ScanResult(records=(), valid_end=base + len(data))
+        records: List[WalRecord] = []
+        while offset < len(data):
+            lsn = base + offset
+            remaining = len(data) - offset
+            if remaining < _RECORD_HEADER.size:
+                return ScanResult(
+                    records=tuple(records),
+                    valid_end=lsn,
+                    corruption=(
+                        f"torn record header at lsn {lsn} "
+                        f"({remaining} of {_RECORD_HEADER.size} bytes)"
+                    ),
+                )
+            length, crc = _RECORD_HEADER.unpack_from(data, offset)
+            if length == 0 or length > MAX_PAYLOAD:
+                return ScanResult(
+                    records=tuple(records),
+                    valid_end=lsn,
+                    corruption=(
+                        f"implausible payload length {length} at lsn {lsn}"
+                    ),
+                )
+            start = offset + _RECORD_HEADER.size
+            if start + length > len(data):
+                return ScanResult(
+                    records=tuple(records),
+                    valid_end=lsn,
+                    corruption=(
+                        f"torn payload at lsn {lsn} "
+                        f"({len(data) - start} of {length} bytes)"
+                    ),
+                )
+            payload = data[start : start + length]
+            if zlib.crc32(payload) != crc:
+                return ScanResult(
+                    records=tuple(records),
+                    valid_end=lsn,
+                    corruption=f"CRC mismatch at lsn {lsn}",
+                )
+            try:
+                kind = RecordKind(payload[0])
+                body = json.loads(payload[1:].decode("utf-8"))
+                if not isinstance(body, dict):
+                    raise ValueError("body is not an object")
+            except (ValueError, UnicodeDecodeError) as error:
+                return ScanResult(
+                    records=tuple(records),
+                    valid_end=lsn,
+                    corruption=f"undecodable payload at lsn {lsn}: {error}",
+                )
+            records.append(WalRecord(lsn=lsn, kind=kind, body=body))
+            offset = start + length
+        return ScanResult(records=tuple(records), valid_end=base + offset)
+
+    def repair(self) -> int:
+        """Truncate the physical tail at the last valid record.
+
+        Returns the number of bytes discarded (0 for a clean log).
+        Idempotent: repairing a clean log is a no-op.
+        """
+        result = self.scan()
+        if result.clean:
+            return 0
+        data = self._load()
+        keep = result.valid_end - self.base_lsn
+        removed = len(data) - keep
+        self._store(self.base_lsn, data[:keep])
+        return removed
+
+    def truncate_prefix(self, lsn: int) -> int:
+        """Drop every byte below ``lsn`` (a record boundary).
+
+        The checkpoint path: once a snapshot covers everything before
+        ``lsn`` — *and* no live in-flight intent sits below it — the
+        prefix is dead weight.  Surviving records keep their LSNs via
+        ``base_lsn``.  Returns the number of bytes dropped.
+        """
+        base = self.base_lsn
+        if lsn <= base:
+            return 0
+        data = self._load()
+        cut = min(lsn - base, len(data))
+        self._store(base + cut, data[cut:])
+        return cut
+
+    # -- corruption injection (the fault plan's hooks) ----------------------
+
+    def tear_tail(self, nbytes: int) -> int:
+        """Simulate a torn write: the last ``nbytes`` never hit disk.
+
+        Returns the number of bytes actually removed (the log never
+        tears past its own header).
+        """
+        if nbytes <= 0:
+            raise ValueError(
+                f"tear_tail: nbytes must be positive (got {nbytes})"
+            )
+        data = self._load()
+        cut = min(int(nbytes), len(data))
+        if cut:
+            self._store(self.base_lsn, data[:-cut])
+        return cut
+
+    def flip_bit(self, offset_from_end: int, bit: int = 0) -> bool:
+        """Simulate media corruption: flip one bit near the tail.
+
+        ``offset_from_end`` counts bytes back from the physical end
+        (1 = last byte).  Returns False when the log is too short to
+        contain that byte.
+        """
+        if offset_from_end < 1:
+            raise ValueError(
+                "flip_bit: offset_from_end must be >= 1 "
+                f"(got {offset_from_end})"
+            )
+        if not 0 <= bit <= 7:
+            raise ValueError(f"flip_bit: bit must lie in 0..7 (got {bit})")
+        data = bytearray(self._load())
+        if offset_from_end > len(data):
+            return False
+        data[-offset_from_end] ^= 1 << bit
+        self._store(self.base_lsn, bytes(data))
+        return True
+
+    def dump(self) -> bytes:
+        """Header + body as one byte string (digests, golden tests)."""
+        return (
+            _HEADER.pack(_MAGIC, _VERSION, self.base_lsn) + self._load()
+        )
+
+
+class MemoryWAL(WriteAheadLog):
+    """A WAL living in a byte buffer — zero I/O, ideal for simulation."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        super().__init__(clock=clock)
+        self._base = 0
+        self._data = bytearray()
+
+    @property
+    def base_lsn(self) -> int:
+        return self._base
+
+    def _load(self) -> bytes:
+        return bytes(self._data)
+
+    def _append_bytes(self, data: bytes) -> None:
+        self._data.extend(data)
+
+    def _store(self, base_lsn: int, data: bytes) -> None:
+        self._base = base_lsn
+        self._data = bytearray(data)
+
+
+class FileWAL(WriteAheadLog):
+    """A WAL backed by one file; rewrites are atomic (temp + replace).
+
+    Appends go straight to the file (no fsync — see the module note);
+    prefix truncation and repair rewrite through a temp file in the
+    same directory and :func:`os.replace`, so a crash mid-rewrite
+    leaves either the old or the new log, never a hybrid.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        super().__init__(clock=clock)
+        self.path = Path(path)
+        if self.path.exists():
+            raw = self.path.read_bytes()
+            self._read_header(raw)
+        else:
+            self._base = 0
+            self.path.write_bytes(_HEADER.pack(_MAGIC, _VERSION, 0))
+
+    def _read_header(self, raw: bytes) -> None:
+        if len(raw) < _HEADER.size:
+            raise ValueError(
+                f"{self.path}: too short to be a WAL "
+                f"({len(raw)} < {_HEADER.size} bytes)"
+            )
+        magic, version, base = _HEADER.unpack_from(raw)
+        if magic != _MAGIC:
+            raise ValueError(f"{self.path}: bad magic {magic!r}")
+        if version != _VERSION:
+            raise ValueError(
+                f"{self.path}: unsupported WAL version {version}"
+            )
+        self._base = int(base)
+
+    @property
+    def base_lsn(self) -> int:
+        return self._base
+
+    def _load(self) -> bytes:
+        return self.path.read_bytes()[_HEADER.size :]
+
+    def _append_bytes(self, data: bytes) -> None:
+        with self.path.open("ab") as handle:
+            handle.write(data)
+
+    def _store(self, base_lsn: int, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_HEADER.pack(_MAGIC, _VERSION, base_lsn))
+                handle.write(data)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self._base = base_lsn

@@ -10,6 +10,8 @@ data.)
 from __future__ import annotations
 
 import csv
+import os
+import tempfile
 from pathlib import Path
 from typing import Iterable, List, Sequence, Union
 
@@ -30,19 +32,36 @@ def write_csv(
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],
 ) -> int:
-    """Write one CSV file; returns the number of data rows written."""
+    """Write one CSV file; returns the number of data rows written.
+
+    The write is atomic: rows stream into a temp file in the target
+    directory, which replaces ``path`` only after every row validated
+    and flushed — an error mid-export (bad row, crash, full disk)
+    leaves any previous file at ``path`` untouched.
+    """
     path = Path(path)
     count = 0
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(list(headers))
-        for row in rows:
-            if len(row) != len(headers):
-                raise ValueError(
-                    f"row has {len(row)} cells, expected {len(headers)}"
-                )
-            writer.writerow(list(row))
-            count += 1
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent or "."), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(list(headers))
+            for row in rows:
+                if len(row) != len(headers):
+                    raise ValueError(
+                        f"row has {len(row)} cells, expected {len(headers)}"
+                    )
+                writer.writerow(list(row))
+                count += 1
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return count
 
 

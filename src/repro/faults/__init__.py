@@ -18,9 +18,21 @@ story, in three layers:
 - :mod:`repro.faults.overload` — the saturation harness: the same
   replay behind the full overload-protection stack
   (:mod:`repro.overload`), with strict shed/expire accounting and
-  per-subscriber circuit breakers (``repro chaos --overload``).
+  per-subscriber circuit breakers (``repro chaos --overload``);
+- :mod:`repro.faults.crash_recovery` — the durability harness: the
+  chaos replay with a home broker journaling to a write-ahead log
+  (:mod:`repro.durability`), crash windows that wipe volatile state
+  and may corrupt the log, and deterministic snapshot + WAL-replay
+  recovery verified against the delivery ledger
+  (``repro chaos --crash-recovery``).
 """
 
+from .crash_recovery import (
+    CrashRecoveryReport,
+    CrashRecoverySimulation,
+    DurabilityStats,
+    build_crash_recovery_plan,
+)
 from .overload import OverloadChaosSimulation, OverloadReport
 from .plan import (
     BrokerCrash,
@@ -31,6 +43,7 @@ from .plan import (
     LinkFault,
     LinkOutage,
     TransmissionFate,
+    WalCorruption,
 )
 from .reliable import ReliabilityStats, ReliableTransport, RetryConfig
 from .verifier import (
@@ -45,9 +58,14 @@ from .verifier import (
 )
 
 __all__ = [
+    "CrashRecoveryReport",
+    "CrashRecoverySimulation",
+    "DurabilityStats",
+    "build_crash_recovery_plan",
     "OverloadChaosSimulation",
     "OverloadReport",
     "BrokerCrash",
+    "WalCorruption",
     "FaultInjector",
     "FaultPlan",
     "FaultState",

@@ -34,6 +34,7 @@ __all__ = [
     "LinkFault",
     "LinkOutage",
     "BrokerCrash",
+    "WalCorruption",
     "FaultPlan",
     "FaultState",
     "FaultStats",
@@ -90,10 +91,17 @@ class LinkOutage:
     end: float
 
     def __post_init__(self) -> None:
+        # A plain raise, not an assert: the validation must survive
+        # ``python -O``, where asserts are stripped.
         if not self.start < self.end:
+            detail = (
+                "a zero-length window never activates"
+                if self.start == self.end
+                else "the window is inverted"
+            )
             raise ValueError(
                 f"LinkOutage: window must satisfy start < end "
-                f"(got [{self.start}, {self.end}))"
+                f"(got [{self.start}, {self.end}): {detail})"
             )
 
     def active(self, time: float) -> bool:
@@ -115,14 +123,82 @@ class BrokerCrash:
     end: float
 
     def __post_init__(self) -> None:
+        # A plain raise, not an assert: the validation must survive
+        # ``python -O``, where asserts are stripped.
         if not self.start < self.end:
+            detail = (
+                "a zero-length window never activates"
+                if self.start == self.end
+                else "the window is inverted"
+            )
             raise ValueError(
                 f"BrokerCrash: window must satisfy start < end "
-                f"(got [{self.start}, {self.end}))"
+                f"(got [{self.start}, {self.end}): {detail})"
             )
 
     def active(self, time: float) -> bool:
         return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class WalCorruption:
+    """Storage damage applied to a broker's WAL when it crashes.
+
+    ``crash_index`` selects which crash window (in plan order, per the
+    crash-recovery harness) the damage rides on — the crash *is* the
+    corruption moment: a torn tail models an append cut short by the
+    power loss, a bit flip models media rot discovered on restart.
+
+    ``kind``:
+
+    - ``"torn-tail"`` — the last ``tail_bytes`` bytes never hit disk;
+    - ``"bit-flip"`` — flip bit ``flip_bit`` of the byte
+      ``flip_offset`` positions back from the physical end.
+
+    Either way, recovery must truncate at the last CRC-valid record
+    and replay the rest deterministically — that is what
+    :mod:`repro.durability` exists to guarantee and what the chaos
+    verifier checks.
+    """
+
+    crash_index: int = 0
+    kind: str = "torn-tail"
+    tail_bytes: int = 5
+    flip_offset: int = 3
+    flip_bit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("torn-tail", "bit-flip"):
+            raise ValueError(
+                f"WalCorruption: kind must be 'torn-tail' or 'bit-flip' "
+                f"(got {self.kind!r})"
+            )
+        if self.crash_index < 0:
+            raise ValueError(
+                f"WalCorruption: crash_index must be >= 0 "
+                f"(got {self.crash_index})"
+            )
+        if self.tail_bytes < 1:
+            raise ValueError(
+                f"WalCorruption: tail_bytes must be >= 1 "
+                f"(got {self.tail_bytes})"
+            )
+        if self.flip_offset < 1:
+            raise ValueError(
+                f"WalCorruption: flip_offset must be >= 1 "
+                f"(got {self.flip_offset})"
+            )
+        if not 0 <= self.flip_bit <= 7:
+            raise ValueError(
+                f"WalCorruption: flip_bit must lie in 0..7 "
+                f"(got {self.flip_bit})"
+            )
+
+    def apply(self, wal) -> bool:
+        """Damage ``wal`` in place; True if anything actually changed."""
+        if self.kind == "torn-tail":
+            return wal.tear_tail(self.tail_bytes) > 0
+        return wal.flip_bit(self.flip_offset, self.flip_bit)
 
 
 @dataclass(frozen=True)
@@ -142,6 +218,8 @@ class FaultPlan:
     link_faults: Tuple[LinkFault, ...] = ()
     outages: Tuple[LinkOutage, ...] = ()
     crashes: Tuple[BrokerCrash, ...] = ()
+    #: Storage damage riding on crash windows (crash-recovery harness).
+    wal_corruptions: Tuple[WalCorruption, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.default_loss <= 1.0:
@@ -162,6 +240,9 @@ class FaultPlan:
         object.__setattr__(self, "link_faults", tuple(self.link_faults))
         object.__setattr__(self, "outages", tuple(self.outages))
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(
+            self, "wal_corruptions", tuple(self.wal_corruptions)
+        )
 
     @property
     def enabled(self) -> bool:
@@ -173,6 +254,7 @@ class FaultPlan:
             or self.link_faults
             or self.outages
             or self.crashes
+            or self.wal_corruptions
         )
 
     @classmethod

@@ -106,6 +106,7 @@ class ReliabilityStats:
     duplicates_suppressed: int = 0  # data copies deduped at receivers
     gave_up: int = 0              # targets abandoned after the budget
     short_circuited: int = 0      # targets fast-failed by an open breaker
+    wiped: int = 0                # in-flight deliveries lost to a crash
 
 
 class _Pending:
@@ -150,6 +151,12 @@ class ReliableTransport:
         ``(target, key, reason)`` — called when the retry budget for a
         target is exhausted, or when an open circuit breaker
         short-circuits the target up front.
+    on_ack:
+        ``(target, key, time)`` — called once per (message, target)
+        when the sender-side ack lands.  This is the durability hook:
+        a :class:`~repro.durability.journal.BrokerJournal` journals
+        the delivery completion here, so recovery knows which targets
+        are definitively done.
     breakers:
         Optional :class:`~repro.overload.breaker.BreakerBoard`.  When
         present, each target's breaker gates :meth:`publish`: an OPEN
@@ -171,6 +178,7 @@ class ReliableTransport:
         on_give_up: Optional[Callable[[int, int, str], None]] = None,
         telemetry: Optional[Telemetry] = None,
         breakers: Optional[BreakerBoard] = None,
+        on_ack: Optional[Callable[[int, int, float], None]] = None,
     ):
         self.network = network
         self.simulator = network.simulator
@@ -180,6 +188,7 @@ class ReliableTransport:
         self.graph = graph if graph is not None else network.topology.graph
         self.on_deliver = on_deliver or (lambda target, key, time: None)
         self.on_give_up = on_give_up or (lambda target, key, reason: None)
+        self.on_ack = on_ack or (lambda target, key, time: None)
         self.telemetry = or_null(telemetry)
         self.breakers = breakers
         self.stats = ReliabilityStats()
@@ -480,6 +489,45 @@ class ReliableTransport:
             ack_span = self._ack_spans.pop((key, target), None)
             if ack_span is not None:
                 ack_span.finish()
+        self.on_ack(target, key, self.simulator.now)
+
+    # -- crash support -------------------------------------------------------
+
+    def wipe_pending(self) -> List[Tuple[int, int]]:
+        """Forget every in-flight delivery — the crash model's hook.
+
+        A broker crash loses the sender-side retry state: timers,
+        attempt counts, the lot.  This removes every (key, target)
+        that is neither acked nor failed *without* firing
+        ``on_give_up`` or feeding the breakers (the sender did not
+        decide anything; it simply ceased to exist).  Outstanding
+        retry timers become no-ops because their pending entry is
+        gone.  Returns the wiped pairs, sorted, so recovery can check
+        them against the WAL's reconstructed in-flight set.
+
+        Receiver-side dedup state is deliberately kept: subscriber
+        nodes did not crash, so post-recovery redelivery of an
+        already-delivered message is suppressed exactly-once-style.
+        """
+        wiped = sorted(
+            pair
+            for pair, pending in self._pending.items()
+            if not pending.acked and not pending.failed
+        )
+        for pair in wiped:
+            pending = self._pending.pop(pair)
+            if pending.span is not None:
+                pending.span.finish(status="wiped")
+            ack_span = self._ack_spans.pop(pair, None)
+            if ack_span is not None:
+                ack_span.finish(status="wiped")
+        self.stats.wiped += len(wiped)
+        if wiped and self.telemetry.enabled:
+            self.telemetry.counter(
+                "transport.wiped",
+                help="in-flight deliveries lost to a broker crash",
+            ).inc(len(wiped))
+        return wiped
 
     # -- introspection -------------------------------------------------------
 

@@ -246,6 +246,184 @@ class ChaosSimulation:
                 telemetry=telemetry,
             )
 
+    # -- subclass hooks ------------------------------------------------------
+
+    def _arm(self, arrival_times: Sequence[float]) -> None:
+        """Schedule harness-side callbacks before the workload.
+
+        Called once per :meth:`run`, before any publish is scheduled —
+        so at equal times, harness callbacks win the engine's FIFO tie
+        (a crash at ``t`` takes effect before an event arriving at
+        ``t``).  The base harness schedules nothing.
+        """
+
+    def _record_intent(
+        self,
+        sequence: int,
+        publisher: int,
+        recipients: Sequence[int],
+        method: str,
+        group: int,
+    ) -> None:
+        """Observe one publish intent (called right after ``expect``).
+
+        The durability harness journals the intent here; the base
+        harness does nothing.
+        """
+
+    def _publish_event(
+        self,
+        sequence: int,
+        points: np.ndarray,
+        publishers: Sequence[int],
+        counters: Dict[str, int],
+    ) -> None:
+        """Match, decide and route one event (the per-event hot path).
+
+        The span tree mirrors the lifecycle: `event` (root) →
+        `match` / `distribution-decision` / `route`; the
+        reliable transport hangs `deliver` (→ `retry` / `ack`)
+        spans off `route`.  Synchronous spans close at publish
+        time (simulated clock); deliver spans close at
+        application arrival.
+        """
+        telemetry = self.telemetry
+        instrumented = telemetry.enabled
+        event = Event.create(
+            sequence, int(publishers[sequence]), points[sequence]
+        )
+        if instrumented:
+            telemetry.counter("broker.events").inc()
+            root = telemetry.start_span(
+                "event", trace_id=sequence, publisher=event.publisher
+            )
+            match_span = telemetry.start_span("match", parent=root)
+            match_started = perf_counter()
+        match = self.broker.engine.match(event)
+        q = self.broker.partition.locate(event.point)
+        if instrumented:
+            telemetry.histogram(
+                "broker.match_latency_us",
+                help="wall time of one match+locate, microseconds",
+            ).observe((perf_counter() - match_started) * 1e6)
+            match_span.set_attribute(
+                "subscribers", match.num_subscribers
+            ).finish()
+        group_size = (
+            self.broker.partition.group(q).size if q > 0 else 0
+        )
+        if instrumented:
+            decision_span = telemetry.start_span(
+                "distribution-decision", parent=root
+            )
+        decision = self.broker.policy.decide(
+            interested=match.num_subscribers,
+            group_size=group_size,
+            group=q,
+        )
+        record_decision(telemetry, decision)
+        if instrumented:
+            decision_span.set_attribute(
+                "method", decision.method.value
+            ).set_attribute("group", q).finish()
+        if decision.method is DeliveryMethod.NOT_SENT:
+            counters["not_sent"] += 1
+            if instrumented:
+                root.set_attribute("method", "not_sent").finish()
+            return
+        now = self.simulator.now
+        recipients = [
+            node
+            for node in match.subscribers
+            if node != event.publisher
+        ]
+        self.ledger.expect(sequence, recipients, now)
+        self._record_intent(
+            sequence, event.publisher, recipients,
+            decision.method.value, q,
+        )
+        if not recipients:
+            if instrumented:
+                root.set_attribute("method", "self_only").finish()
+            return
+        interested = set(recipients)
+        route_span = None
+        if instrumented:
+            route_span = telemetry.start_span(
+                "route",
+                parent=root,
+                method=decision.method.value,
+                targets=len(recipients),
+            )
+
+        if decision.method is DeliveryMethod.UNICAST:
+            counters["unicast"] += 1
+            if self.transport is not None:
+                self.transport.publish(
+                    sequence,
+                    event.publisher,
+                    recipients,
+                    parent_span=route_span,
+                )
+            else:
+                for node in recipients:
+                    self.network.send_unicast(
+                        event.publisher,
+                        node,
+                        lambda n, t, s=sequence: self.ledger.record(
+                            s, n, t
+                        ),
+                    )
+            if instrumented:
+                route_span.finish()
+                root.set_attribute("method", "unicast").finish()
+            return
+
+        counters["multicast"] += 1
+        members = self.broker.partition.group(q).members
+        via = None
+        if self.broker.costs.multicast_mode == "sparse":
+            via = self.broker.costs.rendezvous_point(members)
+        if self.transport is not None:
+            def first_pass(receive, m=members, v=via):
+                # Group members outside the interested set filter
+                # the message out at the application layer; only
+                # interested arrivals enter the reliable protocol.
+                self.network.send_multicast(
+                    event.publisher,
+                    m,
+                    lambda node, time: (
+                        receive(node, time)
+                        if node in interested
+                        else None
+                    ),
+                    via=v,
+                )
+
+            self.transport.publish(
+                sequence,
+                event.publisher,
+                recipients,
+                first_pass,
+                parent_span=route_span,
+            )
+        else:
+            self.network.send_multicast(
+                event.publisher,
+                members,
+                lambda node, time, s=sequence: (
+                    self.ledger.record(s, node, time)
+                    if node in interested
+                    else None
+                ),
+                via=via,
+            )
+        if instrumented:
+            route_span.set_attribute(
+                "group", q
+            ).set_attribute("group_size", len(members)).finish()
+            root.set_attribute("method", "multicast").finish()
+
     def run(
         self,
         points: np.ndarray,
@@ -265,150 +443,13 @@ class ChaosSimulation:
             raise ValueError("one arrival time per event required")
 
         counters = {"multicast": 0, "unicast": 0, "not_sent": 0}
-        telemetry = self.telemetry
-
-        def publish(sequence: int) -> None:
-            # The span tree mirrors the lifecycle: `event` (root) →
-            # `match` / `distribution-decision` / `route`; the
-            # reliable transport hangs `deliver` (→ `retry` / `ack`)
-            # spans off `route`.  Synchronous spans close at publish
-            # time (simulated clock); deliver spans close at
-            # application arrival.
-            instrumented = telemetry.enabled
-            event = Event.create(
-                sequence, int(publishers[sequence]), points[sequence]
-            )
-            if instrumented:
-                telemetry.counter("broker.events").inc()
-                root = telemetry.start_span(
-                    "event", trace_id=sequence, publisher=event.publisher
-                )
-                match_span = telemetry.start_span("match", parent=root)
-                match_started = perf_counter()
-            match = self.broker.engine.match(event)
-            q = self.broker.partition.locate(event.point)
-            if instrumented:
-                telemetry.histogram(
-                    "broker.match_latency_us",
-                    help="wall time of one match+locate, microseconds",
-                ).observe((perf_counter() - match_started) * 1e6)
-                match_span.set_attribute(
-                    "subscribers", match.num_subscribers
-                ).finish()
-            group_size = (
-                self.broker.partition.group(q).size if q > 0 else 0
-            )
-            if instrumented:
-                decision_span = telemetry.start_span(
-                    "distribution-decision", parent=root
-                )
-            decision = self.broker.policy.decide(
-                interested=match.num_subscribers,
-                group_size=group_size,
-                group=q,
-            )
-            record_decision(telemetry, decision)
-            if instrumented:
-                decision_span.set_attribute(
-                    "method", decision.method.value
-                ).set_attribute("group", q).finish()
-            if decision.method is DeliveryMethod.NOT_SENT:
-                counters["not_sent"] += 1
-                if instrumented:
-                    root.set_attribute("method", "not_sent").finish()
-                return
-            now = self.simulator.now
-            recipients = [
-                node
-                for node in match.subscribers
-                if node != event.publisher
-            ]
-            self.ledger.expect(sequence, recipients, now)
-            if not recipients:
-                if instrumented:
-                    root.set_attribute("method", "self_only").finish()
-                return
-            interested = set(recipients)
-            route_span = None
-            if instrumented:
-                route_span = telemetry.start_span(
-                    "route",
-                    parent=root,
-                    method=decision.method.value,
-                    targets=len(recipients),
-                )
-
-            if decision.method is DeliveryMethod.UNICAST:
-                counters["unicast"] += 1
-                if self.transport is not None:
-                    self.transport.publish(
-                        sequence,
-                        event.publisher,
-                        recipients,
-                        parent_span=route_span,
-                    )
-                else:
-                    for node in recipients:
-                        self.network.send_unicast(
-                            event.publisher,
-                            node,
-                            lambda n, t, s=sequence: self.ledger.record(
-                                s, n, t
-                            ),
-                        )
-                if instrumented:
-                    route_span.finish()
-                    root.set_attribute("method", "unicast").finish()
-                return
-
-            counters["multicast"] += 1
-            members = self.broker.partition.group(q).members
-            via = None
-            if self.broker.costs.multicast_mode == "sparse":
-                via = self.broker.costs.rendezvous_point(members)
-            if self.transport is not None:
-                def first_pass(receive, m=members, v=via):
-                    # Group members outside the interested set filter
-                    # the message out at the application layer; only
-                    # interested arrivals enter the reliable protocol.
-                    self.network.send_multicast(
-                        event.publisher,
-                        m,
-                        lambda node, time: (
-                            receive(node, time)
-                            if node in interested
-                            else None
-                        ),
-                        via=v,
-                    )
-
-                self.transport.publish(
-                    sequence,
-                    event.publisher,
-                    recipients,
-                    first_pass,
-                    parent_span=route_span,
-                )
-            else:
-                self.network.send_multicast(
-                    event.publisher,
-                    members,
-                    lambda node, time, s=sequence: (
-                        self.ledger.record(s, node, time)
-                        if node in interested
-                        else None
-                    ),
-                    via=via,
-                )
-            if instrumented:
-                route_span.set_attribute(
-                    "group", q
-                ).set_attribute("group_size", len(members)).finish()
-                root.set_attribute("method", "multicast").finish()
-
+        self._arm(arrival_times)
         for sequence, time in enumerate(arrival_times):
             self.simulator.schedule_at(
-                float(time), lambda s=sequence: publish(s)
+                float(time),
+                lambda s=sequence: self._publish_event(
+                    s, points, publishers, counters
+                ),
             )
         finished_at = self.simulator.run()
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -23,6 +25,7 @@ from .geometry.rectangle import Rectangle
 from .network.topology import Topology
 
 __all__ = [
+    "atomic_write_text",
     "topology_to_dict",
     "topology_from_dict",
     "table_to_dict",
@@ -30,6 +33,30 @@ __all__ = [
     "save_testbed",
     "load_testbed",
 ]
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` all-or-nothing.
+
+    The content goes to a temp file in the same directory and is
+    :func:`os.replace`\\ d into place, so an interrupted write (crash,
+    full disk, ctrl-C) leaves any previous file at ``path`` intact —
+    never a truncated hybrid.  The temp file is removed on failure.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent or "."), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 _FORMAT_VERSION = 1
 
@@ -127,13 +154,13 @@ def save_testbed(
     topology: Topology,
     table: SubscriptionTable,
 ) -> None:
-    """Write a topology + subscription set to a JSON file."""
+    """Write a topology + subscription set to a JSON file (atomically)."""
     payload = {
         "format_version": _FORMAT_VERSION,
         "topology": topology_to_dict(topology),
         "subscriptions": table_to_dict(table),
     }
-    Path(path).write_text(json.dumps(payload))
+    atomic_write_text(path, json.dumps(payload))
 
 
 def load_testbed(

@@ -1,0 +1,107 @@
+"""Interrupted writes must never destroy the previous file (satellite:
+atomic persistence for testbeds and experiment exports)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.export import write_csv
+from repro.io import atomic_write_text, load_testbed, save_testbed
+
+
+class TestAtomicWriteText:
+    def test_writes_and_replaces(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "first")
+        atomic_write_text(target, "second")
+        assert target.read_text() == "second"
+        assert list(tmp_path.iterdir()) == [target]  # no temp leftovers
+
+    def test_failure_keeps_previous_content(self, tmp_path, monkeypatch):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "precious")
+
+        import repro.io as io_module
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(io_module.os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_text(target, "half-written garbage")
+        monkeypatch.undo()
+        assert target.read_text() == "precious"
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestSaveTestbed:
+    def test_interrupted_save_keeps_old_testbed(
+        self, tmp_path, monkeypatch, small_topology, small_table
+    ):
+        target = tmp_path / "testbed.json"
+        save_testbed(target, small_topology, small_table)
+        before = target.read_bytes()
+
+        import repro.io as io_module
+
+        monkeypatch.setattr(
+            io_module.os,
+            "replace",
+            lambda src, dst: (_ for _ in ()).throw(OSError("yanked")),
+        )
+        with pytest.raises(OSError, match="yanked"):
+            save_testbed(target, small_topology, small_table)
+        monkeypatch.undo()
+        assert target.read_bytes() == before
+        topology, table = load_testbed(target)  # still fully loadable
+        assert topology.num_nodes == small_topology.num_nodes
+        assert len(table) == len(small_table)
+        assert [p.name for p in tmp_path.iterdir()] == ["testbed.json"]
+
+
+class TestWriteCsv:
+    def test_happy_path(self, tmp_path):
+        target = tmp_path / "rows.csv"
+        count = write_csv(target, ("a", "b"), [(1, 2), (3, 4)])
+        assert count == 2
+        lines = target.read_text().splitlines()
+        assert lines == ["a,b", "1,2", "3,4"]
+
+    def test_failing_row_iterator_keeps_old_file(self, tmp_path):
+        target = tmp_path / "rows.csv"
+        write_csv(target, ("a", "b"), [(1, 2)])
+        before = target.read_text()
+
+        def poisoned():
+            yield (3, 4)
+            raise RuntimeError("source broke mid-export")
+
+        with pytest.raises(RuntimeError, match="mid-export"):
+            write_csv(target, ("a", "b"), poisoned())
+        assert target.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["rows.csv"]
+
+    def test_bad_row_width_keeps_old_file(self, tmp_path):
+        target = tmp_path / "rows.csv"
+        write_csv(target, ("a", "b"), [(1, 2)])
+        with pytest.raises(ValueError, match="cells"):
+            write_csv(target, ("a", "b"), [(1, 2), (3, 4, 5)])
+        assert target.read_text().splitlines() == ["a,b", "1,2"]
+
+    def test_fresh_file_failure_leaves_nothing(self, tmp_path):
+        target = tmp_path / "never.csv"
+        with pytest.raises(ValueError):
+            write_csv(target, ("a",), [(1, 2)])
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_temp_files_are_cleaned_up(self, tmp_path):
+        # Even repeated failures never accumulate temp litter.
+        target = tmp_path / "rows.csv"
+        for _ in range(3):
+            with pytest.raises(ValueError):
+                write_csv(target, ("a",), [(1, 2)])
+        assert list(tmp_path.iterdir()) == []
+        assert os.listdir(tmp_path) == []

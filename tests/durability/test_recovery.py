@@ -1,0 +1,208 @@
+"""Recovery: snapshot + WAL replay semantics, down to each record kind."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.subscription import SubscriptionTable
+from repro.durability import (
+    BrokerJournal,
+    MemorySnapshotStore,
+    MemoryWAL,
+    RecordKind,
+    recover,
+    restore_broker,
+)
+from repro.faults.verifier import build_chaos_testbed
+from repro.geometry.rectangle import Rectangle
+from repro.io import table_to_dict
+from repro.workload import PublicationGenerator
+
+
+def subscribe_record(sid, subscriber=7, lows=(0.0, 0.0), highs=(1.0, 1.0)):
+    return {
+        "sid": sid,
+        "subscriber": subscriber,
+        "lows": list(lows),
+        "highs": list(highs),
+    }
+
+
+class TestReplaySemantics:
+    def test_empty_storage_recovers_to_nothing(self):
+        state = recover(MemoryWAL(), MemorySnapshotStore())
+        assert state.table is None
+        assert state.inflight == {}
+        assert state.replayed == 0
+
+    def test_subscribes_rebuild_the_table(self):
+        wal = MemoryWAL()
+        wal.append(RecordKind.SUBSCRIBE, subscribe_record(0))
+        wal.append(
+            RecordKind.SUBSCRIBE,
+            subscribe_record(1, subscriber=9, lows=(2.0, "-inf")),
+        )
+        state = recover(wal, MemorySnapshotStore())
+        assert len(state.table) == 2
+        assert state.subscriptions_replayed == 2
+        assert state.table[1].subscriber == 9
+        assert state.table[1].rectangle.lows[1] == float("-inf")
+
+    def test_id_space_gap_is_skipped_not_misassigned(self):
+        wal = MemoryWAL()
+        wal.append(RecordKind.SUBSCRIBE, subscribe_record(0))
+        wal.append(RecordKind.SUBSCRIBE, subscribe_record(5))  # gap
+        state = recover(wal, MemorySnapshotStore())
+        assert len(state.table) == 1
+        assert state.skipped == 1
+
+    def test_unsubscribe_tombstones(self):
+        wal = MemoryWAL()
+        wal.append(RecordKind.SUBSCRIBE, subscribe_record(0))
+        wal.append(RecordKind.UNSUBSCRIBE, {"sid": 0})
+        wal.append(RecordKind.UNSUBSCRIBE, {"sid": 44})  # unknown id
+        state = recover(wal, MemorySnapshotStore())
+        assert state.removed == {0}
+        assert state.removals_replayed == 1
+        assert state.skipped == 1
+
+    def test_records_below_checkpoint_lsn_are_not_replayed(self):
+        from repro.durability import Snapshot
+
+        wal = MemoryWAL()
+        table = SubscriptionTable(2)
+        table.add(7, Rectangle((0.0, 0.0), (1.0, 1.0)))
+        early = wal.append(RecordKind.SUBSCRIBE, subscribe_record(0))
+        boundary = wal.end_lsn
+        wal.append(RecordKind.SUBSCRIBE, subscribe_record(1, subscriber=8))
+        store = MemorySnapshotStore()
+        store.save(
+            Snapshot(
+                snapshot_id=0,
+                checkpoint_lsn=boundary,
+                table=table_to_dict(table),
+            )
+        )
+        state = recover(wal, store)
+        # The early SUBSCRIBE is inside the snapshot; only the one at
+        # or past the boundary replays on top of the snapshot table.
+        assert early < boundary
+        assert state.subscriptions_replayed == 1
+        assert len(state.table) == 2
+        assert state.checkpoint_lsn == boundary
+
+    def test_publish_deliver_reconstruct_inflight(self):
+        wal = MemoryWAL()
+        lsn = wal.append(
+            RecordKind.PUBLISH,
+            {"seq": 4, "publisher": 2, "targets": [10, 11, 12]},
+        )
+        wal.append(RecordKind.PUBLISH, {"seq": 5, "publisher": 2, "targets": [10]})
+        wal.append(RecordKind.DELIVER, {"seq": 4, "target": 11})
+        wal.append(RecordKind.DELIVER, {"seq": 5, "target": 10})
+        state = recover(wal, MemorySnapshotStore())
+        # seq 5 finished; seq 4 still owes targets 10 and 12.
+        assert set(state.inflight) == {4}
+        entry = state.inflight[4]
+        assert entry.targets == (10, 12)
+        assert entry.publisher == 2
+        assert entry.lsn == lsn
+
+    def test_malformed_body_skipped_never_raised(self):
+        wal = MemoryWAL()
+        wal.append(RecordKind.SUBSCRIBE, {"nonsense": True})
+        wal.append(RecordKind.PUBLISH, {"seq": "x", "publisher": [], "targets": 3})
+        wal.append(RecordKind.SUBSCRIBE, subscribe_record(0))
+        state = recover(wal, MemorySnapshotStore())
+        assert state.skipped == 2
+        assert len(state.table) == 1
+
+    def test_torn_tail_truncates_and_repairs(self):
+        wal = MemoryWAL()
+        wal.append(RecordKind.SUBSCRIBE, subscribe_record(0))
+        wal.append(RecordKind.SUBSCRIBE, subscribe_record(1))
+        wal.tear_tail(4)
+        state = recover(wal, MemorySnapshotStore())
+        assert state.truncated_bytes > 0
+        assert "torn" in state.corruption
+        assert len(state.table) == 1
+        # The log was physically repaired: the next scan is clean.
+        assert wal.scan().clean
+
+    def test_digest_is_deterministic(self):
+        def build():
+            wal = MemoryWAL()
+            wal.append(RecordKind.SUBSCRIBE, subscribe_record(0))
+            wal.append(
+                RecordKind.PUBLISH,
+                {"seq": 0, "publisher": 1, "targets": [5]},
+            )
+            return recover(wal, MemorySnapshotStore())
+
+        assert build().digest() == build().digest()
+
+
+class TestRestoreBroker:
+    def test_refuses_empty_state(self):
+        broker, _ = _testbed()
+        state = recover(MemoryWAL(), MemorySnapshotStore())
+        with pytest.raises(ValueError, match="empty recovered state"):
+            restore_broker(broker, state)
+
+    def test_refuses_state_without_partition(self):
+        broker, _ = _testbed()
+        wal = MemoryWAL()
+        wal.append(RecordKind.SUBSCRIBE, subscribe_record(0))
+        state = recover(wal, MemorySnapshotStore())
+        with pytest.raises(ValueError, match="no partition assignment"):
+            restore_broker(broker, state)
+
+    def test_round_trip_preserves_matching(self):
+        broker, density = _testbed()
+        wal = MemoryWAL()
+        store = MemorySnapshotStore()
+        journal = BrokerJournal(broker, wal, store, checkpoint_every=10_000)
+        broker.attach_journal(journal)
+        journal.checkpoint()
+
+        # Post-checkpoint churn rides the WAL, not the snapshot.
+        stub = broker.topology.all_stub_nodes()
+        template = broker.table[0].rectangle
+        added = broker.subscribe(int(stub[0]), template)
+        broker.unsubscribe(2)
+
+        reference, _ = _testbed()
+        state = recover(wal, store)
+        assert state.subscriptions_replayed == 1
+        assert state.removals_replayed == 1
+        restore_broker(reference, state)
+
+        points, _ = PublicationGenerator(
+            density, stub, seed=77
+        ).generate(40)
+        for point in points:
+            expected = broker.engine.match_point(point)
+            recovered = reference.engine.match_point(point)
+            assert recovered.subscription_ids == expected.subscription_ids
+            assert recovered.subscribers == expected.subscribers
+        # The replayed add is genuinely live in the recovered engine:
+        # probe a point inside its rectangle (lows < p <= highs).
+        inf = float("inf")
+        probe_point = tuple(
+            hi if hi != inf else (lo + 1.0 if lo != -inf else 0.0)
+            for lo, hi in zip(template.lows, template.highs)
+        )
+        probe = reference.engine.match_point(probe_point)
+        assert added.subscription_id in probe.subscription_ids
+        assert reference.partition.num_groups == broker.partition.num_groups
+        for q in range(1, reference.partition.num_groups + 1):
+            assert (
+                reference.partition.group(q).members
+                == broker.partition.group(q).members
+            )
+
+
+def _testbed():
+    return build_chaos_testbed(
+        seed=5, subscriptions=60, num_groups=5, dynamic=True
+    )

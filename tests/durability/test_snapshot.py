@@ -1,0 +1,105 @@
+"""Snapshots: digest verification and newest-valid-wins retrieval."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.durability import FileSnapshotStore, MemorySnapshotStore, Snapshot
+
+TABLE = {
+    "ndim": 2,
+    "subscriptions": [
+        {"subscriber": 3, "lows": [0.0, "-inf"], "highs": [1.0, "inf"]},
+    ],
+}
+
+
+def snap(snapshot_id=0, checkpoint_lsn=17):
+    return Snapshot(
+        snapshot_id=snapshot_id,
+        checkpoint_lsn=checkpoint_lsn,
+        table=TABLE,
+        removed=[2],
+        partition={"algorithm": "forgy", "cells_per_dim": 4},
+        taken_at=8.5,
+    )
+
+
+class TestCodec:
+    def test_round_trip(self):
+        original = snap()
+        restored = Snapshot.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_digest_detects_tampering(self):
+        payload = snap().to_dict()
+        payload["checkpoint_lsn"] += 1
+        with pytest.raises(ValueError, match="digest mismatch"):
+            Snapshot.from_dict(payload)
+
+    def test_digest_is_content_stable(self):
+        assert snap().digest() == snap().digest()
+        assert snap().digest() != snap(checkpoint_lsn=99).digest()
+
+    def test_unknown_format_version_rejected(self):
+        payload = snap().to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            Snapshot.from_dict(payload)
+
+
+class TestMemoryStore:
+    def test_latest_is_highest_id(self):
+        store = MemorySnapshotStore()
+        assert store.latest() is None
+        store.save(snap(snapshot_id=0))
+        store.save(snap(snapshot_id=2, checkpoint_lsn=50))
+        store.save(snap(snapshot_id=1))
+        assert store.latest().snapshot_id == 2
+        assert store.ids() == [0, 1, 2]
+
+
+class TestFileStore:
+    def test_save_and_latest(self, tmp_path):
+        store = FileSnapshotStore(tmp_path / "snaps")
+        store.save(snap(snapshot_id=0))
+        store.save(snap(snapshot_id=1, checkpoint_lsn=40))
+        latest = store.latest()
+        assert latest.snapshot_id == 1
+        assert latest.checkpoint_lsn == 40
+        assert store.ids() == [0, 1]
+
+    def test_corrupt_newest_falls_back_to_previous_valid(self, tmp_path):
+        store = FileSnapshotStore(tmp_path)
+        store.save(snap(snapshot_id=0))
+        store.save(snap(snapshot_id=1, checkpoint_lsn=40))
+        newest = store._path(1)
+        # A torn write: only half the JSON made it to disk.
+        newest.write_text(newest.read_text()[: newest.stat().st_size // 2])
+        latest = store.latest()
+        assert latest.snapshot_id == 0
+
+    def test_digest_tampered_newest_skipped(self, tmp_path):
+        store = FileSnapshotStore(tmp_path)
+        store.save(snap(snapshot_id=0))
+        store.save(snap(snapshot_id=1, checkpoint_lsn=40))
+        newest = store._path(1)
+        payload = json.loads(newest.read_text())
+        payload["checkpoint_lsn"] = 9999  # digest no longer matches
+        newest.write_text(json.dumps(payload))
+        assert store.latest().snapshot_id == 0
+
+    def test_all_corrupt_returns_none(self, tmp_path):
+        store = FileSnapshotStore(tmp_path)
+        store.save(snap(snapshot_id=0))
+        store._path(0).write_text("{")
+        assert store.latest() is None
+
+    def test_ids_ignore_foreign_files(self, tmp_path):
+        store = FileSnapshotStore(tmp_path)
+        store.save(snap(snapshot_id=3))
+        (tmp_path / "snapshot-notanumber.json").write_text("{}")
+        (tmp_path / "other.txt").write_text("hi")
+        assert store.ids() == [3]

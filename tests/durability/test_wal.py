@@ -1,0 +1,215 @@
+"""The write-ahead log: framing, LSN arithmetic, damage detection."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.durability import FileWAL, MemoryWAL, RecordKind
+from repro.durability.wal import MAX_PAYLOAD, encode_record
+
+_RECORD_HEADER = struct.Struct("<II")
+
+
+@pytest.fixture(params=["memory", "file"])
+def make_wal(request, tmp_path):
+    """Factory building either WAL flavour (they must be bit-compatible)."""
+    counter = {"n": 0}
+
+    def build(clock=None):
+        if request.param == "memory":
+            return MemoryWAL(clock=clock)
+        counter["n"] += 1
+        return FileWAL(tmp_path / f"wal-{counter['n']}.wal", clock=clock)
+
+    return build
+
+
+class TestRoundTrip:
+    def test_append_scan_round_trip(self, make_wal):
+        wal = make_wal()
+        bodies = [
+            (RecordKind.SUBSCRIBE, {"sid": 0, "subscriber": 7}),
+            (RecordKind.PUBLISH, {"seq": 1, "targets": [3, 4]}),
+            (RecordKind.DELIVER, {"seq": 1, "target": 3}),
+        ]
+        lsns = [wal.append(kind, dict(body)) for kind, body in bodies]
+        result = wal.scan()
+        assert result.clean
+        assert [r.lsn for r in result.records] == lsns
+        assert [r.kind for r in result.records] == [k for k, _ in bodies]
+        for record, (_, body) in zip(result.records, bodies):
+            for key, value in body.items():
+                assert record.body[key] == value
+        assert result.valid_end == wal.end_lsn
+        assert wal.appends == 3
+
+    def test_records_are_clock_stamped(self, make_wal):
+        times = iter([4.5, 9.0])
+        wal = make_wal(clock=lambda: next(times))
+        wal.append(RecordKind.DELIVER, {"seq": 0, "target": 1})
+        wal.append(RecordKind.DELIVER, {"seq": 0, "target": 2, "t": 1.25})
+        first, second = wal.scan().records
+        assert first.body["t"] == 4.5
+        # A caller-supplied stamp wins over the clock.
+        assert second.body["t"] == 1.25
+
+    def test_end_lsn_matches_record_arithmetic(self, make_wal):
+        wal = make_wal()
+        wal.append(RecordKind.CHECKPOINT, {"snapshot_id": 0, "lsn": 0})
+        (record,) = wal.scan().records
+        assert record.end_lsn == wal.end_lsn
+
+    def test_memory_and_file_are_bit_compatible(self, tmp_path):
+        mem = MemoryWAL(clock=lambda: 2.0)
+        disk = FileWAL(tmp_path / "twin.wal", clock=lambda: 2.0)
+        for wal in (mem, disk):
+            wal.append(RecordKind.SUBSCRIBE, {"sid": 0, "subscriber": 3})
+            wal.append(RecordKind.PUBLISH, {"seq": 0, "targets": [3]})
+        assert mem.dump() == disk.dump()
+
+    def test_file_wal_survives_reopen(self, tmp_path):
+        path = tmp_path / "reopen.wal"
+        first = FileWAL(path)
+        lsn = first.append(RecordKind.DELIVER, {"seq": 9, "target": 1})
+        reopened = FileWAL(path)
+        result = reopened.scan()
+        assert result.clean
+        assert [r.lsn for r in result.records] == [lsn]
+        assert reopened.base_lsn == first.base_lsn
+
+    def test_file_wal_rejects_foreign_bytes(self, tmp_path):
+        path = tmp_path / "not-a-wal"
+        path.write_bytes(b"GARBAGE!" + b"\x00" * 16)
+        with pytest.raises(ValueError, match="bad magic"):
+            FileWAL(path)
+        short = tmp_path / "short"
+        short.write_bytes(b"RE")
+        with pytest.raises(ValueError, match="too short"):
+            FileWAL(short)
+
+
+class TestLsnStability:
+    def test_truncate_prefix_preserves_lsns(self, make_wal):
+        wal = make_wal()
+        lsns = [
+            wal.append(RecordKind.DELIVER, {"seq": i, "target": i})
+            for i in range(4)
+        ]
+        dropped = wal.truncate_prefix(lsns[2])
+        assert dropped == lsns[2] - lsns[0]
+        assert wal.base_lsn == lsns[2]
+        result = wal.scan()
+        assert result.clean
+        assert [r.lsn for r in result.records] == lsns[2:]
+        # Appends after truncation continue the same LSN space.
+        next_lsn = wal.append(RecordKind.DELIVER, {"seq": 9, "target": 9})
+        assert next_lsn > lsns[-1]
+
+    def test_truncate_below_base_is_noop(self, make_wal):
+        wal = make_wal()
+        first = wal.append(RecordKind.DELIVER, {"seq": 0, "target": 0})
+        second = wal.append(RecordKind.DELIVER, {"seq": 0, "target": 1})
+        wal.truncate_prefix(second)
+        assert wal.truncate_prefix(first) == 0
+        assert wal.base_lsn == second
+
+    def test_scan_from_lsn_seeks(self, make_wal):
+        wal = make_wal()
+        lsns = [
+            wal.append(RecordKind.DELIVER, {"seq": i, "target": i})
+            for i in range(3)
+        ]
+        result = wal.scan(from_lsn=lsns[1])
+        assert [r.lsn for r in result.records] == lsns[1:]
+        past = wal.scan(from_lsn=wal.end_lsn + 100)
+        assert past.records == ()
+
+
+class TestDamage:
+    def _seed(self, wal, n=3):
+        return [
+            wal.append(RecordKind.DELIVER, {"seq": i, "target": i})
+            for i in range(n)
+        ]
+
+    def test_torn_tail_stops_scan_without_raising(self, make_wal):
+        wal = make_wal()
+        lsns = self._seed(wal)
+        assert wal.tear_tail(5) == 5
+        result = wal.scan()
+        assert not result.clean
+        assert "torn" in result.corruption
+        assert [r.lsn for r in result.records] == lsns[:2]
+        assert result.valid_end == lsns[2]
+
+    def test_bit_flip_fails_crc(self, make_wal):
+        wal = make_wal()
+        lsns = self._seed(wal)
+        assert wal.flip_bit(3, bit=2)
+        result = wal.scan()
+        assert not result.clean
+        assert "CRC mismatch" in result.corruption
+        assert [r.lsn for r in result.records] == lsns[:2]
+
+    def test_implausible_length_is_corruption(self, make_wal):
+        wal = make_wal()
+        lsns = self._seed(wal, n=1)
+        wal._append_bytes(_RECORD_HEADER.pack(MAX_PAYLOAD + 1, 0))
+        result = wal.scan()
+        assert not result.clean
+        assert "implausible" in result.corruption
+        assert [r.lsn for r in result.records] == lsns
+
+    def test_undecodable_payload_is_corruption(self, make_wal):
+        import zlib
+
+        wal = make_wal()
+        payload = bytes([int(RecordKind.DELIVER)]) + b"not json"
+        wal._append_bytes(
+            _RECORD_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+        )
+        result = wal.scan()
+        assert not result.clean
+        assert "undecodable" in result.corruption
+
+    def test_repair_truncates_at_last_valid_record(self, make_wal):
+        wal = make_wal()
+        lsns = self._seed(wal)
+        end_before = wal.end_lsn
+        wal.tear_tail(7)
+        removed = wal.repair()
+        # Everything from the damaged record on is gone, not just the
+        # missing bytes.
+        assert removed == end_before - 7 - lsns[2]
+        result = wal.scan()
+        assert result.clean
+        assert [r.lsn for r in result.records] == lsns[:2]
+        # Idempotent, and the log accepts appends again.
+        assert wal.repair() == 0
+        wal.append(RecordKind.DELIVER, {"seq": 9, "target": 9})
+        assert wal.scan().clean
+
+    def test_tear_never_removes_the_header(self, make_wal):
+        wal = make_wal()
+        self._seed(wal, n=1)
+        body = wal.end_lsn - wal.base_lsn
+        assert wal.tear_tail(10_000) == body
+        assert wal.scan().records == ()
+
+    def test_injector_validation(self, make_wal):
+        wal = make_wal()
+        with pytest.raises(ValueError, match="nbytes must be positive"):
+            wal.tear_tail(0)
+        with pytest.raises(ValueError, match="offset_from_end"):
+            wal.flip_bit(0)
+        with pytest.raises(ValueError, match="bit must lie in 0..7"):
+            wal.flip_bit(1, bit=8)
+        assert wal.flip_bit(10) is False  # shorter than the offset
+
+
+def test_encode_record_is_deterministic():
+    a = encode_record(RecordKind.PUBLISH, {"seq": 1, "targets": [2, 3]})
+    b = encode_record(RecordKind.PUBLISH, {"targets": [2, 3], "seq": 1})
+    assert a == b  # canonical JSON: key order cannot matter

@@ -197,9 +197,11 @@ class TestValidationMessages:
         (lambda: LinkFault(0, 1, delay=-1.0),
          "LinkFault: delay must be non-negative (got -1.0)"),
         (lambda: LinkOutage(0, 1, 5.0, 5.0),
-         "LinkOutage: window must satisfy start < end (got [5.0, 5.0))"),
+         "LinkOutage: window must satisfy start < end "
+         "(got [5.0, 5.0): a zero-length window never activates)"),
         (lambda: BrokerCrash(0, 9.0, 2.0),
-         "BrokerCrash: window must satisfy start < end (got [9.0, 2.0))"),
+         "BrokerCrash: window must satisfy start < end "
+         "(got [9.0, 2.0): the window is inverted)"),
         (lambda: FaultPlan(default_loss=1.5),
          "FaultPlan: default_loss must lie in [0, 1] (got 1.5)"),
         (lambda: FaultPlan(default_duplicate=1.5),
