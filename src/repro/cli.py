@@ -11,8 +11,10 @@ The subcommands cover the library's main workflows::
     repro chaos     --overload --scenario burst --queue-capacity 32
     repro chaos     --crash-recovery --corrupt-wal torn-tail \\
                     --wal-out broker.wal
+    repro chaos     --failover --failover-scenario partition --standbys 2
     repro wal       --path broker.wal
-    repro stats     --events 200 --loss 0.1 [--overload|--crash-recovery]
+    repro stats     --events 200 --loss 0.1 \\
+                    [--overload|--crash-recovery|--failover]
     repro trace     --event 3 --events 200
 
 ``repro chaos`` replays a workload through the packet simulator with
@@ -29,7 +31,12 @@ broker journals subscriptions, publish intents and delivery
 completions to a write-ahead log; each crash window wipes its
 volatile state (and, with ``--corrupt-wal``, damages the log), and
 each restart recovers from snapshot + WAL replay — the ledger then
-proves the guarantee held across the restarts.  ``repro wal``
+proves the guarantee held across the restarts.  With ``--failover``
+the home broker becomes a replicated group: the primary ships its WAL
+to ranked standbys, a permanent kill (or a partition manufacturing a
+zombie primary) forces an epoch-fenced takeover, and the per-event
+outcome ledger proves ``delivered + shed + expired == published``
+with zero duplicate deliveries across the takeover.  ``repro wal``
 inspects a log file written with ``--wal-out``: record counts,
 corruption status (exit 1 when the tail is damaged), and the last
 few records.
@@ -258,6 +265,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="back the journal with this WAL file (inspect it "
         "afterwards with `repro wal`)",
     )
+    replication = chaos.add_argument_group(
+        "broker replication (with --failover)"
+    )
+    replication.add_argument(
+        "--failover",
+        action="store_true",
+        help="replicate the home broker: ship its WAL to ranked "
+        "standbys, kill or partition the primary mid-stream, and "
+        "verify the epoch-fenced takeover against the outcome ledger",
+    )
+    replication.add_argument(
+        "--failover-scenario",
+        choices=("kill", "partition", "catchup"),
+        default="kill",
+        help="kill: permanent primary kill; partition: isolate a "
+        "live primary (fenced zombie); catchup: lagging standby must "
+        "take over from an anti-entropy snapshot (default: kill)",
+    )
+    replication.add_argument(
+        "--standbys",
+        type=int,
+        default=2,
+        help="number of ranked standby replicas",
+    )
 
     def add_telemetry_workload_options(sub: argparse.ArgumentParser) -> None:
         # Same knobs as `repro chaos` so `stats`/`trace` replay the
@@ -283,6 +314,12 @@ def _build_parser() -> argparse.ArgumentParser:
             help="journal the home broker to a write-ahead log and "
             "recover it from every crash window (durability "
             "counters appear in the report)",
+        )
+        sub.add_argument(
+            "--failover",
+            action="store_true",
+            help="replicate the home broker and kill the primary "
+            "mid-stream (replication counters appear in the report)",
         )
 
     stats = commands.add_parser(
@@ -639,14 +676,104 @@ def _cmd_chaos_crash_recovery(args: argparse.Namespace) -> int:
     return 0 if report.exactly_once else 1
 
 
+def _cmd_chaos_failover(args: argparse.Namespace) -> int:
+    from .faults import (
+        FailoverChaosSimulation,
+        RetryConfig,
+        build_failover_plan,
+    )
+    from .faults.verifier import build_chaos_testbed
+    from .replication import ShippingConfig
+
+    broker, density = build_chaos_testbed(
+        seed=args.seed,
+        subscriptions=args.subscriptions,
+        num_groups=args.groups,
+        dynamic=True,
+    )
+    # Takeover rebuilds the engine through the dynamic machinery, so
+    # the DynamicPubSubBroker must survive: set the policy in place.
+    broker.policy = ThresholdPolicy(args.threshold)
+    points, publishers = PublicationGenerator(
+        density, broker.topology.all_stub_nodes(), seed=args.seed + 9
+    ).generate(args.events)
+    inter_arrival = 2.0
+    horizon = max(args.events * inter_arrival, 500.0)
+    scenario = args.failover_scenario
+    try:
+        plan, primary, standbys = build_failover_plan(
+            broker.topology,
+            seed=args.seed,
+            loss=args.loss,
+            duplicate=args.duplicate,
+            scenario=scenario,
+            horizon=horizon,
+            standby_count=args.standbys,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # The catch-up scenario must overflow the shipping buffer while
+    # the laggard is partitioned, so takeover exercises anti-entropy.
+    shipping = (
+        ShippingConfig(batch_ops=8, retain_ops=32, catchup_lag=24)
+        if scenario == "catchup"
+        else None
+    )
+    simulation = FailoverChaosSimulation(
+        broker,
+        plan,
+        standbys,
+        primary=primary,
+        shipping=shipping,
+        checkpoint_every=args.checkpoint_every,
+    )
+    simulation.transport.config = RetryConfig.for_network(
+        simulation.network, max_attempts=args.max_attempts
+    )
+    report = simulation.run(points, publishers, inter_arrival=inter_arrival)
+    print(
+        f"failover run ({scenario}): {broker.topology.num_nodes} nodes, "
+        f"{len(points)} events, primary {primary}, "
+        f"standbys {standbys}"
+    )
+    print(format_table(("metric", "value"), report.summary_rows()))
+    if report.replication.takeover_digests:
+        print("\ntakeover state digests (determinism witnesses):")
+        for index, digest in enumerate(report.replication.takeover_digests):
+            print(f"  takeover {index}: {digest}")
+    # The replication guarantees: every event accounted exactly once,
+    # nobody delivered twice across the takeover, at least one
+    # takeover actually happened, and the fencing probe fired.  A
+    # partitioned zombie must additionally have provoked stale-epoch
+    # rejections (the split-brain evidence).
+    healthy = (
+        report.failover.accounted
+        and report.duplicate_deliveries == 0
+        and report.replication.failovers >= 1
+        and report.replication.fenced_writes >= 1
+    )
+    if scenario == "partition":
+        healthy = healthy and report.replication.stale_rejections >= 1
+    return 0 if healthy else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import ChaosSimulation, RetryConfig
     from .faults.verifier import build_chaos_plan, build_chaos_testbed
 
-    if args.overload and args.crash_recovery:
+    modes = [
+        name
+        for name, active in [
+            ("--overload", args.overload),
+            ("--crash-recovery", args.crash_recovery),
+            ("--failover", args.failover),
+        ]
+        if active
+    ]
+    if len(modes) > 1:
         print(
-            "error: --overload and --crash-recovery are mutually "
-            "exclusive",
+            f"error: {' and '.join(modes)} are mutually exclusive",
             file=sys.stderr,
         )
         return 2
@@ -654,6 +781,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return _cmd_chaos_overload(args)
     if args.crash_recovery:
         return _cmd_chaos_crash_recovery(args)
+    if args.failover:
+        return _cmd_chaos_failover(args)
 
     broker, density = build_chaos_testbed(
         seed=args.seed,
@@ -722,10 +851,13 @@ def _run_instrumented(args: argparse.Namespace):
     from .telemetry import Telemetry
 
     crash_recovery = getattr(args, "crash_recovery", False)
-    if crash_recovery and getattr(args, "overload", False):
+    failover = getattr(args, "failover", False)
+    if sum(
+        (crash_recovery, failover, bool(getattr(args, "overload", False)))
+    ) > 1:
         print(
-            "error: --overload and --crash-recovery are mutually "
-            "exclusive",
+            "error: --overload, --crash-recovery and --failover are "
+            "mutually exclusive",
             file=sys.stderr,
         )
         raise SystemExit(2)
@@ -733,9 +865,9 @@ def _run_instrumented(args: argparse.Namespace):
         seed=args.seed,
         subscriptions=args.subscriptions,
         num_groups=args.groups,
-        dynamic=crash_recovery,
+        dynamic=crash_recovery or failover,
     )
-    if crash_recovery:
+    if crash_recovery or failover:
         # Recovery rebuilds the engine through the dynamic machinery,
         # so the DynamicPubSubBroker must survive: set in place.
         broker.policy = ThresholdPolicy(args.threshold)
@@ -759,6 +891,23 @@ def _run_instrumented(args: argparse.Namespace):
             broker, plan, home=home, telemetry=telemetry
         )
         report = simulation.run(points, publishers)
+    elif failover:
+        from .faults import FailoverChaosSimulation, build_failover_plan
+
+        inter_arrival = 2.0
+        plan, primary, standbys = build_failover_plan(
+            broker.topology,
+            seed=args.seed,
+            loss=args.loss,
+            scenario="kill",
+            horizon=max(args.events * inter_arrival, 500.0),
+        )
+        simulation = FailoverChaosSimulation(
+            broker, plan, standbys, primary=primary, telemetry=telemetry
+        )
+        report = simulation.run(
+            points, publishers, inter_arrival=inter_arrival
+        )
     elif getattr(args, "overload", False):
         plan = build_chaos_plan(
             broker.topology,
@@ -905,6 +1054,43 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "(re-run with --crash-recovery for the WAL pipeline)"
         )
 
+    # Replication summary (live when the home broker was replicated).
+    if metrics.get("replication.epoch") is not None:
+        replication_rows = [
+            ("failovers", counter("replication.failovers")),
+            ("group epoch", int(metrics.value("replication.epoch"))),
+            (
+                "writes rejected by fencing",
+                counter("replication.fenced_writes"),
+            ),
+        ]
+        family = metrics.get("replication.lag_records")
+        if family is not None:
+            for labels, metric in sorted(family.children.items()):
+                standby = dict(labels).get("standby", "?")
+                replication_rows.append(
+                    (f"shipping lag @ standby {standby}", int(metric.value))
+                )
+        family = metrics.get("failover.outcomes")
+        if family is not None:
+            for labels, metric in sorted(family.children.items()):
+                outcome = dict(labels).get("outcome", "?")
+                replication_rows.append(
+                    (f"events {outcome}", int(metric.value))
+                )
+        duration = metrics.histogram("replication.failover_duration")
+        if duration.count:
+            replication_rows.append(
+                ("failover duration p95", f"{duration.p95:.1f}")
+            )
+        print("\nbroker replication (WAL shipping + failover):")
+        print(format_table(("signal", "value"), replication_rows))
+    elif getattr(args, "failover", False) is False:
+        print(
+            "\nbroker replication: inactive "
+            "(re-run with --failover for the replicated-group pipeline)"
+        )
+
     per_link = []
     family = metrics.get("net.link.bytes")
     if family is not None:
@@ -935,6 +1121,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.trace_out:
         write_spans_jsonl(telemetry.tracer.spans, args.trace_out)
         print(f"wrote {args.trace_out} ({len(telemetry.tracer.spans)} spans)")
+    if hasattr(report, "failover"):
+        # A permanent kill leaves the killed node's own subscribers
+        # unreachable, so exactly-once cannot hold; the replication
+        # guarantees are the outcome ledger and zero duplicates.
+        healthy = (
+            report.failover.accounted
+            and report.duplicate_deliveries == 0
+            and report.replication.failovers >= 1
+        )
+        return 0 if healthy else 1
     if hasattr(report, "exactly_once"):
         return 0 if report.exactly_once else 1
     return 0 if report.accounted and report.within_capacity else 1

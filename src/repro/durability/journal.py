@@ -18,7 +18,7 @@ checkpoint was.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Callable, Dict, Iterable, Optional, Set
 
 from ..io import _encode_bound
 from ..telemetry.base import Telemetry, or_null
@@ -55,10 +55,27 @@ class BrokerJournal:
         existing = self.store.ids()
         self._next_snapshot_id = (max(existing) + 1) if existing else 0
         self.checkpoints = 0
+        #: Replication taps.  ``on_record(lsn, kind, body)`` fires after
+        #: every append with the *exact* body stored (clock stamp
+        #: included), so a log shipper can reproduce the record
+        #: byte-for-byte on a standby.  ``on_checkpoint(snapshot,
+        #: truncate_lsn)`` fires after the matching CHECKPOINT record's
+        #: ``on_record``, carrying the snapshot and the prefix cut.
+        self.on_record: Optional[
+            Callable[[int, RecordKind, Dict], None]
+        ] = None
+        self.on_checkpoint: Optional[
+            Callable[[Snapshot, int], None]
+        ] = None
 
     # -- record writers ------------------------------------------------------
 
     def _append(self, kind: RecordKind, body: Dict) -> int:
+        # Stamp the clock here rather than letting the WAL do it, so
+        # the body handed to ``on_record`` is the stored body verbatim —
+        # a standby re-appending it produces byte-identical records.
+        if "t" not in body:
+            body = {**body, "t": float(self.wal.clock())}
         lsn = self.wal.append(kind, body)
         if self.telemetry.enabled:
             self.telemetry.counter(
@@ -67,6 +84,8 @@ class BrokerJournal:
                 kind=kind.name.lower(),
             ).inc()
         self._appends_since_checkpoint += 1
+        if self.on_record is not None:
+            self.on_record(lsn, kind, body)
         return lsn
 
     def log_subscribe(self, subscription) -> int:
@@ -172,9 +191,12 @@ class BrokerJournal:
             RecordKind.CHECKPOINT,
             {"snapshot_id": snapshot.snapshot_id, "lsn": checkpoint_lsn},
         )
-        self.wal.truncate_prefix(self.low_water_mark(checkpoint_lsn))
+        truncate_lsn = self.low_water_mark(checkpoint_lsn)
+        self.wal.truncate_prefix(truncate_lsn)
         self._appends_since_checkpoint = 0
         self.checkpoints += 1
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(snapshot, truncate_lsn)
         if self.telemetry.enabled:
             self.telemetry.counter(
                 "wal.checkpoints", help="checkpoints taken"

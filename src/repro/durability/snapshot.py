@@ -29,6 +29,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..io import fsync_dir
+
 __all__ = [
     "Snapshot",
     "SnapshotStore",
@@ -169,6 +171,10 @@ class FileSnapshotStore(SnapshotStore):
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 handle.write(text)
             os.replace(tmp, target)
+            # The rename is atomic but its directory entry is not yet
+            # durable; a freshly written snapshot must survive a host
+            # crash, or recovery falls back to a stale checkpoint.
+            fsync_dir(self.directory)
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -21,9 +21,14 @@ corruption (CRC mismatch, absurd length, bad kind).  Recovery then
 tail at the last valid record, which is exactly the "truncate, don't
 replay garbage" contract crash recovery needs.
 
-Both implementations are fsync-free by design (the simulation's crash
-model decides what survives, not the page cache) and take an injected
-``clock`` — records are stamped with simulated time, never wall time.
+*Appends* are fsync-free by design (the simulation's crash model
+decides what survives, not the page cache), but the file-backed log
+does fsync the containing *directory* after creating a fresh file and
+after every atomic rewrite — an :func:`os.replace` whose directory
+entry never reached disk silently un-creates the log on a host crash,
+which is a durability gap no crash model should paper over.  Both
+implementations take an injected ``clock`` — records are stamped with
+simulated time, never wall time.
 """
 
 from __future__ import annotations
@@ -37,6 +42,8 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
+
+from ..io import fsync_dir
 
 __all__ = [
     "RecordKind",
@@ -310,6 +317,26 @@ class WriteAheadLog:
             _HEADER.pack(_MAGIC, _VERSION, self.base_lsn) + self._load()
         )
 
+    # -- anti-entropy transfer ----------------------------------------------
+
+    def copy_out(self) -> Tuple[int, bytes]:
+        """The whole physical log as ``(base_lsn, body bytes)``.
+
+        The replication catch-up payload: a standby that has fallen
+        behind the primary's retained op buffer receives this and
+        :meth:`copy_in`\\ s it, after which incremental shipping resumes
+        from ``end_lsn``.
+        """
+        return self.base_lsn, self._load()
+
+    def copy_in(self, base_lsn: int, data: bytes) -> None:
+        """Atomically replace this log's contents with a shipped copy."""
+        if base_lsn < 0:
+            raise ValueError(
+                f"copy_in: base_lsn must be >= 0 (got {base_lsn})"
+            )
+        self._store(int(base_lsn), bytes(data))
+
 
 class MemoryWAL(WriteAheadLog):
     """A WAL living in a byte buffer — zero I/O, ideal for simulation."""
@@ -356,6 +383,10 @@ class FileWAL(WriteAheadLog):
         else:
             self._base = 0
             self.path.write_bytes(_HEADER.pack(_MAGIC, _VERSION, 0))
+            # A fresh file is only durable once its directory entry is:
+            # without this, a host crash after creation leaves no WAL
+            # at all and recovery would silently start from nothing.
+            fsync_dir(self.path.parent)
 
     def _read_header(self, raw: bytes) -> None:
         if len(raw) < _HEADER.size:
@@ -392,6 +423,7 @@ class FileWAL(WriteAheadLog):
                 handle.write(_HEADER.pack(_MAGIC, _VERSION, base_lsn))
                 handle.write(data)
             os.replace(tmp, self.path)
+            fsync_dir(self.path.parent)
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -24,7 +24,13 @@ story, in three layers:
   (:mod:`repro.durability`), crash windows that wipe volatile state
   and may corrupt the log, and deterministic snapshot + WAL-replay
   recovery verified against the delivery ledger
-  (``repro chaos --crash-recovery``).
+  (``repro chaos --crash-recovery``);
+- :mod:`repro.faults.failover` — the replication harness: the home
+  broker becomes a :mod:`repro.replication` group shipping its WAL to
+  ranked standbys, permanent broker kills and partitions force
+  epoch-fenced takeovers, and a per-event outcome ledger proves
+  ``delivered + shed + expired == published`` with zero duplicates
+  across failovers (``repro chaos --failover``).
 """
 
 from .crash_recovery import (
@@ -33,9 +39,16 @@ from .crash_recovery import (
     DurabilityStats,
     build_crash_recovery_plan,
 )
+from .failover import (
+    FailoverChaosSimulation,
+    FailoverReport,
+    FailoverStats,
+    build_failover_plan,
+)
 from .overload import OverloadChaosSimulation, OverloadReport
 from .plan import (
     BrokerCrash,
+    BrokerKill,
     FaultInjector,
     FaultPlan,
     FaultState,
@@ -62,9 +75,14 @@ __all__ = [
     "CrashRecoverySimulation",
     "DurabilityStats",
     "build_crash_recovery_plan",
+    "FailoverChaosSimulation",
+    "FailoverReport",
+    "FailoverStats",
+    "build_failover_plan",
     "OverloadChaosSimulation",
     "OverloadReport",
     "BrokerCrash",
+    "BrokerKill",
     "WalCorruption",
     "FaultInjector",
     "FaultPlan",

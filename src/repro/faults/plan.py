@@ -34,6 +34,7 @@ __all__ = [
     "LinkFault",
     "LinkOutage",
     "BrokerCrash",
+    "BrokerKill",
     "WalCorruption",
     "FaultPlan",
     "FaultState",
@@ -141,6 +142,32 @@ class BrokerCrash:
 
 
 @dataclass(frozen=True)
+class BrokerKill:
+    """A node is *permanently* dead from ``at`` onwards (fail-stop).
+
+    Unlike :class:`BrokerCrash` there is no restart: the node never
+    sends, forwards or receives again.  This is the fault class that
+    motivates replication — a crashed broker recovers itself from its
+    own WAL, a killed broker can only be succeeded by a standby
+    holding a shipped copy of that WAL.
+    """
+
+    node: int
+    at: float
+
+    def __post_init__(self) -> None:
+        # A plain raise, not an assert: the validation must survive
+        # ``python -O``, where asserts are stripped.
+        if self.at < 0.0:
+            raise ValueError(
+                f"BrokerKill: at must be non-negative (got {self.at})"
+            )
+
+    def active(self, time: float) -> bool:
+        return time >= self.at
+
+
+@dataclass(frozen=True)
 class WalCorruption:
     """Storage damage applied to a broker's WAL when it crashes.
 
@@ -218,6 +245,8 @@ class FaultPlan:
     link_faults: Tuple[LinkFault, ...] = ()
     outages: Tuple[LinkOutage, ...] = ()
     crashes: Tuple[BrokerCrash, ...] = ()
+    #: Permanent fail-stop kills (replication/failover harness).
+    broker_kills: Tuple[BrokerKill, ...] = ()
     #: Storage damage riding on crash windows (crash-recovery harness).
     wal_corruptions: Tuple[WalCorruption, ...] = ()
 
@@ -240,6 +269,7 @@ class FaultPlan:
         object.__setattr__(self, "link_faults", tuple(self.link_faults))
         object.__setattr__(self, "outages", tuple(self.outages))
         object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "broker_kills", tuple(self.broker_kills))
         object.__setattr__(
             self, "wal_corruptions", tuple(self.wal_corruptions)
         )
@@ -254,6 +284,7 @@ class FaultPlan:
             or self.link_faults
             or self.outages
             or self.crashes
+            or self.broker_kills
             or self.wal_corruptions
         )
 
@@ -366,6 +397,14 @@ class FaultInjector:
         self._crashes: Dict[int, list] = {}
         for crash in plan.crashes:
             self._crashes.setdefault(int(crash.node), []).append(crash)
+        # Earliest kill per node; from that instant the node is dead for
+        # good, so only the minimum matters.
+        self._kills: Dict[int, float] = {}
+        for kill in plan.broker_kills:
+            node = int(kill.node)
+            at = float(kill.at)
+            if node not in self._kills or at < self._kills[node]:
+                self._kills[node] = at
         self._rng = np.random.default_rng(plan.seed)
         self.stats = FaultStats()
 
@@ -377,11 +416,20 @@ class FaultInjector:
     # -- windowed faults -----------------------------------------------------
 
     def node_down(self, node: int, time: float) -> bool:
-        """Whether a node is inside one of its crash windows."""
-        windows = self._crashes.get(int(node))
+        """Whether a node is inside a crash window or permanently killed."""
+        node = int(node)
+        kill = self._kills.get(node)
+        if kill is not None and time >= kill:
+            return True
+        windows = self._crashes.get(node)
         if not windows:
             return False
         return any(w.active(time) for w in windows)
+
+    def node_killed(self, node: int, time: float) -> bool:
+        """Whether a node is *permanently* dead at ``time`` (no restart)."""
+        kill = self._kills.get(int(node))
+        return kill is not None and time >= kill
 
     def link_down(self, u: int, v: int, time: float) -> bool:
         """Whether a link is inside one of its outage windows."""
@@ -408,6 +456,8 @@ class FaultInjector:
             node
             for node, windows in self._crashes.items()
             if any(w.active(time) for w in windows)
+        ) | frozenset(
+            node for node, at in self._kills.items() if time >= at
         )
         dead_links = frozenset(
             key

@@ -102,6 +102,7 @@ class ReliabilityStats:
     acked: int = 0
     retries: int = 0              # data retransmissions
     reroutes: int = 0             # retries sent on a detector-chosen path
+    redirected: int = 0           # targets re-addressed via the directory
     acks_sent: int = 0
     duplicates_suppressed: int = 0  # data copies deduped at receivers
     gave_up: int = 0              # targets abandoned after the budget
@@ -165,6 +166,14 @@ class ReliableTransport:
         success, exhausted budgets feed it failure, so a permanently
         dead subscriber is isolated after ``failure_threshold``
         give-ups and re-probed once per ``reset_timeout``.
+    directory:
+        Optional role directory exposing ``resolve(node) -> int`` (an
+        :class:`~repro.replication.epoch.EpochDirectory` fits).
+        Targets are resolved at publish time and re-resolved at every
+        retry timeout, so a retry addressed to a fenced ex-primary
+        migrates — retry budget reset — to the epoch's new holder
+        instead of burning its attempts (and the old node's breaker)
+        against a node that will never ack.
     """
 
     def __init__(
@@ -179,6 +188,7 @@ class ReliableTransport:
         telemetry: Optional[Telemetry] = None,
         breakers: Optional[BreakerBoard] = None,
         on_ack: Optional[Callable[[int, int, float], None]] = None,
+        directory=None,
     ):
         self.network = network
         self.simulator = network.simulator
@@ -191,6 +201,7 @@ class ReliableTransport:
         self.on_ack = on_ack or (lambda target, key, time: None)
         self.telemetry = or_null(telemetry)
         self.breakers = breakers
+        self.directory = directory
         self.stats = ReliabilityStats()
         self._pending: Dict[Tuple[int, int], _Pending] = {}
         self._seen: Dict[int, Set[int]] = {}
@@ -223,7 +234,7 @@ class ReliableTransport:
         """
         key = int(key)
         source = int(source)
-        targets = [int(t) for t in targets]
+        targets = [self._resolve(t) for t in targets]
         self.stats.messages += 1
         telemetry = self.telemetry
         if telemetry.enabled:
@@ -287,6 +298,44 @@ class ReliableTransport:
             self.on_give_up(target, key, "short-circuited (breaker open)")
         return admitted
 
+    def _resolve(self, node: int) -> int:
+        """The directory's current holder of ``node``'s role."""
+        node = int(node)
+        if self.directory is None:
+            return node
+        return int(self.directory.resolve(node))
+
+    def _redirect(self, key: int, target: int, new: int) -> bool:
+        """Move one pending delivery to the target's epoch successor.
+
+        The pending entry migrates to the ``(key, new)`` slot — acks
+        from the new node look themselves up there — with a fresh
+        retry budget, and the data goes out immediately.  Timers still
+        armed for the old slot find it empty and no-op.  Returns False
+        (nothing to do) when the new slot is already tracked.
+        """
+        pending = self._pending.pop((key, target))
+        self.stats.redirected += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "transport.redirected",
+                help="deliveries re-addressed to an epoch successor",
+            ).inc()
+            self.telemetry.event(
+                "redirect", parent=pending.span, target=target, new=new
+            )
+        if (key, new) in self._pending:
+            # The message already tracks the successor (it was a
+            # target in its own right); drop the stale slot.
+            if pending.span is not None:
+                pending.span.finish(status="redirected")
+            return False
+        pending.target = new
+        pending.attempts = 0
+        self._pending[(key, new)] = pending
+        self._send_data(key, new, path=None)
+        return True
+
     def _receiver(
         self, key: int, source: int
     ) -> Callable[[int, float], None]:
@@ -342,6 +391,10 @@ class ReliableTransport:
             or pending.failed
             or pending.attempts != attempt
         ):
+            return
+        new_target = self._resolve(target)
+        if new_target != target:
+            self._redirect(key, target, new_target)
             return
         if pending.attempts >= self.config.max_attempts:
             pending.failed = True

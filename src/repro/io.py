@@ -25,6 +25,7 @@ from .geometry.rectangle import Rectangle
 from .network.topology import Topology
 
 __all__ = [
+    "fsync_dir",
     "atomic_write_text",
     "topology_to_dict",
     "topology_from_dict",
@@ -35,13 +36,38 @@ __all__ = [
 ]
 
 
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Flush a *directory* entry to disk.
+
+    :func:`os.replace` makes a rename atomic, but the new directory
+    entry itself lives in the page cache until the directory inode is
+    synced — a host crash right after the rename can resurface the old
+    file (or no file at all).  Fsyncing the directory closes that gap.
+    Platforms that cannot fsync a directory (notably Windows) raise
+    ``OSError`` on the open or the fsync; durability there is
+    best-effort and the error is swallowed.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def atomic_write_text(path: Union[str, Path], text: str) -> None:
     """Write ``text`` to ``path`` all-or-nothing.
 
     The content goes to a temp file in the same directory and is
     :func:`os.replace`\\ d into place, so an interrupted write (crash,
     full disk, ctrl-C) leaves any previous file at ``path`` intact —
-    never a truncated hybrid.  The temp file is removed on failure.
+    never a truncated hybrid.  The temp file is removed on failure,
+    and the directory is fsynced after the rename so the new entry
+    itself survives a host crash.
     """
     path = Path(path)
     fd, tmp = tempfile.mkstemp(
@@ -51,6 +77,7 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
         os.replace(tmp, path)
+        fsync_dir(path.parent or ".")
     except BaseException:
         try:
             os.unlink(tmp)

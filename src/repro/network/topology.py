@@ -151,6 +151,43 @@ class Topology:
         """Cost attribute of the edge ``(u, v)``."""
         return float(self.graph.edges[u, v]["cost"])
 
+    def replica_candidates(self, home: int, count: int) -> List[int]:
+        """Ranked standby placement for a home broker, deterministic.
+
+        Picks ``count`` transit nodes to replicate ``home``'s state
+        onto, ordered by takeover preference.  Failure-domain
+        diversity comes first: nodes in *other* transit blocks
+        outrank nodes sharing ``home``'s block (a block models a
+        shared fate domain — one provider's backbone).  Within each
+        tier, nearer is better (shortest-path cost from ``home``),
+        with node id as the final tie-break so the ranking is a pure
+        function of the topology.
+        """
+        home = int(home)
+        if self.graph.nodes[home]["kind"] != "transit":
+            raise ValueError(
+                f"replica_candidates: home {home} is not a transit node"
+            )
+        pool = [n for n in self.all_transit_nodes() if n != home]
+        if count < 1 or count > len(pool):
+            raise ValueError(
+                f"replica_candidates: count must lie in 1..{len(pool)} "
+                f"(got {count})"
+            )
+        home_block = int(self.graph.nodes[home]["block"])
+        costs = nx.single_source_dijkstra_path_length(
+            self.graph, home, weight="cost"
+        )
+        ranked = sorted(
+            pool,
+            key=lambda n: (
+                int(self.graph.nodes[n]["block"]) == home_block,
+                costs.get(n, float("inf")),
+                n,
+            ),
+        )
+        return ranked[:count]
+
     def degree_stats(self) -> Dict[str, float]:
         """Mean/min/max degree (Figure 3's structural summary)."""
         degrees = [d for _, d in self.graph.degree()]

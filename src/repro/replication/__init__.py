@@ -1,0 +1,38 @@
+"""Broker replication: WAL shipping, epoch fencing, failover.
+
+PR 4's durability stack lets a crashed home broker restart *itself*
+from its own WAL.  This package removes the "itself": the primary
+ships its journal to ranked standbys (:mod:`~repro.replication.
+shipping`), a clock-injected heartbeat detector watches it
+(:mod:`~repro.replication.detector`), and on suspected death the best
+live standby replays its shipped WAL through the existing recovery
+pipeline and takes over, fenced against the old primary by monotonic
+epochs (:mod:`~repro.replication.epoch`).  The orchestration lives in
+:mod:`~repro.replication.group`; the chaos-harness integration — with
+the per-event ledger proving exactly-once across takeovers — is
+:class:`repro.faults.FailoverChaosSimulation`.
+"""
+
+from .detector import FailureDetector, HeartbeatConfig
+from .epoch import EpochDirectory, EpochState, ReplicaRole
+from .group import ReplicatedBrokerGroup, ReplicationStats
+from .shipping import (
+    LogShipper,
+    ShippingConfig,
+    ShippingStats,
+    StandbyReplica,
+)
+
+__all__ = [
+    "FailureDetector",
+    "HeartbeatConfig",
+    "EpochDirectory",
+    "EpochState",
+    "ReplicaRole",
+    "ReplicatedBrokerGroup",
+    "ReplicationStats",
+    "LogShipper",
+    "ShippingConfig",
+    "ShippingStats",
+    "StandbyReplica",
+]

@@ -1,0 +1,70 @@
+"""A deterministic heartbeat failure detector.
+
+The primary beats on a fixed simulated-time cadence; each standby
+tracks the last instant it heard *anything* attributable to the
+primary (a heartbeat, a shipped batch — any traffic proves liveness)
+and declares suspicion when the silence exceeds a timeout.  Both the
+cadence and the timeout live on the injected simulation clock, so the
+same seed produces the same suspicion instant every run — takeover
+timing is part of the determinism contract, not noise.
+
+The timeout should comfortably exceed the heartbeat interval times
+the retry latency of the underlying network (the default is ~3
+intervals plus slack); too tight and transient loss triggers a
+spurious failover, which is *safe* (epoch fencing demotes the old
+primary) but costs a takeover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HeartbeatConfig", "FailureDetector"]
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Cadence and patience of the failure detector (simulated time)."""
+
+    #: How often the primary sends a heartbeat.
+    interval: float = 25.0
+    #: Silence longer than this means the primary is suspected dead.
+    timeout: float = 80.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0.0:
+            raise ValueError(
+                f"HeartbeatConfig: interval must be positive "
+                f"(got {self.interval})"
+            )
+        if self.timeout <= self.interval:
+            raise ValueError(
+                f"HeartbeatConfig: timeout ({self.timeout}) must exceed "
+                f"the heartbeat interval ({self.interval}); equal values "
+                "suspect a healthy primary between beats"
+            )
+
+
+class FailureDetector:
+    """Tracks one peer's liveness from observed traffic."""
+
+    def __init__(self, config: HeartbeatConfig, now: float = 0.0):
+        self.config = config
+        self.last_heard = float(now)
+        self.suspected = False
+
+    def heard(self, time: float) -> None:
+        """Any message from the peer resets the silence clock."""
+        if time > self.last_heard:
+            self.last_heard = float(time)
+        self.suspected = False
+
+    def check(self, now: float) -> bool:
+        """Whether the peer is suspected dead at ``now``."""
+        self.suspected = (now - self.last_heard) > self.config.timeout
+        return self.suspected
+
+    @property
+    def silence_deadline(self) -> float:
+        """The earliest instant a check would turn suspicious."""
+        return self.last_heard + self.config.timeout

@@ -1,0 +1,482 @@
+"""The replicated broker group: primary, standbys, failover.
+
+One :class:`ReplicatedBrokerGroup` manages one home broker's replica
+set.  The **primary** runs the actual matching/routing service and
+journals every mutation through a :class:`~repro.durability.journal.
+BrokerJournal`; the journal's taps feed a :class:`~repro.replication.
+shipping.LogShipper` which streams the WAL to each **standby**'s
+:class:`~repro.replication.shipping.StandbyReplica`.  A deterministic
+heartbeat :class:`~repro.replication.detector.FailureDetector` per
+standby watches the primary; all timing lives on the injected
+discrete-event simulator, so suspicion — and therefore failover — is
+a pure function of the seed.
+
+Failover is the durability stack re-run on somebody else's disk: the
+highest-ranked live standby increments the group **epoch**, runs the
+existing :func:`~repro.durability.recovery.recover` /
+:func:`~repro.durability.recovery.restore_broker` pipeline over *its
+own shipped WAL and snapshots*, re-registers as the home broker
+(via the :class:`~repro.replication.epoch.EpochDirectory`, which the
+reliable transport consults to re-route in-flight retries), and
+starts journaling + shipping to the surviving standbys.  The recovery
+digest of each takeover is kept as a determinism witness.
+
+A deposed primary that is merely *partitioned* (not dead) keeps
+heartbeating and shipping with its stale epoch after the partition
+heals; the first reply it provokes carries the higher epoch and
+**fences** it — :class:`~repro.replication.epoch.EpochState` demotes
+it to ``FENCED`` and every subsequent write admission check at that
+node fails.  That rejection counter is the split-brain proof the
+chaos verifier asserts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..durability.journal import BrokerJournal
+from ..durability.recovery import RecoveredState, recover, restore_broker
+from ..durability.snapshot import MemorySnapshotStore, SnapshotStore
+from ..durability.wal import MemoryWAL, WriteAheadLog
+from ..telemetry.base import Telemetry, or_null
+from .detector import FailureDetector, HeartbeatConfig
+from .epoch import EpochDirectory, EpochState, ReplicaRole
+from .shipping import LogShipper, ShippingConfig, StandbyReplica
+
+__all__ = ["ReplicationStats", "ReplicatedBrokerGroup"]
+
+
+@dataclass
+class ReplicationStats:
+    """What the replica group did during one run."""
+
+    failovers: int = 0
+    #: Per-takeover recovery digests — the determinism witnesses.
+    takeover_digests: List[str] = field(default_factory=list)
+    #: Simulated time from last primary contact to takeover complete.
+    failover_durations: List[float] = field(default_factory=list)
+    #: Messages rejected as stale-epoch across all replicas.
+    stale_rejections: int = 0
+    #: Write admissions refused at fenced / non-primary replicas.
+    fenced_writes: int = 0
+    heartbeats_sent: int = 0
+    #: The group epoch when the run ended.
+    final_epoch: int = 0
+
+
+class ReplicatedBrokerGroup:
+    """One primary, N ranked standbys, and the machinery between them.
+
+    ``send(source, target, payload)`` puts one message dict on the
+    (simulated) wire; whatever transport the caller wires up must
+    eventually call :meth:`deliver` on the receiving end — or drop the
+    message, which the protocol tolerates.  With ``send=None``
+    messages are delivered synchronously and losslessly, which is what
+    the unit tests want.
+
+    ``alive(node, time)`` is the ground-truth liveness oracle (the
+    chaos harness backs it with the fault injector); the *detector*
+    still decides suspicion from heartbeat silence alone, so a
+    partitioned-but-alive primary is suspected exactly like a dead one
+    — and later fenced instead of resurrected.
+    """
+
+    def __init__(
+        self,
+        broker,
+        primary: int,
+        standbys: Sequence[int],
+        simulator,
+        send: Optional[Callable[[int, int, Dict], None]] = None,
+        wal_factory: Optional[Callable[[int], WriteAheadLog]] = None,
+        store_factory: Optional[Callable[[int], SnapshotStore]] = None,
+        shipping: Optional[ShippingConfig] = None,
+        heartbeat: Optional[HeartbeatConfig] = None,
+        alive: Optional[Callable[[int, float], bool]] = None,
+        checkpoint_every: int = 64,
+        breakers=None,
+        telemetry: Optional[Telemetry] = None,
+        on_takeover: Optional[
+            Callable[[RecoveredState, int, int, float], None]
+        ] = None,
+    ):
+        if not standbys:
+            raise ValueError(
+                "ReplicatedBrokerGroup: at least one standby is required"
+            )
+        ranked = [int(s) for s in standbys]
+        if int(primary) in ranked or len(set(ranked)) != len(ranked):
+            raise ValueError(
+                "ReplicatedBrokerGroup: standbys must be distinct and "
+                f"exclude the primary (primary={primary}, "
+                f"standbys={ranked})"
+            )
+        self.broker = broker
+        self.primary = int(primary)
+        self.ranked = ranked
+        self.members = [self.primary] + ranked
+        self.simulator = simulator
+        self._send = send
+        self.shipping = shipping or ShippingConfig()
+        self.heartbeat = heartbeat or HeartbeatConfig()
+        self.alive = alive or (lambda node, time: True)
+        self.checkpoint_every = checkpoint_every
+        self.breakers = breakers
+        self.telemetry = or_null(telemetry)
+        self.on_takeover = on_takeover
+        self.directory = EpochDirectory()
+        self.epoch = 0
+        self.stats = ReplicationStats()
+        self.horizon: Optional[float] = None
+
+        wal_factory = wal_factory or (
+            lambda node: MemoryWAL(clock=lambda: self.simulator.now)
+        )
+        store_factory = store_factory or (
+            lambda node: MemorySnapshotStore()
+        )
+        self.wals: Dict[int, WriteAheadLog] = {
+            node: wal_factory(node) for node in self.members
+        }
+        self.stores: Dict[int, SnapshotStore] = {
+            node: store_factory(node) for node in self.members
+        }
+        self.epochs: Dict[int, EpochState] = {
+            node: EpochState(
+                node=node,
+                role=(
+                    ReplicaRole.PRIMARY
+                    if node == self.primary
+                    else ReplicaRole.STANDBY
+                ),
+            )
+            for node in self.members
+        }
+        self.replicas: Dict[int, StandbyReplica] = {
+            node: StandbyReplica(
+                self.epochs[node],
+                self.wals[node],
+                self.stores[node],
+                telemetry=telemetry,
+            )
+            for node in ranked
+        }
+        self.detectors: Dict[int, FailureDetector] = {
+            node: FailureDetector(self.heartbeat, now=self.simulator.now)
+            for node in ranked
+        }
+        self._shippers: Dict[int, LogShipper] = {}
+        self.journal = self._bind_primary(self.primary)
+
+    # -- wiring --------------------------------------------------------------
+
+    def _bind_primary(self, node: int) -> BrokerJournal:
+        """Attach journal + shipper for ``node`` as the acting primary."""
+        epoch_state = self.epochs[node]
+        shipper = LogShipper(
+            epoch_state,
+            [
+                s
+                for s in self.members
+                if self.epochs[s].role is ReplicaRole.STANDBY
+            ],
+            send=lambda standby, payload, source=node: self._transmit(
+                source, standby, payload
+            ),
+            wal=self.wals[node],
+            snapshots=self.stores[node],
+            config=self.shipping,
+            breakers=self.breakers,
+            telemetry=self.telemetry,
+        )
+        self._shippers[node] = shipper
+        journal = BrokerJournal(
+            self.broker,
+            self.wals[node],
+            self.stores[node],
+            checkpoint_every=self.checkpoint_every,
+            telemetry=self.telemetry,
+        )
+        journal.on_record = (
+            lambda lsn, kind, body, s=shipper: self._on_record(
+                s, lsn, kind, body
+            )
+        )
+        journal.on_checkpoint = (
+            lambda snapshot, truncate_lsn, s=shipper: self._on_checkpoint(
+                s, snapshot, truncate_lsn
+            )
+        )
+        self.broker.attach_journal(journal)
+        return journal
+
+    def _on_record(self, shipper: LogShipper, lsn, kind, body) -> None:
+        shipper.record(lsn, kind, body)
+        if shipper.due:
+            shipper.flush(self.simulator.now)
+
+    def _on_checkpoint(self, shipper, snapshot, truncate_lsn) -> None:
+        shipper.checkpoint(snapshot, truncate_lsn)
+        # Push checkpoints eagerly: a standby holding the snapshot can
+        # take over even if it missed every incremental batch since.
+        shipper.flush(self.simulator.now)
+
+    def _transmit(self, source: int, target: int, payload: Dict) -> None:
+        payload = {**payload, "from": int(source)}
+        if self._send is None:
+            self.deliver(target, payload, self.simulator.now)
+        else:
+            self._send(int(source), int(target), payload)
+
+    # -- the receive path ----------------------------------------------------
+
+    def deliver(self, node: int, payload: Dict, time: float) -> None:
+        """One replication message arrived at ``node`` at ``time``."""
+        node = int(node)
+        if not self.alive(node, time):
+            return
+        kind = payload.get("type")
+        sender = int(payload.get("from", -1))
+        if kind == "heartbeat":
+            self._heartbeat_arrived(node, sender, payload["epoch"], time)
+        elif kind in ("batch", "catchup"):
+            self._shipping_arrived(node, sender, payload, time)
+        elif kind == "ack":
+            self._ack_arrived(node, payload, time)
+        elif kind == "resync":
+            self._resync_arrived(node, payload, time)
+        elif kind == "fence":
+            self._fenced(node, payload["epoch"])
+        else:
+            raise ValueError(
+                f"ReplicatedBrokerGroup: unknown payload type {kind!r}"
+            )
+
+    def _heartbeat_arrived(
+        self, node: int, sender: int, epoch: int, time: float
+    ) -> None:
+        if not self.epochs[node].admit(epoch):
+            self._transmit(
+                node,
+                sender,
+                {"type": "fence", "epoch": self.epochs[node].epoch},
+            )
+            return
+        detector = self.detectors.get(node)
+        if detector is not None:
+            detector.heard(time)
+
+    def _shipping_arrived(
+        self, node: int, sender: int, payload: Dict, time: float
+    ) -> None:
+        replica = self.replicas.get(node)
+        if replica is None:
+            # Shipped data aimed at a node that is no longer a standby
+            # (e.g. it took over); its epoch state answers for it.
+            if not self.epochs[node].admit(payload["epoch"]):
+                self._transmit(
+                    node,
+                    sender,
+                    {"type": "fence", "epoch": self.epochs[node].epoch},
+                )
+            return
+        reply = replica.receive(payload)
+        if reply is not None and reply.get("type") != "fence":
+            detector = self.detectors.get(node)
+            if detector is not None:
+                detector.heard(time)
+        if reply is not None:
+            self._transmit(node, sender, reply)
+
+    def _ack_arrived(self, node: int, payload: Dict, time: float) -> None:
+        epoch_state = self.epochs[node]
+        if not epoch_state.admit(payload["epoch"]):
+            return  # an old standby acking an even older stream
+        shipper = self._shippers.get(node)
+        if shipper is not None and epoch_state.is_primary:
+            shipper.ack(
+                payload["node"], payload["applied"], payload["end_lsn"], time
+            )
+
+    def _resync_arrived(self, node: int, payload: Dict, time: float) -> None:
+        epoch_state = self.epochs[node]
+        if not epoch_state.admit(payload["epoch"]):
+            return
+        shipper = self._shippers.get(node)
+        if shipper is not None and epoch_state.is_primary:
+            shipper.force_catchup(payload["node"], time)
+
+    def _fenced(self, node: int, epoch: int) -> None:
+        was_primary = self.epochs[node].is_primary
+        self.epochs[node].adopt(epoch)
+        if was_primary and self.telemetry.enabled:
+            self.telemetry.counter(
+                "replication.fenced",
+                help="ex-primaries fenced by a higher epoch",
+            ).inc()
+
+    # -- the clock loop ------------------------------------------------------
+
+    def start(self, horizon: float) -> None:
+        """Begin heartbeating/shipping ticks until ``horizon``.
+
+        The horizon bounds the periodic loop so the discrete-event
+        queue drains once the workload is done; pick it past the last
+        scheduled arrival plus settling slack.
+        """
+        if horizon <= self.simulator.now:
+            raise ValueError(
+                f"start: horizon {horizon} is not in the future "
+                f"(now {self.simulator.now})"
+            )
+        self.horizon = float(horizon)
+        self._schedule_tick(self.simulator.now)
+
+    def _schedule_tick(self, now: float) -> None:
+        nxt = now + self.heartbeat.interval
+        if self.horizon is not None and nxt <= self.horizon:
+            self.simulator.schedule_at(nxt, self._tick)
+
+    def _tick(self) -> None:
+        now = self.simulator.now
+        # Every node that *believes* it is primary beats and ships —
+        # including a partitioned zombie, whose stale epoch is how it
+        # eventually learns the truth.
+        for node, shipper in self._shippers.items():
+            epoch_state = self.epochs[node]
+            if not epoch_state.is_primary or not self.alive(node, now):
+                continue
+            for standby in shipper.standbys:
+                self._transmit(
+                    node,
+                    standby,
+                    {"type": "heartbeat", "epoch": epoch_state.epoch},
+                )
+                self.stats.heartbeats_sent += 1
+            shipper.flush(now)
+        candidate = self._candidate(now)
+        if candidate is not None and self.detectors[candidate].check(now):
+            self.takeover(now)
+        self._schedule_tick(now)
+
+    def _candidate(self, now: float) -> Optional[int]:
+        """Highest-ranked standby eligible to take over right now."""
+        for node in self.ranked:
+            if self.epochs[node].role is ReplicaRole.STANDBY and self.alive(
+                node, now
+            ):
+                return node
+        return None
+
+    # -- failover ------------------------------------------------------------
+
+    def mark_dead(self, node: int) -> None:
+        """Ground truth: ``node`` is permanently gone (fail-stop kill)."""
+        self.epochs[int(node)].role = ReplicaRole.DEAD
+
+    def takeover(self, now: float) -> bool:
+        """Promote the best live standby; returns False if none exists.
+
+        The promotion is the crash-recovery pipeline pointed at the
+        standby's own storage: recover → restore_broker → re-journal,
+        then advance the epoch and the directory so clients (and
+        in-flight retries) re-route.  The caller learns the recovered
+        state via ``on_takeover`` and re-hands unacked deliveries to
+        the transport.
+        """
+        candidate = self._candidate(now)
+        if candidate is None:
+            return False
+        old = self.primary
+        silence = now - self.detectors[candidate].last_heard
+        del self.detectors[candidate]
+        del self.replicas[candidate]
+        state = recover(
+            self.wals[candidate],
+            self.stores[candidate],
+            telemetry=self.telemetry,
+        )
+        restore_broker(self.broker, state, telemetry=self.telemetry)
+        self.epoch += 1
+        epoch_state = self.epochs[candidate]
+        epoch_state.role = ReplicaRole.PRIMARY
+        epoch_state.epoch = self.epoch
+        self.directory.advance(old, candidate, self.epoch)
+        self.primary = candidate
+        self.journal = self._bind_primary(candidate)
+        self.journal.rearm(state)
+        # Surviving standbys now watch the new primary; its first
+        # heartbeat lands next tick, well inside the fresh timeout.
+        for node in self._shippers[candidate].standbys:
+            self.detectors[node] = FailureDetector(self.heartbeat, now=now)
+        self.stats.failovers += 1
+        self.stats.failover_durations.append(float(silence))
+        self.stats.takeover_digests.append(state.digest())
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "replication.failovers", help="takeovers completed"
+            ).inc()
+            self.telemetry.gauge(
+                "replication.epoch", help="current group epoch"
+            ).set(self.epoch)
+            self.telemetry.histogram(
+                "replication.failover_duration",
+                help="silence from last primary contact to takeover",
+            ).observe(float(silence))
+            self.telemetry.event(
+                "failover", old=old, new=candidate, epoch=self.epoch
+            )
+        if self.on_takeover is not None:
+            self.on_takeover(state, old, candidate, now)
+        return True
+
+    # -- admission & reporting ----------------------------------------------
+
+    def write_allowed(self, node: int) -> bool:
+        """Whether a client write at ``node`` may proceed (fencing check).
+
+        The write is stamped with the group's current epoch; only the
+        acting primary admits it.  A fenced ex-primary — or any node
+        that merely used to matter — rejects, and the rejection is
+        counted as the split-brain proof.
+        """
+        allowed = self.epochs[int(node)].admit_write(self.epoch)
+        if not allowed and self.telemetry.enabled:
+            self.telemetry.counter(
+                "replication.fenced_writes",
+                help="writes rejected by epoch fencing",
+            ).inc()
+        return allowed
+
+    @property
+    def shipper(self) -> LogShipper:
+        """The acting primary's shipper."""
+        return self._shippers[self.primary]
+
+    def shipping_stats(self):
+        """Shipping counters summed over every (ex-)primary's shipper."""
+        from .shipping import ShippingStats
+
+        total = ShippingStats()
+        for shipper in self._shippers.values():
+            s = shipper.stats
+            total.batches += s.batches
+            total.ops_shipped += s.ops_shipped
+            total.acks += s.acks
+            total.catchups += s.catchups
+            total.backpressure_skips += s.backpressure_skips
+            total.breaker_failures += s.breaker_failures
+            total.trimmed_ops += s.trimmed_ops
+        return total
+
+    def finalize_stats(self) -> ReplicationStats:
+        """Fold per-replica counters into the group stats and return them."""
+        self.stats.stale_rejections = sum(
+            e.stale_rejected for e in self.epochs.values()
+        )
+        self.stats.fenced_writes = sum(
+            e.writes_rejected for e in self.epochs.values()
+        )
+        self.stats.final_epoch = self.epoch
+        return self.stats

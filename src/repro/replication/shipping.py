@@ -1,0 +1,438 @@
+"""WAL log shipping: the primary's journal, replayed onto standbys.
+
+The replication stream is a totally ordered sequence of **ops**, each
+mirroring one thing the primary's :class:`~repro.durability.journal.
+BrokerJournal` did to its storage:
+
+- ``("append", lsn, kind, body)`` — one WAL record, body verbatim
+  (clock stamp included), so the standby's ``wal.append`` reproduces
+  the record *byte for byte*;
+- ``("snapshot", payload)`` — a checkpoint's snapshot dict;
+- ``("truncate", lsn)`` — the matching WAL prefix cut.
+
+Ops are indexed from 0 over the stream's lifetime.  The primary-side
+:class:`LogShipper` buffers them and ships **cumulative batches**: each
+flush sends every op past the standby's last acknowledged index.  Acks
+are cumulative too, so the protocol is trivially idempotent and
+loss-tolerant — a lost batch or a lost ack just means the next flush
+resends a suffix the standby has already applied, and the standby
+skips the overlap.  No per-op acknowledgement, no windows, no
+reordering logic: the discrete-event network may drop or delay, and
+the stream still converges.
+
+When a standby falls so far behind that its unshipped suffix was
+trimmed from the buffer (or its lag exceeds ``catchup_lag``), the
+shipper switches to **anti-entropy**: it sends the primary's entire
+physical WAL (:meth:`~repro.durability.wal.WriteAheadLog.copy_out`)
+plus the newest snapshot, the standby installs both wholesale, and
+incremental shipping resumes from there.  This is the replication
+analogue of the paper's precomputation reuse — the standby receives
+the *outputs* (snapshot = table + partition assignment) rather than
+re-deriving them from subscription history.
+
+Backpressure rides the overload subsystem's circuit breakers: a
+standby whose breaker is open is skipped entirely (its lag keeps
+growing; catch-up heals it later), and repeated flushes with no ack
+progress trip the breaker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..durability.snapshot import Snapshot, SnapshotStore
+from ..durability.wal import RecordKind, WriteAheadLog
+from ..telemetry.base import Telemetry, or_null
+from .epoch import EpochState
+
+__all__ = ["ShippingConfig", "ShippingStats", "LogShipper", "StandbyReplica"]
+
+
+@dataclass(frozen=True)
+class ShippingConfig:
+    """Knobs of the shipping protocol (times are simulated)."""
+
+    #: Flush as soon as this many ops are buffered.
+    batch_ops: int = 16
+    #: Also flush on this cadence, so a quiet stream still converges.
+    flush_interval: float = 10.0
+    #: Keep at most this many ops buffered; trimming past a standby's
+    #: ack forces that standby onto the catch-up path.
+    retain_ops: int = 512
+    #: A standby lagging more than this many ops gets a catch-up even
+    #: if its suffix is still buffered (cheaper than a huge batch).
+    catchup_lag: int = 256
+    #: Consecutive no-progress flushes to one standby before its
+    #: breaker records a failure.
+    failure_after: int = 3
+
+    def __post_init__(self) -> None:
+        if self.batch_ops < 1:
+            raise ValueError(
+                f"ShippingConfig: batch_ops must be >= 1 "
+                f"(got {self.batch_ops})"
+            )
+        if self.flush_interval <= 0.0:
+            raise ValueError(
+                f"ShippingConfig: flush_interval must be positive "
+                f"(got {self.flush_interval})"
+            )
+        if self.retain_ops < self.batch_ops:
+            raise ValueError(
+                f"ShippingConfig: retain_ops ({self.retain_ops}) must be "
+                f">= batch_ops ({self.batch_ops})"
+            )
+        if self.catchup_lag < 1:
+            raise ValueError(
+                f"ShippingConfig: catchup_lag must be >= 1 "
+                f"(got {self.catchup_lag})"
+            )
+        if self.failure_after < 1:
+            raise ValueError(
+                f"ShippingConfig: failure_after must be >= 1 "
+                f"(got {self.failure_after})"
+            )
+
+
+@dataclass
+class ShippingStats:
+    """What the shipper did during one run."""
+
+    batches: int = 0
+    ops_shipped: int = 0
+    acks: int = 0
+    catchups: int = 0
+    backpressure_skips: int = 0
+    breaker_failures: int = 0
+    trimmed_ops: int = 0
+
+
+class LogShipper:
+    """Primary-side half of the shipping protocol.
+
+    ``send(standby, payload)`` hands one message dict to the transport
+    (the group wires it to the packet network); payloads carry the
+    sender's epoch and are self-describing via ``payload["type"]``.
+    """
+
+    def __init__(
+        self,
+        epoch: EpochState,
+        standbys: Sequence[int],
+        send: Callable[[int, Dict], None],
+        wal: WriteAheadLog,
+        snapshots: SnapshotStore,
+        config: Optional[ShippingConfig] = None,
+        breakers=None,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.epoch = epoch
+        self.standbys = [int(s) for s in standbys]
+        self.send = send
+        self.wal = wal
+        self.snapshots = snapshots
+        self.config = config or ShippingConfig()
+        self.breakers = breakers
+        self.telemetry = or_null(telemetry)
+        self.stats = ShippingStats()
+        self._ops: List[Tuple] = []
+        #: Stream index of ``_ops[0]``.
+        self._base_index = 0
+        #: node → highest cumulative op index acked.
+        self.acked: Dict[int, int] = {s: 0 for s in self.standbys}
+        #: node → WAL end LSN the standby reported at its last ack.
+        self.acked_lsn: Dict[int, int] = {s: 0 for s in self.standbys}
+        self._no_progress: Dict[int, int] = {s: 0 for s in self.standbys}
+
+    # -- journal taps --------------------------------------------------------
+
+    @property
+    def next_index(self) -> int:
+        """Stream index the next op will get (= total ops ever)."""
+        return self._base_index + len(self._ops)
+
+    def record(self, lsn: int, kind: RecordKind, body: Dict) -> None:
+        """``BrokerJournal.on_record`` tap: buffer one append op."""
+        self._ops.append(("append", int(lsn), int(kind), body))
+
+    def checkpoint(self, snapshot: Snapshot, truncate_lsn: int) -> None:
+        """``BrokerJournal.on_checkpoint`` tap: snapshot + prefix cut."""
+        self._ops.append(("snapshot", snapshot.to_dict()))
+        self._ops.append(("truncate", int(truncate_lsn)))
+
+    def pending_ops(self) -> int:
+        """Ops buffered past the *slowest* standby's ack (diagnostics)."""
+        if not self.standbys:
+            return 0
+        return self.next_index - min(
+            self.acked[s] for s in self.standbys
+        )
+
+    def lag(self, standby: int) -> int:
+        """How many ops ``standby`` is behind the stream head."""
+        return self.next_index - self.acked[int(standby)]
+
+    @property
+    def due(self) -> bool:
+        """Whether buffered volume alone warrants a flush."""
+        return any(
+            self.lag(s) >= self.config.batch_ops for s in self.standbys
+        )
+
+    # -- the wire ------------------------------------------------------------
+
+    def flush(self, now: float) -> int:
+        """Ship every standby its unacked suffix; returns messages sent.
+
+        Cumulative and unconditional per standby: anything past the
+        standby's ack goes out (again, if need be) — resends after
+        loss are just flushes.  Standbys with zero lag cost nothing.
+        """
+        sent = 0
+        for standby in self.standbys:
+            if self._flush_one(standby, now):
+                sent += 1
+        self._trim()
+        return sent
+
+    def _flush_one(self, standby: int, now: float) -> bool:
+        acked = self.acked[standby]
+        lag = self.next_index - acked
+        if lag <= 0:
+            return False
+        if self.breakers is not None and not self.breakers.allow(
+            standby, now
+        ):
+            self.stats.backpressure_skips += 1
+            return False
+        behind_buffer = acked < self._base_index
+        if behind_buffer or lag > self.config.catchup_lag:
+            self._send_catchup(standby, now)
+        else:
+            ops = self._ops[acked - self._base_index :]
+            self.send(
+                standby,
+                {
+                    "type": "batch",
+                    "epoch": self.epoch.epoch,
+                    "start_index": acked,
+                    "ops": list(ops),
+                },
+            )
+            self.stats.batches += 1
+            self.stats.ops_shipped += len(ops)
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "replication.batches",
+                    help="log-shipping batches sent",
+                ).inc()
+                self.telemetry.counter(
+                    "replication.ops_shipped",
+                    help="ops shipped (incl. resends)",
+                ).inc(len(ops))
+        self._note_no_progress(standby, now)
+        return True
+
+    def _send_catchup(self, standby: int, now: float) -> None:
+        base_lsn, data = self.wal.copy_out()
+        snapshot = self.snapshots.latest()
+        self.send(
+            standby,
+            {
+                "type": "catchup",
+                "epoch": self.epoch.epoch,
+                # After installing, the standby is current up to here.
+                "start_index": self.next_index,
+                "base_lsn": base_lsn,
+                "wal": data,
+                "snapshot": snapshot.to_dict() if snapshot else None,
+            },
+        )
+        self.stats.catchups += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "replication.catchups",
+                help="anti-entropy catch-up transfers",
+            ).inc()
+
+    def force_catchup(self, standby: int, now: float) -> None:
+        """Ship a full catch-up now (a standby asked to resync)."""
+        self._send_catchup(int(standby), now)
+
+    def _note_no_progress(self, standby: int, now: float) -> None:
+        self._no_progress[standby] += 1
+        if (
+            self.breakers is not None
+            and self._no_progress[standby] >= self.config.failure_after
+        ):
+            self.breakers.record_failure(standby, now)
+            self.stats.breaker_failures += 1
+            self._no_progress[standby] = 0
+
+    def _trim(self) -> None:
+        """Drop buffered ops no standby still needs (capped by retain)."""
+        keep_from = min(
+            (self.acked[s] for s in self.standbys),
+            default=self.next_index,
+        )
+        # Enforce the retention cap even past a laggard's ack; the
+        # laggard falls off the incremental path onto catch-up.
+        floor = self.next_index - self.config.retain_ops
+        keep_from = max(keep_from, floor)
+        cut = keep_from - self._base_index
+        if cut > 0:
+            del self._ops[:cut]
+            self._base_index = keep_from
+            self.stats.trimmed_ops += cut
+
+    def ack(self, standby: int, applied: int, end_lsn: int, now: float) -> None:
+        """A standby's cumulative acknowledgement arrived."""
+        standby = int(standby)
+        if standby not in self.acked:
+            return
+        self.stats.acks += 1
+        if applied > self.acked[standby]:
+            self.acked[standby] = int(applied)
+            self.acked_lsn[standby] = int(end_lsn)
+            self._no_progress[standby] = 0
+            if self.breakers is not None:
+                self.breakers.record_success(standby, now)
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "replication.acks", help="shipping acks received"
+            ).inc()
+            self.telemetry.gauge(
+                "replication.lag_records",
+                help="ops the standby is behind the primary",
+                standby=standby,
+            ).set(self.lag(standby))
+
+
+class StandbyReplica:
+    """Receiver-side half: applies the op stream onto a local WAL/store.
+
+    ``applied_index`` counts ops applied from the stream's beginning;
+    cumulative batches overlapping it are deduplicated op by op, and a
+    batch starting *past* it (prefix lost in transit) is refused — the
+    ack tells the shipper where to resend from.
+    """
+
+    def __init__(
+        self,
+        epoch: EpochState,
+        wal: WriteAheadLog,
+        store: SnapshotStore,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.epoch = epoch
+        self.wal = wal
+        self.store = store
+        self.telemetry = or_null(telemetry)
+        self.applied_index = 0
+        self.batches_applied = 0
+        self.catchups_applied = 0
+        #: Epoch whose op-stream indexing ``applied_index`` refers to.
+        #: A takeover starts a fresh stream at index 0; incremental
+        #: batches from a newer epoch are refused with a ``resync``
+        #: until a catch-up re-bases us onto the new stream.
+        self.stream_epoch = self.epoch.epoch
+
+    def _ack(self) -> Dict:
+        return {
+            "type": "ack",
+            "node": self.epoch.node,
+            "epoch": self.epoch.epoch,
+            "applied": self.applied_index,
+            "end_lsn": self.wal.end_lsn,
+        }
+
+    def _fence(self) -> Dict:
+        return {
+            "type": "fence",
+            "node": self.epoch.node,
+            "epoch": self.epoch.epoch,
+        }
+
+    def receive(self, payload: Dict) -> Optional[Dict]:
+        """Handle one shipping message; returns the reply (or ``None``)."""
+        kind = payload.get("type")
+        if kind == "batch":
+            return self.receive_batch(
+                payload["epoch"], payload["start_index"], payload["ops"]
+            )
+        if kind == "catchup":
+            return self.receive_catchup(
+                payload["epoch"],
+                payload["start_index"],
+                payload["base_lsn"],
+                payload["wal"],
+                payload.get("snapshot"),
+            )
+        raise ValueError(f"StandbyReplica: unknown payload type {kind!r}")
+
+    def receive_batch(
+        self, epoch: int, start_index: int, ops: Sequence[Tuple]
+    ) -> Optional[Dict]:
+        if not self.epoch.admit(epoch):
+            return self._fence()
+        if epoch != self.stream_epoch:
+            return {
+                "type": "resync",
+                "node": self.epoch.node,
+                "epoch": self.epoch.epoch,
+            }
+        if start_index > self.applied_index:
+            # A gap: the suffix we need was lost.  Ack what we have so
+            # the shipper's cumulative resend covers the hole.
+            return self._ack()
+        offset = self.applied_index - start_index
+        for op in list(ops)[offset:]:
+            self._apply(op)
+            self.applied_index += 1
+        self.batches_applied += 1
+        return self._ack()
+
+    def receive_catchup(
+        self,
+        epoch: int,
+        start_index: int,
+        base_lsn: int,
+        data: bytes,
+        snapshot_payload: Optional[Dict],
+    ) -> Optional[Dict]:
+        if not self.epoch.admit(epoch):
+            return self._fence()
+        if epoch == self.stream_epoch and start_index < self.applied_index:
+            # Stale catch-up from before acks we already sent; applying
+            # it would rewind the WAL below what we acked.
+            return self._ack()
+        self.wal.copy_in(base_lsn, data)
+        if snapshot_payload is not None:
+            self.store.save(Snapshot.from_dict(snapshot_payload))
+        self.applied_index = int(start_index)
+        self.stream_epoch = int(epoch)
+        self.catchups_applied += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "replication.catchups_applied",
+                help="catch-up transfers installed on standbys",
+            ).inc()
+        return self._ack()
+
+    def _apply(self, op: Tuple) -> None:
+        tag = op[0]
+        if tag == "append":
+            _, lsn, kind, body = op
+            got = self.wal.append(RecordKind(kind), body)
+            if got != lsn:
+                raise RuntimeError(
+                    f"replica WAL diverged: primary lsn {lsn}, "
+                    f"local lsn {got}"
+                )
+        elif tag == "snapshot":
+            self.store.save(Snapshot.from_dict(op[1]))
+        elif tag == "truncate":
+            self.wal.truncate_prefix(int(op[1]))
+        else:
+            raise ValueError(f"StandbyReplica: unknown op tag {tag!r}")

@@ -254,3 +254,53 @@ class TestValidationMessages:
         )
         assert result.returncode == 0, result.stderr
         assert result.stdout.strip() == "OK"
+
+
+class TestBrokerKills:
+    def test_kill_is_permanent(self):
+        from repro.faults.plan import BrokerKill
+
+        injector = FaultInjector(
+            FaultPlan(broker_kills=(BrokerKill(node=4, at=100.0),))
+        )
+        assert not injector.node_down(4, 99.999)
+        assert injector.node_down(4, 100.0)
+        assert injector.node_down(4, 1e9)  # never restarts
+        assert injector.node_killed(4, 100.0)
+        assert not injector.node_killed(4, 50.0)
+        assert not injector.node_killed(5, 1e9)
+
+    def test_earliest_kill_wins(self):
+        from repro.faults.plan import BrokerKill
+
+        injector = FaultInjector(
+            FaultPlan(
+                broker_kills=(
+                    BrokerKill(node=4, at=200.0),
+                    BrokerKill(node=4, at=50.0),
+                )
+            )
+        )
+        assert injector.node_down(4, 60.0)
+
+    def test_killed_nodes_appear_in_the_fault_state(self):
+        from repro.faults.plan import BrokerKill
+
+        injector = FaultInjector(
+            FaultPlan(broker_kills=(BrokerKill(node=4, at=10.0),))
+        )
+        assert 4 not in injector.state_at(9.0).dead_nodes
+        state = injector.state_at(10.0)
+        assert 4 in state.dead_nodes
+        assert state.link_dead(4, 7)  # any incident link counts as dead
+
+    def test_kills_enable_the_plan(self):
+        from repro.faults.plan import BrokerKill
+
+        assert FaultPlan(broker_kills=(BrokerKill(node=1, at=0.0),)).enabled
+
+    def test_kill_validation(self):
+        from repro.faults.plan import BrokerKill
+
+        with pytest.raises(ValueError):
+            BrokerKill(node=1, at=-0.5)

@@ -1,0 +1,138 @@
+"""Directory-driven retry redirection (epoch-fenced targets)."""
+
+from types import SimpleNamespace
+
+import networkx as nx
+
+from repro.faults import FaultInjector, FaultPlan, ReliableTransport, RetryConfig
+from repro.faults.plan import BrokerCrash
+from repro.network.routing import RoutingTable
+from repro.replication import EpochDirectory
+from repro.simulation import DiscreteEventSimulator
+from repro.simulation.packet_network import PacketNetwork
+
+
+def line_graph():
+    g = nx.Graph()
+    g.add_edge(0, 1, cost=1.0)
+    g.add_edge(1, 2, cost=1.0)
+    g.add_edge(1, 3, cost=1.0)
+    return g
+
+
+def make_stack(plan, directory=None):
+    g = line_graph()
+    simulator = DiscreteEventSimulator()
+    injector = FaultInjector(plan)
+    network = PacketNetwork(
+        SimpleNamespace(graph=g),
+        simulator,
+        routing=RoutingTable(g),
+        injector=injector,
+    )
+    deliveries = []
+    give_ups = []
+    transport = ReliableTransport(
+        network,
+        config=RetryConfig(
+            ack_timeout=10.0, backoff=2.0, max_jitter=0.0, max_attempts=4
+        ),
+        seed=plan.seed + 1,
+        detector=injector,
+        graph=g,
+        on_deliver=lambda target, key, time: deliveries.append(
+            (key, target)
+        ),
+        on_give_up=lambda target, key, reason: give_ups.append(
+            (key, target, reason)
+        ),
+        directory=directory,
+    )
+    return simulator, transport, deliveries, give_ups
+
+
+class TestPublishResolution:
+    def test_targets_resolve_through_the_directory_at_publish(self):
+        directory = EpochDirectory()
+        directory.advance(2, 3, epoch=1)
+        sim, transport, deliveries, give_ups = make_stack(
+            FaultPlan(), directory=directory
+        )
+        transport.publish(0, source=0, targets=[2])
+        sim.run()
+        assert deliveries == [(0, 3)]  # never even aimed at 2
+        assert not give_ups
+        assert transport.stats.redirected == 0
+
+    def test_no_directory_means_no_redirection(self):
+        sim, transport, deliveries, _ = make_stack(FaultPlan())
+        transport.publish(0, source=0, targets=[2])
+        sim.run()
+        assert deliveries == [(0, 2)]
+
+
+class TestRetryRedirection:
+    def test_retry_to_a_fenced_node_migrates_to_its_successor(self):
+        # Node 2 is down for good; the directory learns of its
+        # successor (node 3) only after the first send is in flight.
+        plan = FaultPlan(
+            seed=5, crashes=(BrokerCrash(2, start=0.0, end=1e9),)
+        )
+        directory = EpochDirectory()
+        sim, transport, deliveries, give_ups = make_stack(
+            plan, directory=directory
+        )
+        transport.publish(0, source=0, targets=[2])
+        # The takeover happens while the delivery is pending.
+        sim.schedule(5.0, lambda: directory.advance(2, 3, epoch=1))
+        sim.run()
+        assert deliveries == [(0, 3)]
+        assert not give_ups
+        assert transport.stats.redirected == 1
+        assert transport.stats.gave_up == 0
+
+    def test_redirect_resets_the_retry_budget(self):
+        # Burn attempts against the dead node first: with max_attempts
+        # 4 nearly exhausted, a post-redirect delivery only succeeds
+        # because the budget restarts at the successor.
+        plan = FaultPlan(
+            seed=5, crashes=(BrokerCrash(2, start=0.0, end=1e9),)
+        )
+        directory = EpochDirectory()
+        sim, transport, deliveries, give_ups = make_stack(
+            plan, directory=directory
+        )
+        transport.publish(0, source=0, targets=[2])
+        sim.schedule(65.0, lambda: directory.advance(2, 3, epoch=1))
+        sim.run()
+        assert deliveries == [(0, 3)]
+        assert not give_ups
+        pending = transport._pending[(0, 3)]
+        assert pending.acked
+        assert pending.attempts <= 2
+
+    def test_successor_already_tracked_drops_the_stale_slot(self):
+        plan = FaultPlan(
+            seed=5, crashes=(BrokerCrash(2, start=0.0, end=1e9),)
+        )
+        directory = EpochDirectory()
+        sim, transport, deliveries, give_ups = make_stack(
+            plan, directory=directory
+        )
+        # 3 is both a target in its own right and 2's successor.
+        transport.publish(0, source=0, targets=[2, 3])
+        sim.schedule(5.0, lambda: directory.advance(2, 3, epoch=1))
+        sim.run()
+        assert deliveries == [(0, 3)]  # exactly once, no duplicate
+        assert not give_ups
+        assert (0, 2) not in transport._pending
+
+    def test_without_a_directory_the_dead_target_burns_out(self):
+        plan = FaultPlan(
+            seed=5, crashes=(BrokerCrash(2, start=0.0, end=1e9),)
+        )
+        sim, transport, deliveries, give_ups = make_stack(plan)
+        transport.publish(0, source=0, targets=[2])
+        sim.run()
+        assert not deliveries
+        assert give_ups == [(0, 2, "retry budget exhausted")]

@@ -1,0 +1,46 @@
+"""The deterministic heartbeat failure detector."""
+
+import pytest
+
+from repro.replication import FailureDetector, HeartbeatConfig
+
+
+class TestConfig:
+    def test_defaults_are_sane(self):
+        config = HeartbeatConfig()
+        assert config.timeout > config.interval
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HeartbeatConfig(interval=0.0)
+
+    def test_timeout_must_exceed_interval(self):
+        with pytest.raises(ValueError):
+            HeartbeatConfig(interval=10.0, timeout=10.0)
+
+
+class TestDetector:
+    def test_quiet_peer_becomes_suspected_exactly_past_timeout(self):
+        detector = FailureDetector(HeartbeatConfig(25.0, 80.0), now=0.0)
+        assert not detector.check(80.0)  # silence == timeout: not yet
+        assert detector.check(80.001)
+        assert detector.suspected
+
+    def test_any_traffic_resets_the_clock(self):
+        detector = FailureDetector(HeartbeatConfig(25.0, 80.0), now=0.0)
+        detector.heard(50.0)
+        assert not detector.check(100.0)
+        assert detector.check(131.0)
+
+    def test_heard_is_monotonic(self):
+        detector = FailureDetector(HeartbeatConfig(25.0, 80.0), now=0.0)
+        detector.heard(60.0)
+        detector.heard(10.0)  # a delayed straggler must not rewind
+        assert detector.last_heard == 60.0
+
+    def test_hearing_clears_suspicion(self):
+        detector = FailureDetector(HeartbeatConfig(25.0, 80.0), now=0.0)
+        assert detector.check(200.0)
+        detector.heard(200.0)
+        assert not detector.suspected
+        assert detector.silence_deadline == 280.0

@@ -1,0 +1,261 @@
+"""The WAL shipping protocol: batches, acks, catch-up, backpressure."""
+
+import pytest
+
+from repro.durability import MemoryWAL, RecordKind
+from repro.durability.snapshot import MemorySnapshotStore
+from repro.overload.breaker import BreakerBoard, BreakerConfig
+from repro.replication import (
+    EpochState,
+    LogShipper,
+    ReplicaRole,
+    ShippingConfig,
+    StandbyReplica,
+)
+
+
+def _standby(node=9, epoch=0):
+    state = EpochState(node=node, epoch=epoch, role=ReplicaRole.STANDBY)
+    return StandbyReplica(state, MemoryWAL(), MemorySnapshotStore())
+
+
+class _Rig:
+    """A primary WAL + shipper wired to in-memory standby replicas.
+
+    ``send`` captures every payload; :meth:`deliver` hands the captured
+    traffic to the replicas and routes acks back — with full control
+    over which messages get lost.
+    """
+
+    def __init__(self, standbys=(9,), config=None, breakers=None):
+        self.wal = MemoryWAL()
+        self.snapshots = MemorySnapshotStore()
+        self.epoch = EpochState(node=4, role=ReplicaRole.PRIMARY)
+        self.replicas = {node: _standby(node) for node in standbys}
+        self.outbox = []
+        self.shipper = LogShipper(
+            self.epoch,
+            list(standbys),
+            send=lambda standby, payload: self.outbox.append(
+                (standby, payload)
+            ),
+            wal=self.wal,
+            snapshots=self.snapshots,
+            config=config,
+            breakers=breakers,
+        )
+
+    def journal(self, count, start=0):
+        """Append ``count`` records to the primary WAL and tap them."""
+        for i in range(start, start + count):
+            body = {"seq": i, "targets": [i + 1], "t": 0.0}
+            lsn = self.wal.append(RecordKind.PUBLISH, dict(body))
+            self.shipper.record(lsn, RecordKind.PUBLISH, dict(body))
+
+    def deliver(self, drop=()):
+        """Process the outbox; payloads at indexes in ``drop`` are lost."""
+        traffic, self.outbox = self.outbox, []
+        for index, (standby, payload) in enumerate(traffic):
+            if index in drop:
+                continue
+            reply = self.replicas[standby].receive(payload)
+            if reply is not None and reply["type"] == "ack":
+                self.shipper.ack(
+                    reply["node"], reply["applied"], reply["end_lsn"], 0.0
+                )
+
+
+class TestConfigValidation:
+    def test_retain_must_cover_a_batch(self):
+        with pytest.raises(ValueError):
+            ShippingConfig(batch_ops=16, retain_ops=8)
+
+    def test_positive_knobs(self):
+        with pytest.raises(ValueError):
+            ShippingConfig(batch_ops=0)
+        with pytest.raises(ValueError):
+            ShippingConfig(flush_interval=0.0)
+        with pytest.raises(ValueError):
+            ShippingConfig(catchup_lag=0)
+        with pytest.raises(ValueError):
+            ShippingConfig(failure_after=0)
+
+
+class TestIncrementalShipping:
+    def test_shipped_wal_is_byte_identical(self):
+        rig = _Rig()
+        rig.journal(12)
+        rig.shipper.flush(0.0)
+        rig.deliver()
+        assert rig.replicas[9].wal.copy_out() == rig.wal.copy_out()
+        assert rig.shipper.lag(9) == 0
+
+    def test_lost_batch_is_covered_by_the_next_flush(self):
+        rig = _Rig()
+        rig.journal(5)
+        rig.shipper.flush(0.0)
+        rig.deliver(drop={0})  # batch never arrives
+        rig.journal(5, start=5)
+        rig.shipper.flush(1.0)
+        rig.deliver()
+        assert rig.replicas[9].applied_index == 10
+        assert rig.replicas[9].wal.copy_out() == rig.wal.copy_out()
+
+    def test_duplicate_batch_applies_only_the_overlap(self):
+        rig = _Rig()
+        rig.journal(4)
+        rig.shipper.flush(0.0)
+        traffic = list(rig.outbox)
+        rig.deliver()
+        # Replay the identical batch (network duplication).
+        for standby, payload in traffic:
+            rig.replicas[standby].receive(payload)
+        assert rig.replicas[9].applied_index == 4
+        assert rig.replicas[9].wal.copy_out() == rig.wal.copy_out()
+
+    def test_gap_batch_refused_and_acked_at_current_position(self):
+        replica = _standby()
+        reply = replica.receive_batch(epoch=0, start_index=7, ops=[])
+        assert reply["type"] == "ack"
+        assert reply["applied"] == 0
+        assert replica.applied_index == 0
+
+    def test_slowest_standby_gets_the_full_suffix(self):
+        rig = _Rig(standbys=(9, 8))
+        rig.journal(6)
+        rig.shipper.flush(0.0)
+        # 9's batch arrives, 8's is lost.
+        rig.deliver(drop={1})
+        assert rig.shipper.lag(9) == 0
+        assert rig.shipper.lag(8) == 6
+        rig.shipper.flush(1.0)
+        rig.deliver()
+        assert rig.replicas[8].wal.copy_out() == rig.wal.copy_out()
+
+    def test_due_tracks_batch_threshold(self):
+        rig = _Rig(config=ShippingConfig(batch_ops=4, retain_ops=16))
+        rig.journal(3)
+        assert not rig.shipper.due
+        rig.journal(1, start=3)
+        assert rig.shipper.due
+
+
+class TestCatchUp:
+    def test_trimmed_laggard_falls_onto_anti_entropy(self):
+        rig = _Rig(config=ShippingConfig(batch_ops=2, retain_ops=4))
+        rig.journal(10)
+        rig.shipper.flush(0.0)  # batch lost; flush trims to retain_ops
+        rig.deliver(drop={0})
+        rig.shipper.flush(1.0)  # ack (0) now below the buffer base
+        assert rig.outbox[0][1]["type"] == "catchup"
+        rig.deliver()
+        assert rig.replicas[9].catchups_applied == 1
+        assert rig.replicas[9].applied_index == 10
+        assert rig.replicas[9].wal.copy_out() == rig.wal.copy_out()
+        assert rig.shipper.stats.catchups == 1
+        assert rig.shipper.stats.trimmed_ops > 0
+
+    def test_excessive_lag_prefers_catchup_over_huge_batch(self):
+        rig = _Rig(config=ShippingConfig(batch_ops=2, retain_ops=64,
+                                         catchup_lag=8))
+        rig.journal(20)
+        rig.shipper.flush(0.0)
+        assert rig.outbox[0][1]["type"] == "catchup"
+
+    def test_stale_catchup_does_not_rewind(self):
+        rig = _Rig()
+        rig.journal(6)
+        rig.shipper.flush(0.0)
+        stale = rig.shipper.wal.copy_out()
+        rig.deliver()
+        # A delayed duplicate catch-up from before the acks.
+        reply = rig.replicas[9].receive_catchup(
+            epoch=0, start_index=2, base_lsn=stale[0], data=stale[1],
+            snapshot_payload=None,
+        )
+        assert reply["applied"] == 6
+        assert rig.replicas[9].applied_index == 6
+
+
+class TestEpochHandling:
+    def test_stale_epoch_batch_is_fenced(self):
+        replica = _standby(epoch=2)
+        reply = replica.receive_batch(epoch=1, start_index=0, ops=[])
+        assert reply["type"] == "fence"
+        assert reply["epoch"] == 2
+
+    def test_newer_epoch_batch_requests_resync(self):
+        # A takeover re-bases the op stream at index 0; an incremental
+        # batch from the new primary cannot be applied against the old
+        # stream's applied_index.
+        replica = _standby(epoch=0)
+        reply = replica.receive_batch(epoch=1, start_index=0, ops=[])
+        assert reply["type"] == "resync"
+        assert replica.epoch.epoch == 1  # adopted, but stream unbased
+
+    def test_catchup_rebases_onto_the_new_stream(self):
+        rig = _Rig()
+        rig.journal(3)
+        rig.shipper.flush(0.0)
+        rig.deliver()
+        replica = rig.replicas[9]
+        assert replica.applied_index == 3
+        # New primary at epoch 1 ships its whole WAL from stream 0.
+        new_wal = MemoryWAL()
+        lsns = [
+            new_wal.append(RecordKind.PUBLISH, {"seq": i, "t": 0.0})
+            for i in range(2)
+        ]
+        assert lsns
+        base_lsn, data = new_wal.copy_out()
+        reply = replica.receive_catchup(
+            epoch=1, start_index=2, base_lsn=base_lsn, data=data,
+            snapshot_payload=None,
+        )
+        assert reply["type"] == "ack"
+        assert replica.stream_epoch == 1
+        assert replica.applied_index == 2
+        assert replica.wal.copy_out() == new_wal.copy_out()
+
+    def test_diverged_replica_wal_is_loud(self):
+        replica = _standby()
+        replica.wal.append(RecordKind.PUBLISH, {"seq": 99, "t": 0.0})
+        with pytest.raises(RuntimeError, match="diverged"):
+            replica.receive_batch(
+                epoch=0,
+                start_index=0,
+                ops=[("append", 0, int(RecordKind.PUBLISH), {"seq": 0})],
+            )
+
+
+class TestBackpressure:
+    def test_no_progress_flushes_trip_the_breaker(self):
+        breakers = BreakerBoard(
+            BreakerConfig(failure_threshold=1, reset_timeout=1000.0)
+        )
+        rig = _Rig(
+            config=ShippingConfig(batch_ops=1, retain_ops=8,
+                                  failure_after=1),
+            breakers=breakers,
+        )
+        rig.journal(2)
+        rig.shipper.flush(0.0)  # sends, no ack ever comes back
+        assert rig.shipper.stats.breaker_failures == 1
+        assert 9 in breakers.open_targets()
+        rig.shipper.flush(1.0)  # breaker open: skipped entirely
+        assert rig.shipper.stats.backpressure_skips == 1
+
+    def test_ack_progress_resets_the_failure_streak(self):
+        breakers = BreakerBoard(
+            BreakerConfig(failure_threshold=2, reset_timeout=1000.0)
+        )
+        rig = _Rig(
+            config=ShippingConfig(batch_ops=1, retain_ops=8,
+                                  failure_after=2),
+            breakers=breakers,
+        )
+        rig.journal(1)
+        rig.shipper.flush(0.0)
+        rig.deliver()  # ack lands: progress
+        assert rig.shipper.stats.breaker_failures == 0
+        assert not breakers.open_targets()

@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.simulation",
     "repro.relay",
     "repro.faults",
+    "repro.replication",
     "repro.io",
 ]
 
