@@ -1,0 +1,96 @@
+"""Scale-out — per-shard matching work vs shard count.
+
+Plans the subset→shard assignment at K = 1, 2, 4, 8 over the full
+testbed and routes the event stream through the scattered shards.  The
+scaling claim: the *maximum* per-shard subscription table (the matching
+work a single shard performs) shrinks as shards are added, while
+routing stays O(N) per event and the per-event MatchResults stay
+identical to the unsharded broker's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import Event
+from repro.faults.verifier import build_chaos_testbed
+from repro.sharding import ShardMap, ShardRouter
+from repro.workload import PublicationGenerator
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def sharding_workload(config):
+    broker, density = build_chaos_testbed(
+        seed=config.seed, subscriptions=1000, num_groups=11
+    )
+    points, publishers = PublicationGenerator(
+        density, broker.topology.all_stub_nodes(), seed=config.seed + 5
+    ).generate(config.num_events)
+    return broker, points, publishers
+
+
+def test_bench_sharding_scaling(benchmark, sharding_workload):
+    broker, points, publishers = sharding_workload
+
+    def sweep():
+        rows = []
+        for num_shards in SHARD_COUNTS:
+            shard_map = ShardMap.plan(broker.partition, num_shards)
+            router = ShardRouter(broker, shard_map)
+            routed = 0
+            for sequence in range(len(points)):
+                event = Event.create(
+                    sequence, int(publishers[sequence]), points[sequence]
+                )
+                router.route(event)
+                routed += 1
+            sizes = [len(router.shards[k]) for k in range(num_shards)]
+            rows.append(
+                (
+                    num_shards,
+                    max(sizes),
+                    sum(sizes) / len(sizes),
+                    router.scattered / len(broker.table),
+                    shard_map.imbalance(),
+                    routed,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print("\nScale-out — per-shard matching work vs shard count")
+    print(
+        format_table(
+            (
+                "shards",
+                "max table",
+                "mean table",
+                "scatter x",
+                "imbalance",
+                "events",
+            ),
+            [
+                (
+                    k,
+                    largest,
+                    f"{mean:.0f}",
+                    f"{scatter:.2f}",
+                    f"{imbalance:.3f}",
+                    routed,
+                )
+                for k, largest, mean, scatter, imbalance, routed in rows
+            ],
+        )
+    )
+
+    by_shards = {row[0]: row for row in rows}
+    # One shard holds everything; the scaling claim is that the
+    # heaviest shard's table shrinks monotonically as K grows.
+    assert by_shards[1][1] == len(broker.table)
+    largest = [by_shards[k][1] for k in SHARD_COUNTS]
+    assert all(a >= b for a, b in zip(largest, largest[1:]))
+    assert by_shards[8][1] < len(broker.table)

@@ -67,6 +67,13 @@ from .faults import (
     RetryConfig,
 )
 from .io import load_testbed, save_testbed
+from .sharding import (
+    ConsistentHashRing,
+    Rebalancer,
+    ShardBroker,
+    ShardMap,
+    ShardRouter,
+)
 from .geometry import Interval, Point, Rectangle
 from .network import (
     CostTally,
@@ -132,6 +139,11 @@ __all__ = [
     "RetryConfig",
     "load_testbed",
     "save_testbed",
+    "ConsistentHashRing",
+    "Rebalancer",
+    "ShardBroker",
+    "ShardMap",
+    "ShardRouter",
     "Interval",
     "Point",
     "Rectangle",

@@ -12,6 +12,9 @@ The subcommands cover the library's main workflows::
     repro chaos     --crash-recovery --corrupt-wal torn-tail \\
                     --wal-out broker.wal
     repro chaos     --failover --failover-scenario partition --standbys 2
+    repro chaos     --sharded --shards 4 --sharded-scenario shard-kill
+    repro shard     plan --shards 4
+    repro shard     stats --shards 8 --subscriptions 500
     repro wal       --path broker.wal
     repro stats     --events 200 --loss 0.1 \\
                     [--overload|--crash-recovery|--failover]
@@ -36,7 +39,14 @@ the home broker becomes a replicated group: the primary ships its WAL
 to ranked standbys, a permanent kill (or a partition manufacturing a
 zombie primary) forces an epoch-fenced takeover, and the per-event
 outcome ledger proves ``delivered + shed + expired == published``
-with zero duplicate deliveries across the takeover.  ``repro wal``
+with zero duplicate deliveries across the takeover.  With
+``--sharded`` the broker scales *out*: publications route to the
+shard owning their subset, subscriptions scatter onto every owning
+shard, live migrations move subsets under traffic, and shard kills /
+mid-migration crashes must preserve both the outcome ledger and
+digest-exact match parity with a single unsharded broker.  ``repro
+shard`` prints the subset→shard plan (greedy bin-pack over expected
+load) and the scatter statistics without running chaos.  ``repro wal``
 inspects a log file written with ``--wal-out``: record counts,
 corruption status (exit 1 when the tail is damaged), and the last
 few records.
@@ -289,6 +299,62 @@ def _build_parser() -> argparse.ArgumentParser:
         default=2,
         help="number of ranked standby replicas",
     )
+    sharding = chaos.add_argument_group(
+        "partition-aligned sharding (with --sharded)"
+    )
+    sharding.add_argument(
+        "--sharded",
+        action="store_true",
+        help="scale the broker out over K shards: routed publish, "
+        "scattered subscriptions, live migrations, shard kills and "
+        "mid-migration crashes, verified against the outcome ledger "
+        "and per-event match parity with one unsharded broker",
+    )
+    sharding.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="number of shard brokers (homes: first K transit nodes)",
+    )
+    sharding.add_argument(
+        "--migrations",
+        type=int,
+        default=2,
+        help="live subset migrations in the clean scenario",
+    )
+    sharding.add_argument(
+        "--sharded-scenario",
+        choices=("clean", "shard-kill", "migration-crash"),
+        default="clean",
+        help="clean: loss + live migrations; shard-kill: the busiest "
+        "shard's home is permanently killed; migration-crash: the "
+        "migration source dies mid-copy and the journaled cutover "
+        "must roll forward (default: clean)",
+    )
+
+    shard = commands.add_parser(
+        "shard",
+        help="plan and inspect the subset->shard assignment",
+    )
+    shard_commands = shard.add_subparsers(dest="shard_command", required=True)
+    for verb, description in (
+        ("plan", "greedy bin-pack of the partition onto K shards"),
+        (
+            "stats",
+            "plan + scatter: per-shard subscription counts and load",
+        ),
+    ):
+        sub = shard_commands.add_parser(verb, help=description)
+        sub.add_argument("--seed", type=int, default=2003)
+        sub.add_argument("--subscriptions", type=int, default=300)
+        sub.add_argument("--groups", type=int, default=11)
+        sub.add_argument("--shards", type=int, default=4)
+        sub.add_argument(
+            "--virtual-nodes",
+            type=int,
+            default=64,
+            help="hash-ring points per shard for the catchall cells",
+        )
 
     def add_telemetry_workload_options(sub: argparse.ArgumentParser) -> None:
         # Same knobs as `repro chaos` so `stats`/`trace` replay the
@@ -758,6 +824,149 @@ def _cmd_chaos_failover(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_chaos_sharded(args: argparse.Namespace) -> int:
+    from .faults import (
+        RetryConfig,
+        ShardedChaosSimulation,
+        build_sharded_plan,
+        unsharded_match_digest,
+    )
+    from .faults.verifier import build_chaos_testbed
+    from .sharding import ShardMap
+
+    broker, density = build_chaos_testbed(
+        seed=args.seed,
+        subscriptions=args.subscriptions,
+        num_groups=args.groups,
+    )
+    broker = broker.with_policy(ThresholdPolicy(args.threshold))
+    points, publishers = PublicationGenerator(
+        density, broker.topology.all_stub_nodes(), seed=args.seed + 9
+    ).generate(args.events)
+    horizon = max(float(args.events), 300.0)
+    scenario = args.sharded_scenario
+    try:
+        shard_map = ShardMap.plan(broker.partition, args.shards)
+        plan, homes, planned = build_sharded_plan(
+            broker.topology,
+            shard_map,
+            seed=args.seed,
+            loss=args.loss,
+            duplicate=args.duplicate,
+            scenario=scenario,
+            horizon=horizon,
+            migrations=args.migrations,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    simulation = ShardedChaosSimulation(
+        broker,
+        plan,
+        num_shards=args.shards,
+        shard_homes=homes,
+        migrations=planned,
+    )
+    simulation.transport.config = RetryConfig.for_network(
+        simulation.network, max_attempts=args.max_attempts
+    )
+    report = simulation.run(points, publishers)
+    print(
+        f"sharded run ({scenario}): {broker.topology.num_nodes} nodes, "
+        f"{len(points)} events, {args.shards} shards at homes {homes}"
+    )
+    print(format_table(("metric", "value"), report.summary_rows()))
+    reference = unsharded_match_digest(
+        broker, points, simulation.serviced_sequences
+    )
+    agreed = reference == report.sharded.match_digest
+    print(f"\nunsharded reference digest: {reference}")
+    print(f"digest agreement: {'yes' if agreed else 'NO'}")
+    # The scale-out guarantees: every event in exactly one outcome
+    # bucket, nobody delivered twice, every miss explained by a
+    # physically-severed target, and the sharded MatchResults
+    # digest-identical to a single unsharded broker's.
+    healthy = (
+        report.sharded.accounted
+        and report.duplicate_deliveries == 0
+        and report.sharded.unexplained_misses == 0
+        and report.sharded.match_parity
+        and agreed
+    )
+    if scenario == "shard-kill":
+        healthy = healthy and report.sharded.shard_kills >= 1
+    if scenario == "migration-crash":
+        healthy = (
+            healthy
+            and report.sharded.shard_kills >= 1
+            and report.sharded.migrations_completed
+            + report.sharded.migrations_aborted
+            >= 1
+        )
+    if scenario == "clean":
+        healthy = healthy and report.exactly_once
+    return 0 if healthy else 1
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from .faults.verifier import build_chaos_testbed
+    from .sharding import ShardMap, ShardRouter
+
+    broker, _density = build_chaos_testbed(
+        seed=args.seed,
+        subscriptions=args.subscriptions,
+        num_groups=args.groups,
+    )
+    try:
+        shard_map = ShardMap.plan(
+            broker.partition, args.shards, virtual_nodes=args.virtual_nodes
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.shard_command == "plan":
+        rows = [
+            (
+                f"shard {shard}",
+                f"subsets {shard_map.subsets_of(shard)} "
+                f"load {shard_map.shard_loads()[shard]:.1f}",
+            )
+            for shard in range(shard_map.num_shards)
+        ]
+        rows.append(("imbalance (max/mean)", f"{shard_map.imbalance():.3f}"))
+        print(
+            f"shard plan: {len(broker.partition.groups)} subsets over "
+            f"{args.shards} shards (catchall cells via hash ring, "
+            f"{args.virtual_nodes} virtual nodes each)"
+        )
+        print(format_table(("shard", "assignment"), rows))
+        return 0
+    router = ShardRouter(broker, shard_map)
+    rows = [
+        (
+            f"shard {stat['shard']}",
+            f"subsets {stat['subsets']} "
+            f"subscriptions {stat['subscriptions']} "
+            f"load {stat['planned_load']:.1f}",
+        )
+        for stat in router.shard_stats()
+    ]
+    rows.append(("imbalance (max/mean)", f"{shard_map.imbalance():.3f}"))
+    rows.append(
+        (
+            "scatter factor",
+            f"{router.scattered / max(len(broker.table), 1):.2f} "
+            f"shards/subscription",
+        )
+    )
+    print(
+        f"shard stats: {len(broker.table)} subscriptions scattered "
+        f"into {router.scattered} shard-level registrations"
+    )
+    print(format_table(("shard", "assignment"), rows))
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import ChaosSimulation, RetryConfig
     from .faults.verifier import build_chaos_plan, build_chaos_testbed
@@ -768,6 +977,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             ("--overload", args.overload),
             ("--crash-recovery", args.crash_recovery),
             ("--failover", args.failover),
+            ("--sharded", args.sharded),
         ]
         if active
     ]
@@ -783,6 +993,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return _cmd_chaos_crash_recovery(args)
     if args.failover:
         return _cmd_chaos_failover(args)
+    if args.sharded:
+        return _cmd_chaos_sharded(args)
 
     broker, density = build_chaos_testbed(
         seed=args.seed,
@@ -1258,6 +1470,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": _cmd_tune,
         "experiments": _cmd_experiments,
         "chaos": _cmd_chaos,
+        "shard": _cmd_shard,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "wal": _cmd_wal,

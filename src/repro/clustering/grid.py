@@ -346,6 +346,36 @@ class EventGrid:
             return None
         return tuple(int(x) for x in coords)
 
+    def quantize(self, point: Sequence[float]) -> Tuple[int, ...]:
+        """Unclamped grid coordinates of *any* point, even out of frame.
+
+        Applies the same ceil quantization as :meth:`locate` but never
+        clips: points beyond the frame get coordinates below 0 or at or
+        above ``cells_per_dim``.  A pure function of the grid geometry —
+        the sharding router uses it to hash out-of-frame (catchall)
+        publications onto a stable pseudo-cell.
+        """
+        p = np.asarray(point, dtype=np.float64)
+        if p.shape != (self.ndim,):
+            raise ValueError("point dimensionality mismatch")
+        coords = np.ceil((p - self.frame_lo) / self._width).astype(int) - 1
+        return tuple(int(x) for x in coords)
+
+    def cell_overlaps(
+        self, index: Tuple[int, ...], lows: Sequence[float], highs: Sequence[float]
+    ) -> bool:
+        """Exact half-open overlap between cell ``index`` and ``(lows, highs]``."""
+        return self._cell_intersects(
+            index,
+            np.asarray(lows, dtype=np.float64),
+            np.asarray(highs, dtype=np.float64),
+        )
+
+    @property
+    def cell_width(self) -> np.ndarray:
+        """Per-dimension cell extent (frame span / ``cells_per_dim``)."""
+        return self._width
+
     def top_cells(self, count: int) -> List[GridCell]:
         """The ``T`` highest-weight cells (``p(g)*n(g)``), best first.
 

@@ -82,6 +82,14 @@ class SpacePartition:
             return 0
         return self._cell_to_group.get(cell, 0)
 
+    def group_of_cell(self, index: Tuple[int, ...]) -> int:
+        """Subset owning grid cell ``index``: ``1..n``, or 0 (catchall).
+
+        The cell-granular view of :meth:`locate`, for callers (the
+        sharding router) that enumerate cells instead of points.
+        """
+        return self._cell_to_group.get(tuple(int(x) for x in index), 0)
+
     def group(self, q: int) -> MulticastGroup:
         """The group for subset ``S_q`` (``q`` must be 1-based)."""
         if not 1 <= q <= len(self.groups):

@@ -72,6 +72,9 @@ class RecordKind(enum.IntEnum):
     PUBLISH = 3        # an event-publish intent with its tracked targets
     DELIVER = 4        # one (event, target) delivery completed (acked)
     CHECKPOINT = 5     # a snapshot covering everything before this LSN
+    MIGRATE_BEGIN = 6  # a subset copy to a new shard started (handoff digest)
+    MIGRATE_CUTOVER = 7  # ownership flipped; the shard-map epoch bumped
+    MIGRATE_DONE = 8   # migration finished (or aborted pre-cutover)
 
 
 @dataclass(frozen=True)

@@ -49,7 +49,7 @@ class Testbed:
 
     def publications(
         self, modes: int, count: Optional[int] = None
-    ) -> "Tuple[np.ndarray, np.ndarray]":
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """A seeded publication workload ``(points, publishers)``.
 
         The seed mixes in the mode count so scenarios differ, while

@@ -30,7 +30,13 @@ story, in three layers:
   ranked standbys, permanent broker kills and partitions force
   epoch-fenced takeovers, and a per-event outcome ledger proves
   ``delivered + shed + expired == published`` with zero duplicates
-  across failovers (``repro chaos --failover``).
+  across failovers (``repro chaos --failover``);
+- :mod:`repro.faults.sharded` — the scale-out harness: the workload
+  routed across K shard brokers (:mod:`repro.sharding`) with live
+  migrations, permanent shard kills, mid-migration crashes and
+  partition-stranded shards, proving the same outcome ledger *and*
+  per-event match parity with a single unsharded broker
+  (``repro chaos --sharded``).
 """
 
 from .crash_recovery import (
@@ -59,6 +65,14 @@ from .plan import (
     WalCorruption,
 )
 from .reliable import ReliabilityStats, ReliableTransport, RetryConfig
+from .sharded import (
+    PlannedMigration,
+    ShardedChaosSimulation,
+    ShardedReport,
+    ShardedStats,
+    build_sharded_plan,
+    unsharded_match_digest,
+)
 from .verifier import (
     ChaosReport,
     ChaosSimulation,
@@ -94,6 +108,12 @@ __all__ = [
     "ReliabilityStats",
     "ReliableTransport",
     "RetryConfig",
+    "PlannedMigration",
+    "ShardedChaosSimulation",
+    "ShardedReport",
+    "ShardedStats",
+    "build_sharded_plan",
+    "unsharded_match_digest",
     "ChaosReport",
     "ChaosSimulation",
     "DeliveryLedger",

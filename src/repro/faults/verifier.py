@@ -587,7 +587,7 @@ def build_burst_storm_times(
     bursts: int = 3,
     burst_fraction: float = 0.5,
     burst_interval: float = 0.02,
-) -> "List[float]":
+) -> List[float]:
     """Arrival times for a bursty storm: calm baseline, violent spikes.
 
     A ``burst_fraction`` share of the events is concentrated into
@@ -626,7 +626,7 @@ def build_slow_subscriber_plan(
     slow_delay: float = 40.0,
     slow_loss: float = 0.5,
     dead: bool = False,
-) -> "Tuple[FaultPlan, int]":
+) -> Tuple[FaultPlan, int]:
     """A plan where one deterministic stub subscriber is slow — or dead.
 
     The victim (a stub node drawn from ``seed``) either answers over a
@@ -660,7 +660,7 @@ def build_resubscribe_storm(
     count: int = 50,
     spacing: float = 0.05,
     seed: int = 2003,
-) -> "List[Tuple[float, object]]":
+) -> List[Tuple[float, object]]:
     """A thundering-resubscribe schedule for a dynamic broker.
 
     At time ``at`` a herd of subscribers unsubscribes and immediately
@@ -681,7 +681,7 @@ def build_resubscribe_storm(
     victims = sorted(
         int(v) for v in rng.choice(total, size=count, replace=False)
     )
-    schedule: "List[Tuple[float, object]]" = []
+    schedule: List[Tuple[float, object]] = []
     for index, subscription_id in enumerate(victims):
         subscription = broker.table[subscription_id]
         subscriber = subscription.subscriber

@@ -32,7 +32,7 @@ def covered_cell_range(
     frame_lo: np.ndarray,
     cell_width: np.ndarray,
     cells_per_dim: int,
-) -> "Tuple[np.ndarray, np.ndarray]":
+) -> Tuple[np.ndarray, np.ndarray]:
     """Per-dimension ``[first, last]`` cell coordinates for ``(lo, hi]``.
 
     Cell ``i`` covers ``(frame_lo + i*w, frame_lo + (i+1)*w]``.  The
@@ -67,7 +67,7 @@ def locate_cell(
     frame_hi: np.ndarray,
     cell_width: np.ndarray,
     cells_per_dim: int,
-) -> "np.ndarray | None":
+) -> np.ndarray | None:
     """Cell coordinates of a point, or ``None`` outside the frame.
 
     Half-open convention: a point exactly on the frame's low edge is

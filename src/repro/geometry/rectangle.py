@@ -51,7 +51,7 @@ class Rectangle:
     # -- constructors ------------------------------------------------------
 
     @classmethod
-    def from_intervals(cls, intervals: Sequence[Interval]) -> "Rectangle":
+    def from_intervals(cls, intervals: Sequence[Interval]) -> Rectangle:
         """Build from one :class:`Interval` per dimension."""
         return cls(
             tuple(i.lo for i in intervals),
@@ -61,17 +61,17 @@ class Rectangle:
     @classmethod
     def from_bounds(
         cls, lows: Sequence[float], highs: Sequence[float]
-    ) -> "Rectangle":
+    ) -> Rectangle:
         """Build from parallel low/high sequences (e.g. numpy rows)."""
         return cls(tuple(float(x) for x in lows), tuple(float(x) for x in highs))
 
     @classmethod
-    def cube(cls, lo: float, hi: float, ndim: int) -> "Rectangle":
+    def cube(cls, lo: float, hi: float, ndim: int) -> Rectangle:
         """The N-dimensional cube ``(lo, hi]^ndim``."""
         return cls((lo,) * ndim, (hi,) * ndim)
 
     @classmethod
-    def full(cls, ndim: int) -> "Rectangle":
+    def full(cls, ndim: int) -> Rectangle:
         """The whole space ``R^ndim`` (every side is the full line)."""
         return cls.cube(-math.inf, math.inf, ndim)
 
@@ -122,7 +122,7 @@ class Rectangle:
     def __contains__(self, point: Sequence[float]) -> bool:
         return self.contains_point(point)
 
-    def intersects(self, other: "Rectangle") -> bool:
+    def intersects(self, other: Rectangle) -> bool:
         """Whether the two rectangles share at least one point."""
         self._check_ndim(other)
         if self.is_empty or other.is_empty:
@@ -134,7 +134,7 @@ class Rectangle:
             )
         )
 
-    def contains_rectangle(self, other: "Rectangle") -> bool:
+    def contains_rectangle(self, other: Rectangle) -> bool:
         """Whether ``other ⊆ self``."""
         self._check_ndim(other)
         if other.is_empty:
@@ -150,7 +150,7 @@ class Rectangle:
 
     # -- set operations ----------------------------------------------------------
 
-    def intersection(self, other: "Rectangle") -> "Rectangle":
+    def intersection(self, other: Rectangle) -> Rectangle:
         """The (possibly empty) intersection rectangle."""
         self._check_ndim(other)
         return Rectangle(
@@ -158,7 +158,7 @@ class Rectangle:
             tuple(min(a, b) for a, b in zip(self.highs, other.highs)),
         )
 
-    def hull(self, other: "Rectangle") -> "Rectangle":
+    def hull(self, other: Rectangle) -> Rectangle:
         """Minimum bounding rectangle of the two (ignoring empties)."""
         self._check_ndim(other)
         if self.is_empty:
@@ -170,7 +170,7 @@ class Rectangle:
             tuple(max(a, b) for a, b in zip(self.highs, other.highs)),
         )
 
-    def clip(self, frame: "Rectangle") -> "Rectangle":
+    def clip(self, frame: Rectangle) -> Rectangle:
         """Intersect with a bounded clipping frame (alias of intersection)."""
         return self.intersection(frame)
 
@@ -186,7 +186,7 @@ class Rectangle:
             result *= hi - lo
         return result
 
-    def clipped_volume(self, frame: "Rectangle") -> float:
+    def clipped_volume(self, frame: Rectangle) -> float:
         """Volume of the intersection with a (typically bounded) frame."""
         return self.intersection(frame).volume
 
@@ -221,7 +221,7 @@ class Rectangle:
             np.asarray(self.highs, dtype=np.float64),
         )
 
-    def _check_ndim(self, other: "Rectangle") -> None:
+    def _check_ndim(self, other: Rectangle) -> None:
         if self.ndim != other.ndim:
             raise ValueError(
                 f"dimension mismatch: {self.ndim} vs {other.ndim}"

@@ -190,7 +190,7 @@ class BoundedQueue(Generic[T]):
 
     # -- egress --------------------------------------------------------------
 
-    def poll(self, now: float) -> "Tuple[Optional[T], List[T]]":
+    def poll(self, now: float) -> Tuple[Optional[T], List[T]]:
         """Pop the next live entry.
 
         Returns ``(payload, expired)`` where ``expired`` lists the

@@ -1,0 +1,41 @@
+"""Partition-aligned sharding: the broker scaled out over K shards.
+
+The paper's space partition ``S_0 .. S_n`` is a ready-made shard key:
+each shard owns whole subsets (plus a consistent-hash slice of the
+catchall's cells), publications route to their owner in O(N), and
+subscriptions scatter onto every shard whose cells they overlap — so
+each shard runs the unchanged match → threshold-decide → multicast
+pipeline over a fraction of the subscription table, producing exactly
+the MatchResults a single unsharded broker would.
+
+- :mod:`~repro.sharding.hashing` — the deterministic hash ring.
+- :mod:`~repro.sharding.map` — subset→shard assignment (greedy
+  bin-pack over expected load) with epoch-stamped migrations.
+- :mod:`~repro.sharding.router` — routed publish, scattered
+  subscriptions, global-id dedup.
+- :mod:`~repro.sharding.rebalance` — live migration: durability
+  snapshot handoff, journaled cutover, epoch fencing, overload-driven
+  proposals.
+"""
+
+from .hashing import ConsistentHashRing
+from .map import ShardMap
+from .rebalance import (
+    MigrationPhase,
+    MigrationTicket,
+    Rebalancer,
+    RecoverySummary,
+)
+from .router import RoutedPublish, ShardBroker, ShardRouter
+
+__all__ = [
+    "ConsistentHashRing",
+    "ShardMap",
+    "ShardBroker",
+    "ShardRouter",
+    "RoutedPublish",
+    "Rebalancer",
+    "MigrationPhase",
+    "MigrationTicket",
+    "RecoverySummary",
+]

@@ -1,0 +1,79 @@
+"""Consistent hashing: the catchall's cell-granular shard key.
+
+The space partition gives the sharding layer a natural unit of
+ownership for ``S_1 .. S_n`` — whole subsets — but the catchall
+``S_0`` is everything else: unclustered cells, empty space, and the
+entire region outside the grid frame.  No precomputed load estimate
+exists for it, so the :class:`ShardMap` spreads it *cell-wise* over a
+consistent-hash ring: each grid cell (or out-of-frame pseudo-cell)
+hashes to a point on the ring and belongs to the first shard at or
+after it.
+
+The ring is deterministic — BLAKE2b over stable string keys, no
+process-seeded hashing — so every router, every test, and every
+recovered broker derives the identical cell→shard assignment.
+Virtual nodes smooth the split; :meth:`ConsistentHashRing.owner`
+accepts an exclusion set so the cells of a dead shard redistribute to
+the survivors without moving any other cell (the classic consistent-
+hashing property the rebalancer leans on).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Collection, Iterable, List, Tuple
+
+__all__ = ["ConsistentHashRing"]
+
+
+def _hash64(key: str) -> int:
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Deterministic hash ring over shard ids with virtual nodes."""
+
+    def __init__(self, shards: Iterable[int], virtual_nodes: int = 64):
+        members = sorted({int(s) for s in shards})
+        if not members:
+            raise ValueError(
+                "ConsistentHashRing: need at least one shard on the ring"
+            )
+        if virtual_nodes < 1:
+            raise ValueError(
+                "ConsistentHashRing: virtual_nodes must be >= 1 "
+                f"(got {virtual_nodes})"
+            )
+        self.shards: Tuple[int, ...] = tuple(members)
+        self.virtual_nodes = int(virtual_nodes)
+        points: List[Tuple[int, int]] = []
+        for shard in members:
+            for replica in range(self.virtual_nodes):
+                points.append((_hash64(f"shard:{shard}:vnode:{replica}"), shard))
+        points.sort()
+        self._points = points
+        self._hashes = [h for h, _ in points]
+
+    def owner(self, key: str, exclude: Collection[int] = ()) -> int:
+        """The shard owning ``key`` — first ring point at or after its hash.
+
+        ``exclude`` skips dead shards: the walk continues clockwise
+        until a live shard's virtual node is found, so only keys that
+        hashed onto the dead shard move.
+        """
+        position = bisect.bisect_right(self._hashes, _hash64(f"key:{key}"))
+        count = len(self._points)
+        for step in range(count):
+            shard = self._points[(position + step) % count][1]
+            if shard not in exclude:
+                return shard
+        raise ValueError(
+            "ConsistentHashRing: every shard on the ring is excluded"
+        )
+
+    @staticmethod
+    def cell_key(index: Tuple[int, ...]) -> str:
+        """Stable string key for a grid cell (or pseudo-cell) index."""
+        return "cell:" + ",".join(str(int(x)) for x in index)

@@ -1,0 +1,182 @@
+"""The shard map: which shard owns which piece of the event space.
+
+Ownership follows the paper's space partition (Section 4): each real
+subset ``S_q`` (``q >= 1``) is owned *whole* by exactly one of the
+``K`` shard brokers, so the match → threshold-decide → multicast
+pipeline runs unchanged inside a shard.  Assignment balances
+**expected load** — each subset costs roughly ``|M_q| * (1 +
+expected_waste)``, its multicast group size inflated by the waste the
+clustering already predicted (the ``+1`` keeps zero-waste subsets from
+vanishing from the packing) — greedily: heaviest subset first onto the
+currently lightest shard, ties broken on subset then shard id, so the
+plan is a pure function of the partition.
+
+The catchall ``S_0`` has no group and no load estimate; its cells are
+spread by the :class:`~repro.sharding.hashing.ConsistentHashRing`.
+
+Every ownership *change* (a migration) bumps the map ``epoch`` — the
+fencing token of :mod:`repro.replication.epoch` applied to routing: a
+publication stamped with an older epoch that reaches the old owner is
+stale and must bounce.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Dict, List, Tuple
+
+from ..clustering.groups import MulticastGroup, SpacePartition
+from .hashing import ConsistentHashRing
+
+__all__ = ["ShardMap"]
+
+
+class ShardMap:
+    """Subset → shard assignment with epoch-stamped migrations."""
+
+    def __init__(self, num_shards: int, virtual_nodes: int = 64):
+        if num_shards < 1:
+            raise ValueError(
+                f"ShardMap: num_shards must be >= 1 (got {num_shards})"
+            )
+        self.num_shards = int(num_shards)
+        self.epoch = 0
+        self.migrations = 0
+        self.ring = ConsistentHashRing(range(self.num_shards), virtual_nodes)
+        self._owner: Dict[int, int] = {}
+        self._load: Dict[int, float] = {}
+
+    # -- planning ------------------------------------------------------------
+
+    @staticmethod
+    def expected_load(group: MulticastGroup) -> float:
+        """Packing weight of one subset: members × (1 + expected waste)."""
+        return group.size * (1.0 + group.expected_waste)
+
+    @classmethod
+    def plan(
+        cls,
+        partition: SpacePartition,
+        num_shards: int,
+        virtual_nodes: int = 64,
+    ) -> "ShardMap":
+        """Greedy bin-pack of ``S_1 .. S_n`` onto ``num_shards`` shards."""
+        shard_map = cls(num_shards, virtual_nodes=virtual_nodes)
+        order = sorted(
+            partition.groups,
+            key=lambda g: (-cls.expected_load(g), g.q),
+        )
+        totals = {shard: 0.0 for shard in range(shard_map.num_shards)}
+        for group in order:
+            shard = min(totals, key=lambda s: (totals[s], s))
+            load = cls.expected_load(group)
+            shard_map.assign(group.q, shard, load=load)
+            totals[shard] += load
+        return shard_map
+
+    # -- assignment ----------------------------------------------------------
+
+    def _check_shard(self, shard: int) -> int:
+        shard = int(shard)
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(
+                f"ShardMap: shard {shard} out of range "
+                f"0..{self.num_shards - 1}"
+            )
+        return shard
+
+    def assign(self, q: int, shard: int, load: float = 0.0) -> None:
+        """Give subset ``q`` (1-based) to ``shard`` at plan time."""
+        q = int(q)
+        if q < 1:
+            raise ValueError(
+                f"ShardMap: subset must be >= 1 (got {q}); the catchall "
+                "S_0 is owned cell-wise by the hash ring"
+            )
+        shard = self._check_shard(shard)
+        if q in self._owner:
+            raise ValueError(
+                f"ShardMap: subset {q} already assigned to shard "
+                f"{self._owner[q]}"
+            )
+        self._owner[q] = shard
+        self._load[q] = float(load)
+
+    def migrate(self, q: int, to: int) -> int:
+        """Move subset ``q`` to shard ``to``; returns the new epoch."""
+        owner = self.owner_of_subset(q)
+        to = self._check_shard(to)
+        if to == owner:
+            raise ValueError(
+                f"ShardMap: subset {q} already lives on shard {to}"
+            )
+        self._owner[int(q)] = to
+        self.epoch += 1
+        self.migrations += 1
+        return self.epoch
+
+    # -- resolution ----------------------------------------------------------
+
+    def owner_of_subset(self, q: int) -> int:
+        q = int(q)
+        if q not in self._owner:
+            raise ValueError(
+                f"ShardMap: subset {q} is not assigned to any shard"
+            )
+        return self._owner[q]
+
+    def owner_of_cell(
+        self, index: Tuple[int, ...], exclude: Collection[int] = ()
+    ) -> int:
+        """Ring owner of one catchall cell (or out-of-frame pseudo-cell)."""
+        return self.ring.owner(
+            ConsistentHashRing.cell_key(index), exclude=exclude
+        )
+
+    def subsets_of(self, shard: int) -> List[int]:
+        shard = self._check_shard(shard)
+        return sorted(q for q, s in self._owner.items() if s == shard)
+
+    def load_of_subset(self, q: int) -> float:
+        return self._load.get(int(q), 0.0)
+
+    def shard_loads(self) -> Dict[int, float]:
+        """Summed planned load per shard (catchall excluded — no estimate)."""
+        totals = {shard: 0.0 for shard in range(self.num_shards)}
+        for q, shard in self._owner.items():
+            totals[shard] += self._load.get(q, 0.0)
+        return totals
+
+    def imbalance(self) -> float:
+        """max/mean planned shard load; 1.0 is perfect, 0.0 means empty."""
+        totals = list(self.shard_loads().values())
+        mean = sum(totals) / len(totals)
+        if mean == 0.0:
+            return 0.0
+        return max(totals) / mean
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_state(self) -> Dict:
+        """JSON-ready encoding (same spirit as SpacePartition.to_state)."""
+        return {
+            "num_shards": self.num_shards,
+            "virtual_nodes": self.ring.virtual_nodes,
+            "epoch": self.epoch,
+            "migrations": self.migrations,
+            "owners": [
+                [q, self._owner[q], self._load.get(q, 0.0)]
+                for q in sorted(self._owner)
+            ],
+        }
+
+    @classmethod
+    def restore(cls, state: Dict) -> "ShardMap":
+        shard_map = cls(
+            int(state["num_shards"]),
+            virtual_nodes=int(state.get("virtual_nodes", 64)),
+        )
+        for q, shard, load in state["owners"]:
+            shard_map.assign(int(q), int(shard), load=float(load))
+        shard_map.epoch = int(state.get("epoch", 0))
+        shard_map.migrations = int(state.get("migrations", 0))
+        return shard_map

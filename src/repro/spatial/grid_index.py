@@ -45,7 +45,7 @@ class GridIndexMatcher(PointMatcher):
         self._cells: Dict[Tuple[int, ...], List[int]] = {}
         self._populate()
 
-    def _fit_frame(self) -> "tuple[np.ndarray, np.ndarray]":
+    def _fit_frame(self) -> tuple[np.ndarray, np.ndarray]:
         """Bounding frame over the finite coordinates of the data."""
         finite_lo = np.where(np.isfinite(self._lows), self._lows, np.nan)
         finite_hi = np.where(np.isfinite(self._highs), self._highs, np.nan)
@@ -93,7 +93,7 @@ class GridIndexMatcher(PointMatcher):
             for coords in product(*ranges):
                 self._cells.setdefault(coords, []).append(row)
 
-    def _locate(self, point: np.ndarray) -> "Tuple[int, ...] | None":
+    def _locate(self, point: np.ndarray) -> Tuple[int, ...] | None:
         """Cell coordinates of a point, or None when outside the frame."""
         coords = locate_cell(
             point,

@@ -193,7 +193,7 @@ class MetricFamily:
         self.kind = kind
         self.help = help
         self.bounds = bounds
-        self.children: "Dict[_LabelKey, object]" = {}
+        self.children: Dict[_LabelKey, object] = {}
 
     def child(self, labels: _LabelKey):
         instrument = self.children.get(labels)

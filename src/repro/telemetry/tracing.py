@@ -57,7 +57,7 @@ class Span:
         span_id: str,
         parent_id: Optional[str],
         start: float,
-        tracer: "Optional[Tracer]" = None,
+        tracer: Optional[Tracer] = None,
     ):
         self.name = name
         self.trace_id = trace_id
@@ -77,13 +77,13 @@ class Span:
     def duration(self) -> float:
         return (self.end - self.start) if self.end is not None else 0.0
 
-    def set_attribute(self, key: str, value: object) -> "Span":
+    def set_attribute(self, key: str, value: object) -> Span:
         self.attributes[key] = value
         return self
 
     def finish(
         self, time: Optional[float] = None, status: Optional[str] = None
-    ) -> "Span":
+    ) -> Span:
         """End the span (idempotent); at the injected clock by default."""
         if self.end is None:
             if status is not None:
@@ -130,12 +130,12 @@ class _NullSpan(Span):
     def is_recording(self) -> bool:
         return False
 
-    def set_attribute(self, key: str, value: object) -> "Span":
+    def set_attribute(self, key: str, value: object) -> Span:
         return self
 
     def finish(
         self, time: Optional[float] = None, status: Optional[str] = None
-    ) -> "Span":
+    ) -> Span:
         return self
 
 

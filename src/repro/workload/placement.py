@@ -80,7 +80,7 @@ class SubscriberPlacement:
                 ZipfSampler(len(members), zipf_theta, self._rng)
             )
 
-    def place_one(self) -> "tuple[int, int, int]":
+    def place_one(self) -> tuple[int, int, int]:
         """Draw ``(block, stub, node)`` for one subscription."""
         block = int(
             self._rng.choice(
@@ -93,6 +93,6 @@ class SubscriberPlacement:
         node = self._stub_node_choices[stub][node_rank]
         return block, stub, node
 
-    def place(self, count: int) -> "List[tuple[int, int, int]]":
+    def place(self, count: int) -> List[tuple[int, int, int]]:
         """Draw placements for ``count`` subscriptions."""
         return [self.place_one() for _ in range(count)]

@@ -67,7 +67,7 @@ class GaussianMixture1D:
             raise ValueError("sigmas must be positive")
 
     @classmethod
-    def single(cls, mean: float, sigma: float) -> "GaussianMixture1D":
+    def single(cls, mean: float, sigma: float) -> GaussianMixture1D:
         return cls((1.0,), (mean,), (sigma,))
 
     @property
@@ -181,7 +181,7 @@ class ProductMixtureDistribution:
 
     def per_dimension_masses(
         self, edges: Sequence[np.ndarray]
-    ) -> "List[np.ndarray]":
+    ) -> List[np.ndarray]:
         """Per-dimension interval masses over grid edge arrays.
 
         ``edges[d]`` holds the ``C+1`` cell boundaries of dimension
@@ -274,7 +274,7 @@ class PublicationGenerator:
         self.publisher_nodes = [int(n) for n in publisher_nodes]
         self._rng = np.random.default_rng(seed)
 
-    def generate(self, count: int) -> "tuple[np.ndarray, np.ndarray]":
+    def generate(self, count: int) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(points, publishers)``.
 
         ``points`` is a ``(count, N)`` float array of events;

@@ -1,0 +1,97 @@
+"""Catchall semantics of the space partition: S_0 is a real, stable place.
+
+The sharding layer leans on two properties the paper leaves implicit:
+points outside every clustered subset land in the catchall ``S_0``
+(including points outside the grid frame entirely), and ``locate`` is
+a pure function — identical across repeated calls and across pickle
+round-trips, because the shard router re-derives ownership from it on
+every publish.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.faults.verifier import build_chaos_testbed
+from repro.workload import PublicationGenerator
+
+
+@pytest.fixture(scope="module")
+def partition_and_points():
+    broker, density = build_chaos_testbed(
+        seed=31, subscriptions=200, num_groups=9
+    )
+    points, _ = PublicationGenerator(
+        density, broker.topology.all_stub_nodes(), seed=37
+    ).generate(300)
+    return broker.partition, points
+
+
+class TestCatchallMembership:
+    def test_locate_covers_catchall_and_subsets(self, partition_and_points):
+        partition, points = partition_and_points
+        groups = {g.q for g in partition.groups}
+        located = {partition.locate(p) for p in points}
+        assert located <= groups | {0}
+        assert 0 in located  # the workload exercises the catchall
+
+    def test_out_of_frame_point_is_catchall(self, partition_and_points):
+        partition, _ = partition_and_points
+        grid = partition.grid
+        beyond = np.asarray(grid.frame_hi, dtype=np.float64) + 10.0
+        assert partition.locate(beyond) == 0
+        below = np.asarray(grid.frame_lo, dtype=np.float64) - 10.0
+        assert partition.locate(below) == 0
+
+    def test_group_of_cell_agrees_with_locate(self, partition_and_points):
+        partition, points = partition_and_points
+        grid = partition.grid
+        for point in points[:150]:
+            cell = grid.locate(point)
+            if cell is None:
+                assert partition.locate(point) == 0
+            else:
+                assert partition.group_of_cell(cell) == partition.locate(
+                    point
+                )
+
+    def test_unknown_cell_is_catchall(self, partition_and_points):
+        partition, _ = partition_and_points
+        # A pseudo-cell far outside the frame belongs to no subset.
+        assert partition.group_of_cell((10_000, 10_000)) == 0
+
+
+class TestPurity:
+    def test_locate_is_pure_across_repeated_calls(
+        self, partition_and_points
+    ):
+        partition, points = partition_and_points
+        first = [partition.locate(p) for p in points]
+        second = [partition.locate(p) for p in points]
+        third = [partition.locate(p) for p in reversed(points)]
+        assert first == second == list(reversed(third))
+
+    def test_locate_survives_pickle_round_trip(self, partition_and_points):
+        partition, points = partition_and_points
+        clone = pickle.loads(pickle.dumps(partition))
+        assert [clone.locate(p) for p in points] == [
+            partition.locate(p) for p in points
+        ]
+        grid = partition.grid
+        beyond = np.asarray(grid.frame_hi, dtype=np.float64) + 5.0
+        assert clone.locate(beyond) == partition.locate(beyond) == 0
+
+    def test_quantize_is_pure_geometry(self, partition_and_points):
+        partition, points = partition_and_points
+        grid = partition.grid
+        clone = pickle.loads(pickle.dumps(grid))
+        for point in points[:50]:
+            assert grid.quantize(point) == clone.quantize(point)
+        beyond = np.asarray(grid.frame_hi, dtype=np.float64) + 5.0
+        assert grid.quantize(beyond) == clone.quantize(beyond)
+        # Out-of-frame pseudo-cells sit outside the real cell range.
+        assert any(
+            index >= grid.cells_per_dim or index < 0
+            for index in grid.quantize(beyond)
+        )

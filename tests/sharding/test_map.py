@@ -1,0 +1,193 @@
+"""ShardMap and the consistent-hash ring: planning, misuse, persistence."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.faults.verifier import build_chaos_testbed
+from repro.sharding import ConsistentHashRing, ShardMap
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def partition():
+    broker, _ = build_chaos_testbed(seed=11, subscriptions=200, num_groups=9)
+    return broker.partition
+
+
+class TestConsistentHashRing:
+    def test_owner_is_deterministic(self):
+        a = ConsistentHashRing(range(4))
+        b = ConsistentHashRing(range(4))
+        keys = [ConsistentHashRing.cell_key((i, j)) for i in range(20) for j in range(20)]
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+    def test_all_shards_get_cells(self):
+        ring = ConsistentHashRing(range(4))
+        owners = {
+            ring.owner(ConsistentHashRing.cell_key((i, j)))
+            for i in range(30)
+            for j in range(30)
+        }
+        assert owners == {0, 1, 2, 3}
+
+    def test_exclusion_moves_only_dead_shard_cells(self):
+        ring = ConsistentHashRing(range(4))
+        keys = [ConsistentHashRing.cell_key((i, j)) for i in range(25) for j in range(25)]
+        before = {k: ring.owner(k) for k in keys}
+        after = {k: ring.owner(k, exclude=(2,)) for k in keys}
+        for key in keys:
+            if before[key] != 2:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != 2
+
+    def test_all_excluded_raises(self):
+        ring = ConsistentHashRing(range(2))
+        with pytest.raises(ValueError):
+            ring.owner("cell:0,0", exclude=(0, 1))
+
+    def test_empty_shards_raises(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing([])
+
+    def test_bad_virtual_nodes_raises(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(range(2), virtual_nodes=0)
+
+
+class TestPlan:
+    def test_plan_covers_every_subset_once(self, partition):
+        shard_map = ShardMap.plan(partition, 4)
+        seen = []
+        for shard in range(4):
+            seen.extend(shard_map.subsets_of(shard))
+        assert sorted(seen) == sorted(g.q for g in partition.groups)
+
+    def test_plan_is_pure(self, partition):
+        a = ShardMap.plan(partition, 4)
+        b = ShardMap.plan(partition, 4)
+        assert a.to_state() == b.to_state()
+
+    def test_plan_balances_load(self, partition):
+        shard_map = ShardMap.plan(partition, 4)
+        # Greedy bin-pack: no shard carries more than ~2x the mean.
+        assert 1.0 <= shard_map.imbalance() < 2.0
+
+    def test_single_shard_owns_everything(self, partition):
+        shard_map = ShardMap.plan(partition, 1)
+        assert shard_map.subsets_of(0) == sorted(
+            g.q for g in partition.groups
+        )
+        assert shard_map.imbalance() == 1.0
+
+
+class TestMisuse:
+    """Uniform ValueError messages (the -O test below proves they are
+    real raises, not assert statements stripped by optimization)."""
+
+    def test_zero_shards(self):
+        with pytest.raises(ValueError, match=r"num_shards must be >= 1 \(got 0\)"):
+            ShardMap(0)
+
+    def test_negative_shards(self):
+        with pytest.raises(ValueError, match=r"num_shards must be >= 1 \(got -3\)"):
+            ShardMap(-3)
+
+    def test_assign_catchall(self):
+        with pytest.raises(ValueError, match="catchall S_0 is owned cell-wise"):
+            ShardMap(2).assign(0, 1)
+
+    def test_assign_twice(self):
+        shard_map = ShardMap(2)
+        shard_map.assign(1, 0)
+        with pytest.raises(
+            ValueError, match="subset 1 already assigned to shard 0"
+        ):
+            shard_map.assign(1, 1)
+
+    def test_assign_out_of_range(self):
+        with pytest.raises(ValueError, match=r"shard 5 out of range 0\.\.1"):
+            ShardMap(2).assign(1, 5)
+
+    def test_migrate_to_current_owner(self):
+        shard_map = ShardMap(2)
+        shard_map.assign(3, 1)
+        with pytest.raises(
+            ValueError, match="subset 3 already lives on shard 1"
+        ):
+            shard_map.migrate(3, 1)
+
+    def test_unassigned_subset(self):
+        with pytest.raises(
+            ValueError, match="subset 9 is not assigned to any shard"
+        ):
+            ShardMap(2).owner_of_subset(9)
+
+    def test_misuse_survives_python_O(self):
+        """The guards are ValueError raises, not asserts: they must
+        still fire under ``python -O`` (which strips asserts)."""
+        probe = (
+            "from repro.sharding import ShardMap\n"
+            "assert False\n"  # canary: -O must strip this line
+            "for attempt in ("
+            "lambda: ShardMap(0),"
+            "lambda: ShardMap(2).assign(0, 1),"
+            "lambda: ShardMap(2).assign(1, 5),"
+            "):\n"
+            "    try:\n"
+            "        attempt()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+            "    else:\n"
+            "        raise SystemExit('guard missing under -O')\n"
+            "m = ShardMap(2); m.assign(1, 0)\n"
+            "try:\n"
+            "    m.assign(1, 1)\n"
+            "except ValueError:\n"
+            "    pass\n"
+            "else:\n"
+            "    raise SystemExit('double-assign guard missing under -O')\n"
+            "try:\n"
+            "    m.migrate(1, 0)\n"
+            "except ValueError:\n"
+            "    pass\n"
+            "else:\n"
+            "    raise SystemExit('self-migrate guard missing under -O')\n"
+            "print('OK')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-O", "-c", probe],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+
+
+class TestMigrationAndState:
+    def test_migrate_bumps_epoch(self):
+        shard_map = ShardMap(3)
+        shard_map.assign(1, 0, load=5.0)
+        assert shard_map.epoch == 0
+        assert shard_map.migrate(1, 2) == 1
+        assert shard_map.owner_of_subset(1) == 2
+        assert shard_map.migrations == 1
+        assert shard_map.load_of_subset(1) == 5.0
+
+    def test_state_round_trip(self, partition):
+        shard_map = ShardMap.plan(partition, 4)
+        shard_map.migrate(shard_map.subsets_of(0)[0], 1)
+        restored = ShardMap.restore(shard_map.to_state())
+        assert restored.to_state() == shard_map.to_state()
+        assert restored.epoch == shard_map.epoch
+        # Ring ownership is part of the restored identity too.
+        for i in range(10):
+            assert restored.owner_of_cell((i, i)) == shard_map.owner_of_cell(
+                (i, i)
+            )

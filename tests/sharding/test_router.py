@@ -1,0 +1,131 @@
+"""ShardRouter: routing, scatter, and exact match parity per shard."""
+
+import numpy as np
+import pytest
+
+from repro.core import Event
+from repro.geometry import Rectangle
+from repro.faults.verifier import build_chaos_testbed
+from repro.sharding import ShardMap, ShardRouter
+from repro.workload import PublicationGenerator
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    broker, density = build_chaos_testbed(
+        seed=13, subscriptions=250, num_groups=9
+    )
+    points, publishers = PublicationGenerator(
+        density, broker.topology.all_stub_nodes(), seed=17
+    ).generate(400)
+    return broker, points, publishers
+
+
+@pytest.fixture()
+def router(testbed):
+    broker, _, _ = testbed
+    return ShardRouter(broker, ShardMap.plan(broker.partition, 4))
+
+
+def _assert_parity(broker, router, points, publishers):
+    for sequence in range(len(points)):
+        event = Event.create(
+            sequence, int(publishers[sequence]), points[sequence]
+        )
+        routed = router.route(event)
+        reference = broker.engine.match(event)
+        assert routed.match.subscription_ids == tuple(
+            sorted(int(i) for i in reference.subscription_ids)
+        )
+        assert routed.match.subscribers == tuple(reference.subscribers)
+
+
+class TestRouting:
+    def test_match_parity_with_unsharded_broker(self, testbed, router):
+        broker, points, publishers = testbed
+        _assert_parity(broker, router, points, publishers)
+
+    def test_resolve_is_pure(self, testbed, router):
+        broker, points, _ = testbed
+        first = [router.resolve(p) for p in points]
+        second = [router.resolve(p) for p in points]
+        assert first == second
+
+    def test_subset_events_route_to_subset_owner(self, testbed, router):
+        broker, points, _ = testbed
+        for point in points[:200]:
+            q, shard = router.resolve(point)
+            if q > 0:
+                assert shard == router.map.owner_of_subset(q)
+
+    def test_out_of_frame_point_routes_deterministically(self, router):
+        grid = router.partition.grid
+        outside = grid.frame_hi + 3.0
+        q, shard = router.resolve(outside)
+        assert q == 0
+        assert 0 <= shard < router.map.num_shards
+        assert router.resolve(outside) == (q, shard)
+
+
+class TestScatter:
+    def test_every_shard_sees_its_subscriptions_once(self, testbed, router):
+        broker, _, _ = testbed
+        total = sum(len(router.shards[k]) for k in router.shards)
+        assert total == router.scattered
+        for shard in router.shards.values():
+            ids = shard.subscription_ids
+            assert len(ids) == len(set(ids))
+
+    def test_frame_escaping_rectangle_scatters_everywhere(self, router):
+        grid = router.partition.grid
+        ndim = grid.ndim
+        lows = np.asarray(grid.frame_lo, dtype=np.float64) - 1.0
+        highs = np.asarray(grid.frame_hi, dtype=np.float64)
+        rect = Rectangle(lows, highs)
+        assert router.cells_of_rectangle(rect) is None
+        assert router.shards_of_rectangle(rect) == list(
+            range(router.map.num_shards)
+        )
+        infinite = Rectangle.full(ndim)
+        assert router.shards_of_rectangle(infinite) == list(
+            range(router.map.num_shards)
+        )
+
+    def test_empty_rectangle_scatters_nowhere(self, router):
+        ndim = router.partition.grid.ndim
+        lo = np.full(ndim, 5.0)
+        hi = np.full(ndim, 5.0)
+        rect = Rectangle(lo, hi)
+        assert router.cells_of_rectangle(rect) == []
+        assert router.shards_of_rectangle(rect) == []
+
+
+class TestMapChanges:
+    def test_parity_survives_migration(self, testbed):
+        broker, points, publishers = testbed
+        router = ShardRouter(broker, ShardMap.plan(broker.partition, 4))
+        q = router.map.subsets_of(0)[0]
+        dest = (router.map.owner_of_subset(q) + 1) % 4
+        router.map.migrate(q, dest)
+        # The new owner must pick up the subset's subscriptions, the
+        # old owner must drop the ones it no longer needs.
+        for subscription in router.subscriptions_of_subset(q):
+            router.scatter(subscription)
+        router.refresh_shard(0)
+        _assert_parity(broker, router, points, publishers)
+
+    def test_parity_survives_shard_death(self, testbed):
+        broker, points, publishers = testbed
+        router = ShardRouter(broker, ShardMap.plan(broker.partition, 4))
+        victim = 3
+        # Move the victim's subsets off first (the rebalancer's job),
+        # then mark it down so catchall cells redistribute.
+        for q in router.map.subsets_of(victim):
+            router.map.migrate(q, 0)
+            for subscription in router.subscriptions_of_subset(q):
+                router.scatter(subscription)
+        router.mark_down(victim)
+        for point in points:
+            _, shard = router.resolve(point)
+            assert shard != victim
+        _assert_parity(broker, router, points, publishers)
