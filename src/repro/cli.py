@@ -331,6 +331,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "migration source dies mid-copy and the journaled cutover "
         "must roll forward (default: clean)",
     )
+    cluster = chaos.add_argument_group(
+        "replicated shard cluster (with --cluster)"
+    )
+    cluster.add_argument(
+        "--cluster",
+        action="store_true",
+        help="run the full stack: every shard replicated to ranked "
+        "standbys under a cluster-wide membership detector, with "
+        "shard kills, partitions, mid-copy migration crashes and "
+        "standby WAL corruption answered by fenced takeovers, "
+        "verified against the outcome ledger and unsharded digest "
+        "parity",
+    )
+    cluster.add_argument(
+        "--cluster-scenario",
+        choices=("kill", "partition", "double-kill", "migrate-under-kill"),
+        default="kill",
+        help="kill: the busiest shard's home is permanently killed; "
+        "partition: it is isolated (fenced zombie primary); "
+        "double-kill: the two busiest homes die in sequence; "
+        "migrate-under-kill: the migration source dies mid-copy "
+        "(default: kill)",
+    )
 
     shard = commands.add_parser(
         "shard",
@@ -386,6 +409,24 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="replicate the home broker and kill the primary "
             "mid-stream (replication counters appear in the report)",
+        )
+        sub.add_argument(
+            "--cluster",
+            action="store_true",
+            help="run the replicated shard cluster (membership, "
+            "per-shard failover and takeover counters appear in "
+            "the report)",
+        )
+        sub.add_argument(
+            "--cluster-scenario",
+            choices=(
+                "kill",
+                "partition",
+                "double-kill",
+                "migrate-under-kill",
+            ),
+            default="kill",
+            help="fault scenario for --cluster (default: kill)",
         )
 
     stats = commands.add_parser(
@@ -908,6 +949,104 @@ def _cmd_chaos_sharded(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_chaos_cluster(args: argparse.Namespace) -> int:
+    from .faults import (
+        FullStackChaosSimulation,
+        RetryConfig,
+        build_cluster_plan,
+        unsharded_match_digest,
+    )
+    from .faults.verifier import build_chaos_testbed
+    from .sharding import ShardMap
+
+    broker, density = build_chaos_testbed(
+        seed=args.seed,
+        subscriptions=args.subscriptions,
+        num_groups=args.groups,
+    )
+    broker = broker.with_policy(ThresholdPolicy(args.threshold))
+    points, publishers = PublicationGenerator(
+        density, broker.topology.all_stub_nodes(), seed=args.seed + 9
+    ).generate(args.events)
+    horizon = max(float(args.events), 300.0)
+    scenario = args.cluster_scenario
+    try:
+        shard_map = ShardMap.plan(broker.partition, args.shards)
+        plan, homes, standby_map, planned, corruptions = build_cluster_plan(
+            broker.topology,
+            shard_map,
+            seed=args.seed,
+            loss=args.loss,
+            duplicate=args.duplicate,
+            scenario=scenario,
+            horizon=horizon,
+            standby_count=args.standbys,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    simulation = FullStackChaosSimulation(
+        broker,
+        plan,
+        standby_map,
+        num_shards=args.shards,
+        shard_homes=homes,
+        migrations=planned,
+        corruptions=corruptions,
+    )
+    simulation.transport.config = RetryConfig.for_network(
+        simulation.network, max_attempts=args.max_attempts
+    )
+    report = simulation.run(points, publishers)
+    print(
+        f"cluster run ({scenario}): {broker.topology.num_nodes} nodes, "
+        f"{len(points)} events, {args.shards} replicated shards at "
+        f"homes {homes}, standbys {standby_map}"
+    )
+    print(format_table(("metric", "value"), report.summary_rows()))
+    reference = unsharded_match_digest(
+        broker, points, simulation.serviced_sequences
+    )
+    agreed = reference == report.sharded.match_digest
+    print(f"\nunsharded reference digest: {reference}")
+    print(f"digest agreement: {'yes' if agreed else 'NO'}")
+    # The full-stack guarantees: every event in exactly one outcome
+    # bucket, nobody delivered twice, every miss explained by a
+    # physically-severed target, digest parity with one unsharded
+    # never-failed broker — plus the scenario's takeovers actually
+    # happened instead of falling back to ring exclusion.
+    healthy = (
+        report.sharded.accounted
+        and report.duplicate_deliveries == 0
+        and report.sharded.unexplained_misses == 0
+        and report.sharded.match_parity
+        and agreed
+    )
+    if scenario == "kill":
+        healthy = (
+            healthy
+            and report.cluster.takeovers >= 1
+            and report.cluster.probe_rejections >= 1
+        )
+    if scenario == "partition":
+        healthy = (
+            healthy
+            and report.cluster.takeovers >= 1
+            and report.cluster.stale_rejections >= 1
+        )
+    if scenario == "double-kill":
+        healthy = healthy and report.cluster.takeovers >= 2
+    if scenario == "migrate-under-kill":
+        healthy = (
+            healthy
+            and report.cluster.takeovers >= 1
+            and report.sharded.migrations_completed
+            + report.sharded.migrations_aborted
+            >= 1
+        )
+    return 0 if healthy else 1
+
+
 def _cmd_shard(args: argparse.Namespace) -> int:
     from .faults.verifier import build_chaos_testbed
     from .sharding import ShardMap, ShardRouter
@@ -978,6 +1117,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             ("--crash-recovery", args.crash_recovery),
             ("--failover", args.failover),
             ("--sharded", args.sharded),
+            ("--cluster", args.cluster),
         ]
         if active
     ]
@@ -995,6 +1135,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return _cmd_chaos_failover(args)
     if args.sharded:
         return _cmd_chaos_sharded(args)
+    if args.cluster:
+        return _cmd_chaos_cluster(args)
 
     broker, density = build_chaos_testbed(
         seed=args.seed,
@@ -1064,12 +1206,18 @@ def _run_instrumented(args: argparse.Namespace):
 
     crash_recovery = getattr(args, "crash_recovery", False)
     failover = getattr(args, "failover", False)
+    cluster = getattr(args, "cluster", False)
     if sum(
-        (crash_recovery, failover, bool(getattr(args, "overload", False)))
+        (
+            crash_recovery,
+            failover,
+            cluster,
+            bool(getattr(args, "overload", False)),
+        )
     ) > 1:
         print(
-            "error: --overload, --crash-recovery and --failover are "
-            "mutually exclusive",
+            "error: --overload, --crash-recovery, --failover and "
+            "--cluster are mutually exclusive",
             file=sys.stderr,
         )
         raise SystemExit(2)
@@ -1120,6 +1268,40 @@ def _run_instrumented(args: argparse.Namespace):
         report = simulation.run(
             points, publishers, inter_arrival=inter_arrival
         )
+    elif cluster:
+        from .faults import (
+            FullStackChaosSimulation,
+            RetryConfig,
+            build_cluster_plan,
+        )
+        from .sharding import ShardMap
+
+        num_shards = getattr(args, "shards", 4)
+        shard_map = ShardMap.plan(broker.partition, num_shards)
+        plan, homes, standby_map, planned, corruptions = build_cluster_plan(
+            broker.topology,
+            shard_map,
+            seed=args.seed,
+            loss=args.loss,
+            scenario=getattr(args, "cluster_scenario", "kill"),
+            horizon=max(float(args.events), 300.0),
+            standby_count=getattr(args, "standbys", 2),
+        )
+        simulation = FullStackChaosSimulation(
+            broker,
+            plan,
+            standby_map,
+            num_shards=num_shards,
+            shard_homes=homes,
+            migrations=planned,
+            corruptions=corruptions,
+            telemetry=telemetry,
+        )
+        simulation.transport.config = RetryConfig.for_network(
+            simulation.network,
+            max_attempts=getattr(args, "max_attempts", 6),
+        )
+        report = simulation.run(points, publishers)
     elif getattr(args, "overload", False):
         plan = build_chaos_plan(
             broker.topology,
@@ -1303,6 +1485,59 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "(re-run with --failover for the replicated-group pipeline)"
         )
 
+    # Cluster summary (live when the sharded cluster ran).
+    if metrics.get("cluster.epoch") is not None:
+        cluster_rows = [
+            ("membership view epoch", int(metrics.value("cluster.epoch"))),
+            ("shard takeovers", counter("cluster.takeovers")),
+            (
+                "ring exclusions (last resort)",
+                counter("cluster.ring_exclusions"),
+            ),
+            (
+                "ex-primaries fenced",
+                counter("cluster.fenced"),
+            ),
+            (
+                "writes rejected by fencing",
+                counter("cluster.fenced_writes"),
+            ),
+            (
+                "publishes rerouted after takeover",
+                counter("cluster.failover_reroutes"),
+            ),
+        ]
+        family = metrics.get("cluster.shard_epoch")
+        if family is not None:
+            for labels, metric in sorted(family.children.items()):
+                shard = dict(labels).get("shard", "?")
+                cluster_rows.append(
+                    (f"shard {shard} epoch", int(metric.value))
+                )
+        family = metrics.get("cluster.shard_lag")
+        if family is not None:
+            for labels, metric in sorted(family.children.items()):
+                pair = dict(labels)
+                cluster_rows.append(
+                    (
+                        f"shard {pair.get('shard', '?')} lag @ standby "
+                        f"{pair.get('standby', '?')}",
+                        int(metric.value),
+                    )
+                )
+        duration = metrics.histogram("cluster.takeover_duration")
+        if duration.count:
+            cluster_rows.append(
+                ("takeover duration p95", f"{duration.p95:.1f}")
+            )
+        print("\nshard cluster (membership + per-shard failover):")
+        print(format_table(("signal", "value"), cluster_rows))
+    elif getattr(args, "cluster", False) is False:
+        print(
+            "\nshard cluster: inactive "
+            "(re-run with --cluster for the replicated-shard pipeline)"
+        )
+
     per_link = []
     family = metrics.get("net.link.bytes")
     if family is not None:
@@ -1333,6 +1568,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.trace_out:
         write_spans_jsonl(telemetry.tracer.spans, args.trace_out)
         print(f"wrote {args.trace_out} ({len(telemetry.tracer.spans)} spans)")
+    if hasattr(report, "cluster"):
+        # Full-stack guarantees: ledger closed, zero duplicates, every
+        # miss explained, match parity — and the scenario's kill was
+        # answered by a takeover, not ring exclusion.
+        healthy = (
+            report.sharded.accounted
+            and report.duplicate_deliveries == 0
+            and report.sharded.unexplained_misses == 0
+            and report.sharded.match_parity
+            and report.cluster.takeovers >= 1
+        )
+        return 0 if healthy else 1
     if hasattr(report, "failover"):
         # A permanent kill leaves the killed node's own subscribers
         # unreachable, so exactly-once cannot hold; the replication

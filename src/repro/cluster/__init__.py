@@ -1,0 +1,50 @@
+"""Replicated shard cluster: membership, per-shard failover, takeover.
+
+The paper's §4 placement maps clustered subsets S_1..S_n onto servers
+and assumes the servers stay up.  This package is the high-availability
+closure of that assignment: each shard (one subset group from
+:mod:`repro.sharding`) becomes a :class:`ReplicatedShard` — a primary
+plus a ranked standby set kept current by the log-shipping and epoch
+fencing machinery of :mod:`repro.replication` over the durable WAL of
+:mod:`repro.durability` — while a cluster-wide :class:`Membership`
+detector (suspicion → confirmed-dead hysteresis, epoch-stamped views)
+decides when a shard home is gone and a fenced standby takeover must
+re-home the subset.  The hash ring's ``exclude()`` stranding path from
+PR 6 survives only as the last resort when a shard loses its primary
+*and* every standby.
+
+- :mod:`repro.cluster.membership` — who is alive, suspected, dead;
+  one monotone view epoch over all configuration changes.
+- :mod:`repro.cluster.journal` — :class:`ShardJournal` write-ahead
+  logging of shard entry mutations and publish intents, plus
+  :func:`recover_shard` replay onto the newest valid snapshot.
+- :mod:`repro.cluster.shard` — :class:`ReplicatedShard` wiring one
+  shard broker to its standby set, with :meth:`~ReplicatedShard.
+  takeover` performing the fenced promotion.
+
+The full-stack chaos harness exercising all of it under combined
+failures lives in :mod:`repro.faults.cluster`.
+"""
+
+from .journal import (
+    RecoveredShardState,
+    ShardInflight,
+    ShardJournal,
+    recover_shard,
+)
+from .membership import ClusterView, Membership, MemberState, MembershipConfig
+from .shard import ReplicatedShard, ShardReplicationStats, TakeoverResult
+
+__all__ = [
+    "ClusterView",
+    "Membership",
+    "MemberState",
+    "MembershipConfig",
+    "RecoveredShardState",
+    "ReplicatedShard",
+    "ShardInflight",
+    "ShardJournal",
+    "ShardReplicationStats",
+    "TakeoverResult",
+    "recover_shard",
+]

@@ -36,8 +36,22 @@ story, in three layers:
   migrations, permanent shard kills, mid-migration crashes and
   partition-stranded shards, proving the same outcome ledger *and*
   per-event match parity with a single unsharded broker
-  (``repro chaos --sharded``).
+  (``repro chaos --sharded``);
+- :mod:`repro.faults.cluster` — the full-stack harness: every shard
+  becomes a :mod:`repro.cluster` replicated group with a cluster-wide
+  membership detector, and simultaneous shard kills, partitions,
+  mid-copy migration crashes and standby WAL corruption are answered
+  by fenced standby takeovers instead of stranding, under the same
+  ledger and unsharded-digest parity (``repro chaos --cluster``).
 """
+
+from .cluster import (
+    ClusterReport,
+    ClusterStats,
+    FullStackChaosSimulation,
+    StandbyWALCorruption,
+    build_cluster_plan,
+)
 
 from .crash_recovery import (
     CrashRecoveryReport,
@@ -85,6 +99,11 @@ from .verifier import (
 )
 
 __all__ = [
+    "ClusterReport",
+    "ClusterStats",
+    "FullStackChaosSimulation",
+    "StandbyWALCorruption",
+    "build_cluster_plan",
     "CrashRecoveryReport",
     "CrashRecoverySimulation",
     "DurabilityStats",

@@ -39,9 +39,10 @@ class HeartbeatConfig:
             )
         if self.timeout <= self.interval:
             raise ValueError(
-                f"HeartbeatConfig: timeout ({self.timeout}) must exceed "
-                f"the heartbeat interval ({self.interval}); equal values "
-                "suspect a healthy primary between beats"
+                f"HeartbeatConfig: timeout must exceed the heartbeat "
+                f"interval — equal values suspect a healthy primary "
+                f"between beats (got timeout={self.timeout} vs "
+                f"interval={self.interval})"
             )
 
 

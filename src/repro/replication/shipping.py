@@ -420,6 +420,12 @@ class StandbyReplica:
             ).inc()
         return self._ack()
 
+    def invalidate_stream(self) -> None:
+        """Drop off the incremental stream (local WAL was damaged and
+        scrubbed, so ``applied_index`` no longer describes its bytes);
+        the next batch draws a ``resync`` and a catch-up re-bases us."""
+        self.stream_epoch = -1
+
     def _apply(self, op: Tuple) -> None:
         tag = op[0]
         if tag == "append":

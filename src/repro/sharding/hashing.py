@@ -39,7 +39,8 @@ class ConsistentHashRing:
         members = sorted({int(s) for s in shards})
         if not members:
             raise ValueError(
-                "ConsistentHashRing: need at least one shard on the ring"
+                "ConsistentHashRing: need at least one shard on the ring "
+                "(got none)"
             )
         if virtual_nodes < 1:
             raise ValueError(
@@ -70,7 +71,8 @@ class ConsistentHashRing:
             if shard not in exclude:
                 return shard
         raise ValueError(
-            "ConsistentHashRing: every shard on the ring is excluded"
+            "ConsistentHashRing: every shard on the ring is excluded "
+            f"(got exclude covering all of {list(self.shards)})"
         )
 
     @staticmethod

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import product
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -75,6 +75,12 @@ class ShardBroker:
         self._ids: List[int] = []
         self._engine: Optional[MatchingEngine] = None
         self._dirty = True
+        #: Optional taps for durability/replication layers: called after
+        #: an entry is admitted / removed, with the mutation already
+        #: visible in ``_entries``.  ``on_register(gid, subscriber,
+        #: rectangle)`` / ``on_withdraw(gid)``.
+        self.on_register: Optional[Callable[[int, int, Rectangle], None]] = None
+        self.on_withdraw: Optional[Callable[[int], None]] = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -93,6 +99,10 @@ class ShardBroker:
             subscription.rectangle,
         )
         self._dirty = True
+        if self.on_register is not None:
+            self.on_register(
+                gid, int(subscription.subscriber), subscription.rectangle
+            )
         return True
 
     def withdraw(self, global_ids: Sequence[int]) -> int:
@@ -101,6 +111,8 @@ class ShardBroker:
         for gid in global_ids:
             if self._entries.pop(int(gid), None) is not None:
                 removed += 1
+                if self.on_withdraw is not None:
+                    self.on_withdraw(int(gid))
         if removed:
             self._dirty = True
         return removed
@@ -253,7 +265,11 @@ class ShardRouter:
         ]
 
     def refresh_shard(self, shard_id: int) -> int:
-        """Drop entries a shard no longer owns under the current map."""
+        """Drop entries a shard no longer owns under the current map.
+
+        Idempotent: a second call finds nothing stale and changes
+        nothing (returns 0).
+        """
         shard = self.shards[int(shard_id)]
         stale = [
             gid
@@ -270,7 +286,13 @@ class ShardRouter:
         cells redistribute by ring exclusion, so the survivors must
         pick up the subscriptions overlapping the cells they just
         inherited.  Returns the registrations added.
+
+        Idempotent: marking a shard that is already down is a no-op —
+        re-scattering again would double-count ``scattered`` and churn
+        the survivors' engines for nothing.
         """
+        if int(shard_id) in self.down:
+            return 0
         self.down.add(int(shard_id))
         added = 0
         for subscription in self.broker.table:

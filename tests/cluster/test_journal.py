@@ -1,0 +1,152 @@
+"""ShardJournal: log, checkpoint, and crash-proof shard recovery."""
+
+import pytest
+
+from repro.cluster import ShardJournal, recover_shard
+from repro.core import Subscription
+from repro.durability import MemorySnapshotStore, MemoryWAL, Snapshot
+from repro.geometry import Rectangle
+from repro.sharding import ShardBroker
+
+
+def _rect(lo, hi):
+    return Rectangle((float(lo), float(lo)), (float(hi), float(hi)))
+
+
+def _journaled_shard(checkpoint_every=64):
+    shard = ShardBroker(0, home=0, ndim=2)
+    wal = MemoryWAL()
+    store = MemorySnapshotStore()
+    journal = ShardJournal(
+        shard, wal, store, checkpoint_every=checkpoint_every
+    )
+    shard.on_register = lambda gid, sub, rect: journal.log_register(
+        gid, sub, rect
+    )
+    shard.on_withdraw = lambda gid: journal.log_withdraw(gid)
+    return shard, wal, store, journal
+
+
+class TestRoundTrip:
+    def test_entries_survive_recovery(self):
+        shard, wal, store, _ = _journaled_shard()
+        shard.register(Subscription(3, 30, _rect(0, 2)))
+        shard.register(Subscription(7, 70, _rect(1, 4)))
+        shard.withdraw([3])
+        state = recover_shard(wal, store)
+        assert set(state.entries) == {7}
+        subscriber, rectangle = state.entries[7]
+        assert subscriber == 70
+        assert tuple(rectangle.lows) == (1.0, 1.0)
+        assert state.corruption is None
+        assert state.truncated_bytes == 0
+
+    def test_inflight_retires_on_full_delivery(self):
+        shard, wal, store, journal = _journaled_shard()
+        journal.log_publish(5, publisher=99, targets=[10, 11])
+        journal.log_delivery(5, 10)
+        state = recover_shard(wal, store)
+        assert state.inflight[5].targets == (11,)
+        assert state.inflight[5].publisher == 99
+        journal.log_delivery(5, 11)
+        state = recover_shard(wal, store)
+        assert state.inflight == {}
+        assert journal.inflight_sequences == set()
+
+    def test_duplicate_register_is_not_journaled(self):
+        shard, wal, _, _ = _journaled_shard()
+        subscription = Subscription(3, 30, _rect(0, 2))
+        assert shard.register(subscription)
+        assert not shard.register(subscription)
+        assert len(wal.scan().records) == 1
+
+
+class TestCheckpoint:
+    def test_checkpoint_snapshots_and_truncates(self):
+        shard, wal, store, journal = _journaled_shard()
+        for gid in range(8):
+            shard.register(Subscription(gid, gid * 10, _rect(gid, gid + 1)))
+        snapshot = journal.checkpoint()
+        assert snapshot.table["kind"] == "shard-entries"
+        assert len(snapshot.table["entries"]) == 8
+        assert wal.base_lsn > 0  # prefix gone
+        state = recover_shard(wal, store)
+        assert set(state.entries) == set(range(8))
+        assert state.snapshot_id == snapshot.snapshot_id
+
+    def test_outstanding_intent_holds_back_truncation(self):
+        shard, wal, store, journal = _journaled_shard()
+        journal.log_publish(1, publisher=5, targets=[20])
+        intent_lsn = journal._intent_lsn[1]
+        shard.register(Subscription(9, 90, _rect(0, 1)))
+        journal.checkpoint()
+        # The unfinished publish stays replayable after truncation.
+        assert wal.base_lsn <= intent_lsn
+        state = recover_shard(wal, store)
+        assert state.inflight[1].targets == (20,)
+
+    def test_auto_checkpoint_cadence(self):
+        shard, _, _, journal = _journaled_shard(checkpoint_every=3)
+        journal.log_publish(1, publisher=5, targets=[20, 21])
+        journal.log_delivery(1, 20)  # 2 appends: below the cadence
+        assert journal.checkpoints == 0
+        journal.log_delivery(1, 21)  # 3rd append crosses it
+        assert journal.checkpoints == 1
+
+    def test_checkpoint_every_validated(self):
+        shard = ShardBroker(0, home=0, ndim=2)
+        with pytest.raises(
+            ValueError, match=r"checkpoint_every must be >= 1 \(got 0\)"
+        ):
+            ShardJournal(shard, MemoryWAL(), MemorySnapshotStore(),
+                         checkpoint_every=0)
+
+
+class TestDamage:
+    def test_torn_tail_never_raises(self):
+        shard, wal, store, _ = _journaled_shard()
+        for gid in range(4):
+            shard.register(Subscription(gid, gid, _rect(gid, gid + 1)))
+        wal.tear_tail(5)
+        state = recover_shard(wal, store)
+        assert state.truncated_bytes > 0
+        assert state.corruption is not None
+        # The torn record is lost, everything before it survives.
+        assert set(state.entries) == {0, 1, 2}
+
+    def test_foreign_snapshot_encoding_is_skipped(self):
+        shard, wal, store, _ = _journaled_shard()
+        store.save(
+            Snapshot(
+                snapshot_id=0,
+                checkpoint_lsn=999,
+                table={"kind": "broker-table", "rows": []},
+                removed=[],
+                partition=None,
+                taken_at=0.0,
+            )
+        )
+        shard.register(Subscription(2, 20, _rect(0, 1)))
+        state = recover_shard(wal, store)
+        assert state.skipped == 1
+        assert state.checkpoint_lsn == 0  # foreign snapshot ignored
+        assert set(state.entries) == {2}
+
+
+class TestDigest:
+    def test_digest_is_deterministic(self):
+        states = []
+        for _ in range(2):
+            shard, wal, store, journal = _journaled_shard()
+            shard.register(Subscription(3, 30, _rect(0, 2)))
+            journal.log_publish(5, publisher=9, targets=[10])
+            states.append(recover_shard(wal, store))
+        assert states[0].digest() == states[1].digest()
+
+    def test_digest_covers_entries_and_inflight(self):
+        shard, wal, store, journal = _journaled_shard()
+        shard.register(Subscription(3, 30, _rect(0, 2)))
+        before = recover_shard(wal, store).digest()
+        journal.log_publish(5, publisher=9, targets=[10])
+        after = recover_shard(wal, store).digest()
+        assert before != after

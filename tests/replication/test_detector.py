@@ -1,8 +1,14 @@
 """The deterministic heartbeat failure detector."""
 
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.replication import FailureDetector, HeartbeatConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 class TestConfig:
@@ -11,12 +17,47 @@ class TestConfig:
         assert config.timeout > config.interval
 
     def test_interval_must_be_positive(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(
+            ValueError, match=r"interval must be positive \(got 0.0\)"
+        ):
             HeartbeatConfig(interval=0.0)
 
     def test_timeout_must_exceed_interval(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(
+            ValueError,
+            match=r"timeout must exceed the heartbeat interval.*"
+            r"\(got timeout=10.0 vs interval=10.0\)",
+        ):
             HeartbeatConfig(interval=10.0, timeout=10.0)
+
+    def test_misuse_survives_python_O(self):
+        """The guards are ValueError raises, not asserts: they must
+        still fire under ``python -O`` (which strips asserts)."""
+        probe = (
+            "from repro.replication import HeartbeatConfig\n"
+            "assert False\n"  # canary: -O must strip this line
+            "for attempt in ("
+            "lambda: HeartbeatConfig(interval=0.0),"
+            "lambda: HeartbeatConfig(interval=10.0, timeout=10.0),"
+            "lambda: HeartbeatConfig(interval=10.0, timeout=5.0),"
+            "):\n"
+            "    try:\n"
+            "        attempt()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+            "    else:\n"
+            "        raise SystemExit('guard missing under -O')\n"
+            "print('OK')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-O", "-c", probe],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
 
 
 class TestDetector:

@@ -58,6 +58,69 @@ class TestConsistentHashRing:
         with pytest.raises(ValueError):
             ConsistentHashRing(range(2), virtual_nodes=0)
 
+    def test_all_excluded_message_names_the_ring(self):
+        ring = ConsistentHashRing(range(2))
+        with pytest.raises(
+            ValueError,
+            match=r"every shard on the ring is excluded "
+            r"\(got exclude covering all of \[0, 1\]\)",
+        ):
+            ring.owner("cell:0,0", exclude=(0, 1))
+
+    def test_single_shard_ring_owns_everything(self):
+        ring = ConsistentHashRing([3])
+        keys = [
+            ConsistentHashRing.cell_key((i, j))
+            for i in range(15)
+            for j in range(15)
+        ]
+        assert {ring.owner(k) for k in keys} == {3}
+        with pytest.raises(ValueError, match="every shard"):
+            ring.owner(keys[0], exclude=(3,))
+
+    def test_exclude_then_restore_round_trips_ownership(self):
+        ring = ConsistentHashRing(range(4))
+        keys = [
+            ConsistentHashRing.cell_key((i, j))
+            for i in range(25)
+            for j in range(25)
+        ]
+        before = {k: ring.owner(k) for k in keys}
+        # Kill shard 2, then bring it back: ownership must round-trip
+        # exactly — the ring holds no state about past exclusions.
+        during = {k: ring.owner(k, exclude=(2,)) for k in keys}
+        after = {k: ring.owner(k) for k in keys}
+        assert after == before
+        assert any(before[k] == 2 and during[k] != 2 for k in keys)
+
+    def test_ring_misuse_survives_python_O(self):
+        probe = (
+            "from repro.sharding import ConsistentHashRing\n"
+            "assert False\n"  # canary: -O must strip this line
+            "for attempt in ("
+            "lambda: ConsistentHashRing([]),"
+            "lambda: ConsistentHashRing(range(2), virtual_nodes=0),"
+            "lambda: ConsistentHashRing(range(2)).owner("
+            "'cell:0,0', exclude=(0, 1)),"
+            "):\n"
+            "    try:\n"
+            "        attempt()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+            "    else:\n"
+            "        raise SystemExit('guard missing under -O')\n"
+            "print('OK')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-O", "-c", probe],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src")},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "OK" in result.stdout
+
 
 class TestPlan:
     def test_plan_covers_every_subset_once(self, partition):

@@ -100,6 +100,47 @@ class TestScatter:
         assert router.shards_of_rectangle(rect) == []
 
 
+class TestIdempotency:
+    def test_mark_down_twice_is_a_noop(self, testbed):
+        broker, points, publishers = testbed
+        router = ShardRouter(broker, ShardMap.plan(broker.partition, 4))
+        first = router.mark_down(2)
+        scattered = router.scattered
+        sizes = {k: len(router.shards[k]) for k in router.shards}
+        # Second call: no re-scatter, no double-counting, no churn.
+        assert router.mark_down(2) == 0
+        assert router.scattered == scattered
+        assert {k: len(router.shards[k]) for k in router.shards} == sizes
+        assert first >= 0
+        _assert_parity(broker, router, points, publishers)
+
+    def test_refresh_shard_twice_finds_nothing_stale(self, testbed):
+        broker, _, _ = testbed
+        router = ShardRouter(broker, ShardMap.plan(broker.partition, 4))
+        q = router.map.subsets_of(0)[0]
+        router.map.migrate(q, (router.map.owner_of_subset(q) + 1) % 4)
+        first = router.refresh_shard(0)
+        assert router.refresh_shard(0) == 0
+        assert first >= 0
+
+    def test_mutation_hooks_fire_once_per_change(self, testbed):
+        broker, _, _ = testbed
+        router = ShardRouter(broker, ShardMap.plan(broker.partition, 4))
+        shard = router.shards[0]
+        registered, withdrawn = [], []
+        shard.on_register = lambda gid, sub, rect: registered.append(gid)
+        shard.on_withdraw = lambda gid: withdrawn.append(gid)
+        subscription = broker.table[shard.subscription_ids[0]]
+        # Duplicate registration is deduped and must not re-fire.
+        assert not shard.register(subscription)
+        assert registered == []
+        gid = int(subscription.subscription_id)
+        assert shard.withdraw([gid, gid]) == 1
+        assert withdrawn == [gid]
+        assert shard.register(subscription)
+        assert registered == [gid]
+
+
 class TestMapChanges:
     def test_parity_survives_migration(self, testbed):
         broker, points, publishers = testbed
