@@ -354,6 +354,43 @@ def _build_parser() -> argparse.ArgumentParser:
         "migrate-under-kill: the migration source dies mid-copy "
         "(default: kill)",
     )
+    sessions_group = chaos.add_argument_group(
+        "durable subscriber sessions (with --sessions)"
+    )
+    sessions_group.add_argument(
+        "--sessions",
+        action="store_true",
+        help="run the subscriber-side harness: durable sessions with "
+        "journaled cursors, scripted crash/flap/slow-consumer/poison "
+        "abuse, catch-up replay and dead-letter quarantine, verified "
+        "against the per-(event, session) ledger",
+    )
+    sessions_group.add_argument(
+        "--session-scenario",
+        choices=("crash", "flap", "slow-consumer", "poison"),
+        default="crash",
+        help="crash: the victim subscriber's node crashes and the "
+        "session resumes after the window; flap: three rapid "
+        "detach/resume cycles; slow-consumer: the victim's outbound "
+        "queue sheds under ttl-priority and replay must recover the "
+        "sheds; poison: the victim nacks selected events forever, "
+        "which must land in the dead-letter queue (default: crash)",
+    )
+    sessions_group.add_argument(
+        "--lease",
+        type=float,
+        default=None,
+        help="session lease: how long a detached session holds "
+        "retention before being demoted to ephemeral "
+        "(default: 0.35 x horizon)",
+    )
+    sessions_group.add_argument(
+        "--replay-rate",
+        type=float,
+        default=2.0,
+        help="catch-up replay token-bucket refill rate, "
+        "events/time unit",
+    )
 
     shard = commands.add_parser(
         "shard",
@@ -378,6 +415,41 @@ def _build_parser() -> argparse.ArgumentParser:
             default=64,
             help="hash-ring points per shard for the catchall cells",
         )
+
+    sessions = commands.add_parser(
+        "sessions",
+        help="inspect durable subscriber sessions: the per-session "
+        "cursor table or the dead-letter queue",
+    )
+    session_commands = sessions.add_subparsers(
+        dest="sessions_command", required=True
+    )
+    session_stats = session_commands.add_parser(
+        "stats",
+        help="run one session chaos scenario and print the "
+        "per-session cursor table",
+    )
+    session_stats.add_argument("--seed", type=int, default=2003)
+    session_stats.add_argument("--events", type=int, default=160)
+    session_stats.add_argument(
+        "--scenario",
+        choices=("crash", "flap", "slow-consumer", "poison"),
+        default="crash",
+        help="which subscriber-abuse script to run (default: crash)",
+    )
+    session_dlq = session_commands.add_parser(
+        "dlq",
+        help="run the poison scenario and inspect (optionally "
+        "re-drive) the dead-letter queue",
+    )
+    session_dlq.add_argument("--seed", type=int, default=2003)
+    session_dlq.add_argument("--events", type=int, default=160)
+    session_dlq.add_argument(
+        "--redrive",
+        action="store_true",
+        help="re-attempt every quarantined delivery (the operator "
+        "fixed the consumer) and show the before/after queue",
+    )
 
     def add_telemetry_workload_options(sub: argparse.ArgumentParser) -> None:
         # Same knobs as `repro chaos` so `stats`/`trace` replay the
@@ -1047,6 +1119,131 @@ def _cmd_chaos_cluster(args: argparse.Namespace) -> int:
     return 0 if healthy else 1
 
 
+def _cmd_chaos_sessions(args: argparse.Namespace) -> int:
+    from .faults.sessions import build_session_chaos
+
+    scenario = args.session_scenario
+    overrides = {"replay_rate": args.replay_rate}
+    if args.lease is not None:
+        overrides["lease"] = args.lease
+    try:
+        simulation, points, publishers, arrival_times = (
+            build_session_chaos(
+                scenario,
+                seed=args.seed,
+                events=args.events,
+                subscriptions=args.subscriptions,
+                loss=args.loss,
+                **overrides,
+            )
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    report = simulation.run(points, publishers, arrival_times)
+    print(
+        f"session run ({scenario}): "
+        f"{simulation.broker.topology.num_nodes} nodes, "
+        f"{len(points)} events, {len(report.sessions)} durable "
+        f"sessions (victim {simulation.victim.session_id}, "
+        f"ghost {simulation.ghost.session_id})"
+    )
+    print(format_table(("metric", "value"), report.summary_rows()))
+    # The session guarantees: every matched obligation in exactly one
+    # terminal bucket, no application-level duplicates, the ghost
+    # demoted by lease — plus the scenario's machinery actually fired.
+    healthy = report.at_least_once and report.lease_expirations >= 1
+    if scenario in ("crash", "flap"):
+        victim = simulation.victim.session_id
+        settled = (
+            simulation.delivered_seqs[victim]
+            | {
+                entry.sequence
+                for entry in simulation.dlq.entries()
+                if entry.session_id == victim
+            }
+        )
+        parity = settled == simulation.matched_seqs[victim]
+        print(
+            f"\nvictim catch-up parity: "
+            f"{'yes' if parity else 'NO'} "
+            f"({len(simulation.delivered_seqs[victim])} delivered of "
+            f"{len(simulation.matched_seqs[victim])} matched)"
+        )
+        healthy = healthy and parity and report.replay_sends >= 1
+    if scenario == "slow-consumer":
+        healthy = healthy and report.shed_retained >= 1
+    if scenario == "poison":
+        healthy = healthy and report.dlq_by_reason.get("nack", 0) >= 1
+    return 0 if healthy else 1
+
+
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    from .faults.sessions import build_session_chaos
+
+    scenario = (
+        args.scenario if args.sessions_command == "stats" else "poison"
+    )
+    simulation, points, publishers, arrival_times = build_session_chaos(
+        scenario, seed=args.seed, events=args.events
+    )
+    report = simulation.run(points, publishers, arrival_times)
+
+    if args.sessions_command == "stats":
+        print(
+            f"session cursor table ({scenario}, {len(points)} events):"
+        )
+        print(
+            format_table(
+                (
+                    "session",
+                    "state",
+                    "durability",
+                    "cursor",
+                    "matched",
+                    "delivered",
+                    "dead-lettered",
+                    "expired",
+                ),
+                report.sessions,
+            )
+        )
+        print()
+        print(format_table(("metric", "value"), report.summary_rows()))
+        return 0 if report.at_least_once else 1
+
+    entries = simulation.dlq.entries()
+    print(
+        f"dead-letter queue after the poison scenario "
+        f"({len(entries)} entries):"
+    )
+    print(
+        format_table(
+            ("event", "session", "reason code", "quarantined at", "reason"),
+            [
+                (
+                    entry.sequence,
+                    entry.session_id,
+                    entry.reason_code,
+                    f"{entry.quarantined_at:.1f}",
+                    entry.reason,
+                )
+                for entry in entries
+            ],
+        )
+    )
+    if args.redrive:
+        # The operator fixed the consumer: every re-driven delivery
+        # now succeeds (the poison set is forgiven).
+        simulation._poison.clear()
+        redriven = simulation.dlq.redrive(lambda entry: True)
+        print(
+            f"\nredrive: {len(redriven)} delivered, "
+            f"{len(simulation.dlq)} still quarantined"
+        )
+    return 0 if report.at_least_once and entries else 1
+
+
 def _cmd_shard(args: argparse.Namespace) -> int:
     from .faults.verifier import build_chaos_testbed
     from .sharding import ShardMap, ShardRouter
@@ -1118,6 +1315,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             ("--failover", args.failover),
             ("--sharded", args.sharded),
             ("--cluster", args.cluster),
+            ("--sessions", args.sessions),
         ]
         if active
     ]
@@ -1137,6 +1335,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return _cmd_chaos_sharded(args)
     if args.cluster:
         return _cmd_chaos_cluster(args)
+    if args.sessions:
+        return _cmd_chaos_sessions(args)
 
     broker, density = build_chaos_testbed(
         seed=args.seed,
@@ -1718,6 +1918,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiments": _cmd_experiments,
         "chaos": _cmd_chaos,
         "shard": _cmd_shard,
+        "sessions": _cmd_sessions,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "wal": _cmd_wal,

@@ -95,6 +95,9 @@ class PubSubBroker:
         self.costs = cost_model or DeliveryCostModel(
             topology, telemetry=telemetry
         )
+        #: Optional :class:`~repro.sessions.session.SessionManager`
+        #: observing the publish path (see :meth:`attach_sessions`).
+        self.sessions = None
 
     # -- construction -------------------------------------------------------
 
@@ -194,6 +197,10 @@ class PubSubBroker:
             match_span.set_attribute(
                 "subscribers", match.num_subscribers
             ).finish()
+        if self.sessions is not None:
+            # Retain the event and charge it to every durable session
+            # it matches, *before* any delivery attempt (write-ahead).
+            self.sessions.on_publish(event, match)
         group_size = (
             self.partition.group(q).size if q > 0 else 0
         )
@@ -407,11 +414,24 @@ class PubSubBroker:
         """
         from .. import io as _io
 
-        return {
+        state = {
             "table": _io.table_to_dict(self.table),
             "removed": sorted(getattr(self, "_removed", ()) or ()),
             "partition": self.partition.to_state(),
         }
+        if self.sessions is not None:
+            state["sessions"] = self.sessions.to_state()
+        return state
+
+    def attach_sessions(self, manager) -> None:
+        """Attach a :class:`~repro.sessions.session.SessionManager`.
+
+        Every subsequent :meth:`publish` hands its match result to the
+        manager (retained-log append + per-session outstanding
+        tracking) before routing, and :meth:`durable_state` includes
+        the cursor table so checkpoints cover sessions too.
+        """
+        self.sessions = manager
 
     def with_policy(self, policy: DistributionPolicy) -> "PubSubBroker":
         """A sibling broker sharing all state except the threshold.

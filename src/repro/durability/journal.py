@@ -136,6 +136,22 @@ class BrokerJournal:
             self._intent_targets[int(sequence)] = target_set
         return lsn
 
+    def log_session(self, body: Dict) -> int:
+        """Journal a subscriber-session lifecycle change.
+
+        ``body`` is the session layer's own encoding (see
+        :mod:`repro.sessions.session`); the journal only guarantees it
+        ships to standbys byte-identically and replays on recovery.
+        """
+        return self._append(RecordKind.SESSION, dict(body))
+
+    def log_cursor(self, session_id: str, cursor: int) -> int:
+        """Journal one session's delivery-cursor advance (on ack)."""
+        return self._append(
+            RecordKind.CURSOR,
+            {"id": str(session_id), "cursor": int(cursor)},
+        )
+
     def log_delivery(self, sequence: int, target: int) -> int:
         """Journal one target's acked delivery; retires finished intents."""
         lsn = self._append(
@@ -184,6 +200,7 @@ class BrokerJournal:
             removed=state["removed"],
             partition=state["partition"],
             taken_at=self.wal.clock(),
+            sessions=state.get("sessions"),
         )
         self.store.save(snapshot)
         self._next_snapshot_id += 1

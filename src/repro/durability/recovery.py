@@ -66,6 +66,11 @@ class RecoveredState:
     partition_state: Optional[Dict]
     #: sequence → unfinished delivery (sorted targets), for redelivery.
     inflight: Dict[int, InflightDelivery]
+    #: session id → cursor-table entry (subscriber, sids, state,
+    #: durable, cursor), rebuilt from the snapshot's session table
+    #: plus SESSION/CURSOR records past the checkpoint.  Empty for
+    #: brokers without a session layer.
+    sessions: Dict[str, Dict] = None  # type: ignore[assignment]
     checkpoint_lsn: int = 0
     snapshot_id: Optional[int] = None
     #: Records decoded and applied from the WAL (all kinds).
@@ -96,6 +101,14 @@ class RecoveredState:
             "checkpoint_lsn": self.checkpoint_lsn,
             "valid_end": self.valid_end,
         }
+        if self.sessions:
+            # Only present for session-bearing brokers, so digests of
+            # session-less recoveries match their pinned pre-session
+            # values byte for byte.
+            body["sessions"] = {
+                sid: dict(sorted(entry.items()))
+                for sid, entry in sorted(self.sessions.items())
+            }
         canonical = json.dumps(
             body, sort_keys=True, separators=(",", ":")
         )
@@ -154,11 +167,19 @@ def recover(
         checkpoint_lsn = snapshot.checkpoint_lsn
         snapshot_id = snapshot.snapshot_id
 
+    sessions: Dict[str, Dict] = {}
+    if snapshot is not None and snapshot.sessions:
+        sessions = {
+            str(sid): dict(entry)
+            for sid, entry in snapshot.sessions.items()
+        }
+
     state = RecoveredState(
         table=table,
         removed=removed,
         partition_state=partition_state,
         inflight={},
+        sessions=sessions,
         checkpoint_lsn=checkpoint_lsn,
         snapshot_id=snapshot_id,
         truncated_bytes=truncated,
@@ -208,6 +229,46 @@ def recover(
                     entry["targets"].discard(int(body["target"]))
                     if not entry["targets"]:
                         del pending[int(body["seq"])]
+            elif record.kind is RecordKind.SESSION:
+                if record.lsn < checkpoint_lsn:
+                    continue  # already folded into the snapshot's table
+                action = str(body["action"])
+                sid = str(body["id"])
+                if action == "register":
+                    state.sessions[sid] = {
+                        "subscriber": int(body["subscriber"]),
+                        "sids": sorted(int(x) for x in body["sids"]),
+                        "state": "live",
+                        "durable": True,
+                        "cursor": int(body.get("cursor", 0)),
+                        "lease": float(body["lease"]),
+                    }
+                elif action in ("detach", "resume", "expire"):
+                    entry = state.sessions.get(sid)
+                    if entry is None:
+                        state.skipped += 1
+                        continue
+                    if action == "detach":
+                        entry["state"] = "detached"
+                        entry["detached_at"] = float(body["t"])
+                    elif action == "resume":
+                        entry["state"] = "live"
+                        entry.pop("detached_at", None)
+                    else:
+                        entry["durable"] = False
+                else:
+                    state.skipped += 1
+                    continue
+            elif record.kind is RecordKind.CURSOR:
+                if record.lsn < checkpoint_lsn:
+                    continue
+                entry = state.sessions.get(str(body["id"]))
+                if entry is None:
+                    state.skipped += 1
+                    continue
+                entry["cursor"] = max(
+                    int(entry.get("cursor", 0)), int(body["cursor"])
+                )
             # CHECKPOINT markers are informational; the snapshot store
             # is the authority on which checkpoint actually survived.
         except (KeyError, TypeError, ValueError):

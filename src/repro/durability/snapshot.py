@@ -61,10 +61,15 @@ class Snapshot:
     partition: Optional[Dict] = None
     #: Simulated time the checkpoint was taken (injected clock).
     taken_at: float = 0.0
+    #: :meth:`repro.sessions.session.SessionManager.to_state` encoding
+    #: of the subscriber-session cursor table, or ``None`` when the
+    #: broker has no session layer attached.  Omitted from the
+    #: serialized payload (and the digest) when absent, so snapshots
+    #: from session-less brokers are byte-identical to format v1.
+    sessions: Optional[Dict] = None
 
-    def to_dict(self) -> Dict:
-        payload = {
-            "format_version": _FORMAT_VERSION,
+    def _payload_body(self) -> Dict:
+        body = {
             "snapshot_id": self.snapshot_id,
             "checkpoint_lsn": self.checkpoint_lsn,
             "table": self.table,
@@ -72,21 +77,21 @@ class Snapshot:
             "partition": self.partition,
             "taken_at": float(self.taken_at),
         }
+        if self.sessions:
+            body["sessions"] = self.sessions
+        return body
+
+    def to_dict(self) -> Dict:
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            **self._payload_body(),
+        }
         payload["digest"] = self.digest()
         return payload
 
     def digest(self) -> str:
         """Content digest (excludes the digest field itself)."""
-        body = _canonical(
-            {
-                "snapshot_id": self.snapshot_id,
-                "checkpoint_lsn": self.checkpoint_lsn,
-                "table": self.table,
-                "removed": sorted(int(x) for x in self.removed),
-                "partition": self.partition,
-                "taken_at": float(self.taken_at),
-            }
-        )
+        body = _canonical(self._payload_body())
         return hashlib.blake2b(body.encode("utf-8"), digest_size=16).hexdigest()
 
     @classmethod
@@ -103,6 +108,7 @@ class Snapshot:
             removed=[int(x) for x in payload.get("removed", [])],
             partition=payload.get("partition"),
             taken_at=float(payload.get("taken_at", 0.0)),
+            sessions=payload.get("sessions"),
         )
         stored = payload.get("digest")
         if stored is not None and stored != snapshot.digest():

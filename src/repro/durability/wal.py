@@ -75,6 +75,9 @@ class RecordKind(enum.IntEnum):
     MIGRATE_BEGIN = 6  # a subset copy to a new shard started (handoff digest)
     MIGRATE_CUTOVER = 7  # ownership flipped; the shard-map epoch bumped
     MIGRATE_DONE = 8   # migration finished (or aborted pre-cutover)
+    EVENT = 9          # a published event retained for session replay
+    SESSION = 10       # a subscriber-session lifecycle change
+    CURSOR = 11        # a session's delivery cursor advanced (on ack)
 
 
 @dataclass(frozen=True)
@@ -266,12 +269,25 @@ class WriteAheadLog:
         ``lsn`` — *and* no live in-flight intent sits below it — the
         prefix is dead weight.  Surviving records keep their LSNs via
         ``base_lsn``.  Returns the number of bytes dropped.
+
+        ``lsn`` must not exceed :attr:`end_lsn`: silently clamping a
+        past-head cut would discard records the caller believes are
+        retained (the retention low-water contract — truncating at
+        exactly a live cursor's LSN must *keep* that record).
+        Truncating at or below ``base_lsn`` is a no-op, and truncating
+        at exactly ``end_lsn`` empties the log.
         """
         base = self.base_lsn
         if lsn <= base:
             return 0
         data = self._load()
-        cut = min(lsn - base, len(data))
+        end = base + len(data)
+        if lsn > end:
+            raise ValueError(
+                f"truncate_prefix: lsn {lsn} lies past the log head "
+                f"{end} (base_lsn {base})"
+            )
+        cut = lsn - base
         self._store(base + cut, data[cut:])
         return cut
 

@@ -42,7 +42,13 @@ story, in three layers:
   membership detector, and simultaneous shard kills, partitions,
   mid-copy migration crashes and standby WAL corruption are answered
   by fenced standby takeovers instead of stranding, under the same
-  ledger and unsharded-digest parity (``repro chaos --cluster``).
+  ledger and unsharded-digest parity (``repro chaos --cluster``);
+- :mod:`repro.faults.sessions` — the subscriber-side harness: durable
+  sessions (:mod:`repro.sessions`) at deterministic stub nodes abused
+  by scripted crash / flap / slow-consumer / poison scenarios, with a
+  per-(event, session) ledger proving ``delivered + deadlettered +
+  expired == matched`` with zero duplicates across reconnects and
+  catch-up replay (``repro chaos --sessions``).
 """
 
 from .cluster import (
@@ -78,7 +84,19 @@ from .plan import (
     TransmissionFate,
     WalCorruption,
 )
-from .reliable import ReliabilityStats, ReliableTransport, RetryConfig
+from .reliable import (
+    FailureReason,
+    ReliabilityStats,
+    ReliableTransport,
+    RetryConfig,
+)
+from .sessions import (
+    SESSION_SCENARIOS,
+    SessionChaosSimulation,
+    SessionReport,
+    build_session_chaos,
+    select_session_nodes,
+)
 from .sharded import (
     PlannedMigration,
     ShardedChaosSimulation,
@@ -124,9 +142,15 @@ __all__ = [
     "LinkFault",
     "LinkOutage",
     "TransmissionFate",
+    "FailureReason",
     "ReliabilityStats",
     "ReliableTransport",
     "RetryConfig",
+    "SESSION_SCENARIOS",
+    "SessionChaosSimulation",
+    "SessionReport",
+    "build_session_chaos",
+    "select_session_nodes",
     "PlannedMigration",
     "ShardedChaosSimulation",
     "ShardedReport",

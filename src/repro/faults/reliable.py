@@ -39,7 +39,39 @@ from ..telemetry.base import Telemetry, or_null
 from ..telemetry.tracing import Span
 from .plan import FaultState
 
-__all__ = ["RetryConfig", "ReliabilityStats", "ReliableTransport"]
+__all__ = [
+    "FailureReason",
+    "RetryConfig",
+    "ReliabilityStats",
+    "ReliableTransport",
+]
+
+
+class FailureReason(str):
+    """A give-up reason carrying a machine-readable code.
+
+    A plain ``str`` subclass so every existing consumer of the
+    ``on_give_up`` reason (ledgers, reports, format strings) keeps
+    working unchanged; new consumers (the dead-letter queue) branch on
+    :attr:`code` instead of parsing prose.  Codes:
+
+    - ``"timeout"`` — the retry budget died without a single response;
+    - ``"nack"`` — the receiver actively rejected at least one attempt
+      (a poison delivery, not a connectivity problem);
+    - ``"breaker-open"`` — an open circuit breaker short-circuited the
+      target before any send.
+    """
+
+    TIMEOUT = "timeout"
+    NACK = "nack"
+    BREAKER_OPEN = "breaker-open"
+
+    code: str
+
+    def __new__(cls, text: str, code: str) -> "FailureReason":
+        reason = super().__new__(cls, text)
+        reason.code = code
+        return reason
 
 
 @dataclass(frozen=True)
@@ -108,12 +140,17 @@ class ReliabilityStats:
     gave_up: int = 0              # targets abandoned after the budget
     short_circuited: int = 0      # targets fast-failed by an open breaker
     wiped: int = 0                # in-flight deliveries lost to a crash
+    nacks_sent: int = 0           # receiver-side rejections sent
+    nacks_received: int = 0       # rejections that reached the sender
+    cancelled: int = 0            # deliveries withdrawn via cancel_target
 
 
 class _Pending:
     """Sender-side state for one (message, target) delivery."""
 
-    __slots__ = ("source", "target", "attempts", "acked", "failed", "span")
+    __slots__ = (
+        "source", "target", "attempts", "acked", "failed", "nacks", "span",
+    )
 
     def __init__(self, source: int, target: int):
         self.source = source
@@ -121,6 +158,7 @@ class _Pending:
         self.attempts = 0
         self.acked = False
         self.failed = False
+        self.nacks = 0
         self.span: Optional[Span] = None
 
 
@@ -166,6 +204,16 @@ class ReliableTransport:
         success, exhausted budgets feed it failure, so a permanently
         dead subscriber is isolated after ``failure_threshold``
         give-ups and re-probed once per ``reset_timeout``.
+    acceptor:
+        Optional receiver-side gate ``(target, key, time) -> bool``
+        consulted at each *first* application-level arrival.  ``True``
+        accepts (deliver + ack, the default behaviour); ``False``
+        rejects the delivery with a **nack** back to the sender — the
+        poison-message path.  A nacked delivery is not marked seen, so
+        retries keep re-offering it; when the retry budget dies after
+        at least one nack the give-up reason carries code ``"nack"``
+        instead of ``"timeout"``, which is what lets a dead-letter
+        queue distinguish a poison payload from a dead subscriber.
     directory:
         Optional role directory exposing ``resolve(node) -> int`` (an
         :class:`~repro.replication.epoch.EpochDirectory` fits).
@@ -189,6 +237,7 @@ class ReliableTransport:
         breakers: Optional[BreakerBoard] = None,
         on_ack: Optional[Callable[[int, int, float], None]] = None,
         directory=None,
+        acceptor: Optional[Callable[[int, int, float], bool]] = None,
     ):
         self.network = network
         self.simulator = network.simulator
@@ -202,6 +251,7 @@ class ReliableTransport:
         self.telemetry = or_null(telemetry)
         self.breakers = breakers
         self.directory = directory
+        self.acceptor = acceptor
         self.stats = ReliabilityStats()
         self._pending: Dict[Tuple[int, int], _Pending] = {}
         self._seen: Dict[int, Set[int]] = {}
@@ -295,7 +345,14 @@ class ReliableTransport:
                 telemetry.event(
                     "short-circuit", parent=parent_span, target=target
                 )
-            self.on_give_up(target, key, "short-circuited (breaker open)")
+            self.on_give_up(
+                target,
+                key,
+                FailureReason(
+                    "short-circuited (breaker open)",
+                    FailureReason.BREAKER_OPEN,
+                ),
+            )
         return admitted
 
     def _resolve(self, node: int) -> int:
@@ -408,7 +465,17 @@ class ReliableTransport:
                     pending.span.finish(status="gave_up")
             if self.breakers is not None:
                 self.breakers.record_failure(target, self.simulator.now)
-            self.on_give_up(target, key, "retry budget exhausted")
+            if pending.nacks > 0:
+                reason = FailureReason(
+                    "retry budget exhausted "
+                    f"(rejected by receiver, {pending.nacks} nacks)",
+                    FailureReason.NACK,
+                )
+            else:
+                reason = FailureReason(
+                    "retry budget exhausted", FailureReason.TIMEOUT
+                )
+            self.on_give_up(target, key, reason)
             return
         path = None
         if (
@@ -471,8 +538,16 @@ class ReliableTransport:
         Duplicates (retransmissions or injected duplication) are
         suppressed before the application sees them, but always
         re-acked — the duplicate usually means the previous ack died.
+        A delivery the :attr:`acceptor` rejects is nacked instead and
+        *not* marked seen, so the sender's retries keep offering it
+        (the receiver may recover) until the budget dies with a
+        ``"nack"``-coded reason.
         """
         seen = self._seen.setdefault(target, set())
+        if key not in seen and self.acceptor is not None:
+            if not self.acceptor(target, key, time):
+                self._send_nack(key, source, target)
+                return
         if key in seen:
             self.stats.duplicates_suppressed += 1
             if self.telemetry.enabled:
@@ -529,6 +604,36 @@ class ReliableTransport:
         else:
             self.network.send_unicast(target, source, arrived)
 
+    def _send_nack(self, key: int, source: int, target: int) -> None:
+        """Return a rejection to the sender over the same lossy network."""
+        self.stats.nacks_sent += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "transport.nacks_sent",
+                help="receiver-side delivery rejections sent",
+            ).inc()
+        if target == source:
+            self._nack_arrived(key, target)
+            return
+        arrived = lambda _node, _time: self._nack_arrived(key, target)
+        self.network.send_unicast(target, source, arrived)
+
+    def _nack_arrived(self, key: int, target: int) -> None:
+        pending = self._pending.get((key, target))
+        if pending is None or pending.acked or pending.failed:
+            return
+        pending.nacks += 1
+        self.stats.nacks_received += 1
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "transport.nacks_received",
+                help="delivery rejections that reached the sender",
+            ).inc()
+            if pending.span is not None:
+                self.telemetry.event(
+                    "nack", parent=pending.span, nacks=pending.nacks
+                )
+
     def _ack_arrived(self, key: int, target: int) -> None:
         pending = self._pending.get((key, target))
         if pending is None or pending.acked:
@@ -581,6 +686,41 @@ class ReliableTransport:
                 help="in-flight deliveries lost to a broker crash",
             ).inc(len(wiped))
         return wiped
+
+    def cancel_target(self, target: int) -> List[int]:
+        """Withdraw every in-flight delivery addressed to ``target``.
+
+        The session layer's detach hook: when a subscriber disconnects
+        (or its node crashes), its unacked deliveries must stop
+        consuming retry budget *without* being declared failed — the
+        session keeps them outstanding and the catch-up replayer will
+        re-send them on resume.  Like :meth:`wipe_pending` this fires
+        neither ``on_give_up`` nor the breakers; unlike it, it is
+        scoped to one target and keeps that target's dedup state (the
+        replay path relies on it to suppress redelivery of anything
+        the application already consumed).  Returns the cancelled
+        message keys, sorted.
+        """
+        target = int(target)
+        cancelled = sorted(
+            key
+            for (key, node), pending in self._pending.items()
+            if node == target and not pending.acked and not pending.failed
+        )
+        for key in cancelled:
+            pending = self._pending.pop((key, target))
+            if pending.span is not None:
+                pending.span.finish(status="cancelled")
+            ack_span = self._ack_spans.pop((key, target), None)
+            if ack_span is not None:
+                ack_span.finish(status="cancelled")
+        self.stats.cancelled += len(cancelled)
+        if cancelled and self.telemetry.enabled:
+            self.telemetry.counter(
+                "transport.cancelled",
+                help="in-flight deliveries withdrawn on session detach",
+            ).inc(len(cancelled))
+        return cancelled
 
     # -- introspection -------------------------------------------------------
 

@@ -1,0 +1,41 @@
+"""Durable subscriber sessions: at-least-once delivery across crashes.
+
+The live path delivers whatever matches *right now*; this package
+makes that guarantee survive the subscriber going away.  Four pieces:
+
+* :mod:`~repro.sessions.log` — the :class:`RetainedEventLog`, an
+  LSN-addressable WAL of published events per home broker, bounded by
+  count/age retention that always yields to the cursor low-water mark.
+* :mod:`~repro.sessions.session` — :class:`SubscriberSession` (a
+  journaled delivery cursor advanced only on ack, a lease, a
+  lifecycle) and the :class:`SessionManager` that owns the table.
+* :mod:`~repro.sessions.replay` — the :class:`CatchupReplayer`, which
+  re-matches the reconnect gap ``[cursor, head)`` with the paper's
+  matching engine and streams it through the ordinary reliable
+  transport under a token-bucket budget.
+* :mod:`~repro.sessions.dlq` — the :class:`DeadLetterQueue`, where
+  poison deliveries land (with structured reason codes) instead of
+  pinning cursors forever.
+
+The ledger invariant the chaos harness checks: every event a durable
+session matched is exactly one of **delivered** (acked), **dead-
+lettered**, or **expired** with the lease of the ephemeral-demoted
+session that was owed it — and never delivered twice.
+"""
+
+from .dlq import DeadLetterEntry, DeadLetterQueue
+from .log import RetainedEvent, RetainedEventLog, RetentionPolicy
+from .replay import CatchupReplayer
+from .session import SessionManager, SessionState, SubscriberSession
+
+__all__ = [
+    "RetainedEvent",
+    "RetainedEventLog",
+    "RetentionPolicy",
+    "SessionManager",
+    "SessionState",
+    "SubscriberSession",
+    "CatchupReplayer",
+    "DeadLetterEntry",
+    "DeadLetterQueue",
+]

@@ -115,6 +115,46 @@ class TestLsnStability:
         assert wal.truncate_prefix(first) == 0
         assert wal.base_lsn == second
 
+    def test_truncate_empty_log_at_base_is_a_noop(self, make_wal):
+        wal = make_wal()
+        assert wal.truncate_prefix(wal.base_lsn) == 0
+        assert wal.base_lsn == wal.end_lsn
+
+    def test_truncate_at_head_empties_but_keeps_lsn_space(self, make_wal):
+        wal = make_wal()
+        for i in range(3):
+            wal.append(RecordKind.DELIVER, {"seq": i, "target": i})
+        base, head = wal.base_lsn, wal.end_lsn
+        dropped = wal.truncate_prefix(head)
+        assert dropped == head - base  # every retained byte went
+        assert wal.base_lsn == wal.end_lsn == head
+        assert wal.scan().records == ()
+        # The LSN space continues monotonically after a full truncation.
+        next_lsn = wal.append(RecordKind.DELIVER, {"seq": 9, "target": 9})
+        assert next_lsn == head
+
+    def test_truncate_past_head_raises_with_context(self, make_wal):
+        # Must be a plain raise (not an assert): the message has to
+        # survive `python -O`.
+        wal = make_wal()
+        wal.append(RecordKind.DELIVER, {"seq": 0, "target": 0})
+        with pytest.raises(ValueError, match="lies past the log head"):
+            wal.truncate_prefix(wal.end_lsn + 1)
+
+    def test_truncate_at_record_lsn_keeps_that_record(self, make_wal):
+        # An LSN names a record's *first* byte: truncating at it drops
+        # only the strictly-below prefix, so the record survives — the
+        # contract retention's cursor low-water mark relies on.
+        wal = make_wal()
+        lsns = [
+            wal.append(RecordKind.DELIVER, {"seq": i, "target": i})
+            for i in range(2)
+        ]
+        wal.truncate_prefix(lsns[1])
+        (survivor,) = wal.scan().records
+        assert survivor.lsn == lsns[1]
+        assert survivor.body["seq"] == 1
+
     def test_scan_from_lsn_seeks(self, make_wal):
         wal = make_wal()
         lsns = [

@@ -5,7 +5,13 @@ from types import SimpleNamespace
 import networkx as nx
 import pytest
 
-from repro.faults import FaultInjector, FaultPlan, ReliableTransport, RetryConfig
+from repro.faults import (
+    FailureReason,
+    FaultInjector,
+    FaultPlan,
+    ReliableTransport,
+    RetryConfig,
+)
 from repro.faults.plan import BrokerCrash, LinkFault
 from repro.network.routing import RoutingTable
 from repro.simulation import DiscreteEventSimulator
@@ -28,7 +34,7 @@ def diamond_graph():
     return g
 
 
-def make_stack(plan, config=None, hop_retries=0, graph=None):
+def make_stack(plan, config=None, hop_retries=0, graph=None, **transport_kwargs):
     """(simulator, network, transport, deliveries) over the diamond."""
     g = graph if graph is not None else diamond_graph()
     simulator = DiscreteEventSimulator()
@@ -61,6 +67,7 @@ def make_stack(plan, config=None, hop_retries=0, graph=None):
         on_give_up=lambda target, key, reason: give_ups.append(
             (key, target, reason)
         ),
+        **transport_kwargs,
     )
     return simulator, network, transport, deliveries, give_ups
 
@@ -232,3 +239,108 @@ class TestRetryConfig:
                 assert 0.0 <= ja < a.config.max_jitter
         c = ReliableTransport(network, seed=6)
         assert a._jitter(0, 5, 1) != c._jitter(0, 5, 1)
+
+
+class TestFailureReasons:
+    """Give-ups carry a structured reason code (the DLQ's input)."""
+
+    def test_timeout_exhaustion_is_coded_timeout(self):
+        g = nx.Graph()
+        g.add_edge(0, 1, cost=1.0)
+        g.add_edge(1, 2, cost=1.0)
+        plan = FaultPlan(seed=2, link_faults=(LinkFault(1, 2, loss=1.0),))
+        sim, _net, transport, _deliveries, give_ups = make_stack(
+            plan, graph=g
+        )
+        transport.publish(0, source=0, targets=[2])
+        sim.run()
+        ((_key, _target, reason),) = give_ups
+        assert isinstance(reason, FailureReason)
+        assert reason.code == FailureReason.TIMEOUT == "timeout"
+        # It still behaves as the plain string older consumers expect.
+        assert reason == "retry budget exhausted"
+
+    def test_nack_exhaustion_is_coded_nack(self):
+        sim, _net, transport, deliveries, give_ups = make_stack(
+            FaultPlan(), acceptor=lambda target, key, time: False
+        )
+        transport.publish(0, source=0, targets=[5])
+        sim.run()
+        assert deliveries == []
+        ((_key, _target, reason),) = give_ups
+        assert reason.code == FailureReason.NACK
+        assert "nack" in str(reason)
+        assert transport.stats.nacks_sent >= 1
+        assert transport.stats.nacks_received >= 1
+
+    def test_breaker_short_circuit_is_coded_breaker_open(self):
+        from repro.overload import BreakerBoard
+
+        breakers = BreakerBoard()
+        for _ in range(3):  # default config: 3 strikes open the breaker
+            breakers.record_failure(5, 0.0)
+        sim, _net, transport, deliveries, give_ups = make_stack(
+            FaultPlan(), breakers=breakers
+        )
+        transport.publish(0, source=0, targets=[2, 5])
+        sim.run()
+        # The open breaker fast-fails 5 without spending any attempts;
+        # 2 is unaffected.
+        assert [d[:2] for d in deliveries] == [(0, 2)]
+        ((_key, target, reason),) = give_ups
+        assert target == 5
+        assert reason.code == FailureReason.BREAKER_OPEN
+        assert transport.stats.short_circuited == 1
+
+    def test_nacked_attempt_is_not_marked_seen(self):
+        # A rejected delivery must stay deliverable: only the *offer*
+        # was refused, so a later attempt the acceptor admits goes
+        # through — rejecting via dedup would swallow it forever.
+        offers = {"n": 0}
+
+        def accept_second_offer(target, key, time):
+            offers["n"] += 1
+            return offers["n"] > 1
+
+        sim, _net, transport, deliveries, give_ups = make_stack(
+            FaultPlan(), acceptor=accept_second_offer
+        )
+        transport.publish(0, source=0, targets=[5])
+        sim.run()
+        assert not give_ups
+        assert [d[:2] for d in deliveries] == [(0, 5)]
+        assert transport.stats.nacks_sent == 1
+
+
+class TestCancelTarget:
+    def test_cancel_drops_pending_without_a_give_up(self):
+        # A detached session's in-flight deliveries are withdrawn
+        # silently: no give-up callback, no breaker feedback.
+        g = nx.Graph()
+        g.add_edge(0, 1, cost=1.0)
+        g.add_edge(1, 2, cost=1.0)
+        plan = FaultPlan(seed=2, link_faults=(LinkFault(1, 2, loss=1.0),))
+        sim, _net, transport, deliveries, give_ups = make_stack(
+            plan, graph=g
+        )
+        transport.publish(0, source=0, targets=[2])
+        cancelled = transport.cancel_target(2)
+        sim.run()
+        assert cancelled == [0]
+        assert transport.stats.cancelled == 1
+        assert deliveries == []
+        assert give_ups == []
+        assert transport.unacked() == []
+
+    def test_cancel_keeps_receiver_dedup_state(self):
+        sim, _net, transport, deliveries, _give_ups = make_stack(FaultPlan())
+        transport.publish(0, source=0, targets=[2])
+        sim.run()
+        assert [d[:2] for d in deliveries] == [(0, 2)]
+        transport.cancel_target(2)
+        # Re-sending the same key after a cancel is suppressed by the
+        # surviving dedup state — acked, but never re-delivered.
+        transport.publish(0, source=0, targets=[2])
+        sim.run()
+        assert [d[:2] for d in deliveries] == [(0, 2)]
+        assert transport.stats.acked == 2

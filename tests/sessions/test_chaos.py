@@ -1,0 +1,198 @@
+"""The session chaos harness: the ledger must close under every abuse.
+
+Each scenario fixture runs once per module; every test then interrogates
+the same report, so the whole file costs four harness runs (plus two
+small ones for determinism).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import SESSION_SCENARIOS, build_session_chaos
+
+EVENTS = 120
+SEED = 2003
+
+
+def run_scenario(scenario, seed=SEED, events=EVENTS, **overrides):
+    simulation, points, publishers, times = build_session_chaos(
+        scenario, seed=seed, events=events, **overrides
+    )
+    report = simulation.run(points, publishers, times)
+    return simulation, report
+
+
+@pytest.fixture(scope="module", params=SESSION_SCENARIOS)
+def scenario_run(request):
+    return request.param, *run_scenario(request.param)
+
+
+def victim_terminal_seqs(simulation):
+    """Sequences the victim session saw settle (delivered or DLQ'd)."""
+    victim_id = simulation.victim.session_id
+    dlq = {
+        entry.sequence
+        for entry in simulation.dlq.entries()
+        if entry.session_id == victim_id
+    }
+    return simulation.delivered_seqs[victim_id] | dlq, dlq
+
+
+class TestLedger:
+    def test_every_obligation_lands_in_exactly_one_bucket(self, scenario_run):
+        _scenario, _sim, report = scenario_run
+        assert report.accounted, (
+            f"unsettled={report.unsettled} "
+            f"{report.delivered}+{report.deadlettered}"
+            f"+{report.expired_ephemeral} != {report.matched}"
+        )
+        assert (
+            report.delivered + report.deadlettered + report.expired_ephemeral
+            == report.matched
+        )
+
+    def test_no_application_level_duplicates(self, scenario_run):
+        _scenario, _sim, report = scenario_run
+        assert report.duplicates == 0
+        assert report.at_least_once
+
+    def test_ghost_session_expires_by_lease(self, scenario_run):
+        _scenario, simulation, report = scenario_run
+        assert report.lease_expirations >= 1
+        ghost = simulation.ghost
+        assert not ghost.durable
+        # Everything the ghost was owed at expiry became "expired".
+        expired = {
+            seq
+            for (seq, sid), outcome in simulation.outcomes.items()
+            if sid == ghost.session_id and outcome == "expired"
+        }
+        assert report.expired_ephemeral >= len(expired) > 0
+
+    def test_control_sessions_see_their_full_matched_sets(self, scenario_run):
+        # Sessions the scenario never touches must end exactly parity:
+        # delivered ∪ dead-lettered == matched, per session.
+        _scenario, simulation, _report = scenario_run
+        skip = {
+            simulation.victim.session_id,
+            simulation.ghost.session_id,
+        }
+        for session_id, matched in simulation.matched_seqs.items():
+            if session_id in skip:
+                continue
+            dlq = {
+                entry.sequence
+                for entry in simulation.dlq.entries()
+                if entry.session_id == session_id
+            }
+            assert simulation.delivered_seqs[session_id] | dlq == matched
+
+
+class TestCrash:
+    @pytest.fixture(scope="class")
+    def crash(self):
+        return run_scenario("crash")
+
+    def test_victim_catches_up_to_a_never_crashed_subscriber(self, crash):
+        simulation, report = crash
+        terminal, _dlq = victim_terminal_seqs(simulation)
+        # The post-resume delivery set equals the full matched set: the
+        # crash is invisible in what the subscriber ultimately saw.
+        assert terminal == simulation.matched_seqs[
+            simulation.victim.session_id
+        ]
+        assert report.replay_sends >= 1
+        assert report.convergences >= 1
+
+    def test_victim_cursor_reaches_the_head(self, crash):
+        simulation, _report = crash
+        assert simulation.victim.durable
+        assert not simulation.victim.outstanding
+        assert simulation.victim.cursor == simulation.log.head
+
+    def test_detach_cancels_inflight_deliveries(self, crash):
+        _simulation, report = crash
+        assert report.cancelled >= 1
+
+
+class TestFlap:
+    def test_three_flaps_heal_with_zero_duplicates(self):
+        simulation, report = run_scenario("flap")
+        assert report.at_least_once
+        assert report.demotions + report.convergences >= 3
+        terminal, _ = victim_terminal_seqs(simulation)
+        assert terminal == simulation.matched_seqs[
+            simulation.victim.session_id
+        ]
+
+
+class TestSlowConsumer:
+    def test_shed_events_reappear_via_replay(self):
+        simulation, report = run_scenario("slow-consumer")
+        assert report.shed_retained >= 1
+        assert report.at_least_once
+        terminal, _ = victim_terminal_seqs(simulation)
+        assert terminal == simulation.matched_seqs[
+            simulation.victim.session_id
+        ]
+
+
+class TestPoison:
+    def test_poison_events_dead_letter_with_nack_reason(self):
+        simulation, report = run_scenario("poison")
+        assert report.at_least_once
+        assert report.dlq_by_reason.get("nack", 0) >= 1
+        victim_id = simulation.victim.session_id
+        nacked = {
+            entry.sequence
+            for entry in simulation.dlq.entries()
+            if entry.session_id == victim_id
+            and entry.reason_code == "nack"
+        }
+        # Every poison event the victim was charged ends in the DLQ,
+        # never in the delivered set.
+        poison_charged = (
+            simulation._poison & simulation.matched_seqs[victim_id]
+        )
+        assert poison_charged
+        assert poison_charged <= nacked
+        assert not poison_charged & simulation.delivered_seqs[victim_id]
+
+    def test_dlq_entries_are_redrivable(self):
+        simulation, _report = run_scenario("poison")
+        before = len(simulation.dlq)
+        assert before >= 1
+        simulation._poison.clear()  # operator fixed the consumer
+        succeeded = simulation.dlq.redrive(lambda entry: True)
+        assert len(succeeded) == before
+        assert len(simulation.dlq) == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self):
+        _sim_a, report_a = run_scenario("crash")
+        _sim_b, report_b = run_scenario("crash")
+        assert report_a.digest == report_b.digest
+        assert report_a.delivered == report_b.delivered
+        assert report_a.dlq_by_reason == report_b.dlq_by_reason
+
+    def test_different_seed_different_digest(self):
+        _sim_a, report_a = run_scenario("poison", events=80)
+        _sim_b, report_b = run_scenario("poison", events=80, seed=SEED + 1)
+        assert report_a.digest != report_b.digest
+
+
+class TestValidation:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown session scenario"):
+            run_scenario("meteor-strike")
+
+    def test_report_surface(self):
+        _simulation, report = run_scenario("crash", events=60)
+        rows = dict(report.summary_rows())
+        assert rows["scenario"] == "crash"
+        assert rows["ledger accounted"] == "yes"
+        assert rows["at-least-once"] == "yes"
+        assert "digest" in rows
+        assert report.retained_events >= 0

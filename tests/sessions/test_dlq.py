@@ -1,0 +1,64 @@
+"""Dead-letter quarantine: reason codes, inspection, redrive."""
+
+from __future__ import annotations
+
+from repro.faults.reliable import FailureReason
+from repro.sessions import DeadLetterQueue
+
+
+def test_quarantine_extracts_structured_reason_code():
+    dlq = DeadLetterQueue(clock=lambda: 42.0)
+    entry = dlq.quarantine(
+        7,
+        "sess-3",
+        3,
+        FailureReason("rejected by receiver (2 nacks)", FailureReason.NACK),
+    )
+    assert entry.sequence == 7
+    assert entry.session_id == "sess-3"
+    assert entry.subscriber == 3
+    assert entry.reason_code == "nack"
+    assert "rejected" in entry.reason
+    assert entry.quarantined_at == 42.0
+    assert entry.attempts == 0
+    assert len(dlq) == 1
+
+
+def test_plain_string_reason_defaults_to_timeout_code():
+    dlq = DeadLetterQueue()
+    entry = dlq.quarantine(0, "s", 1, "gave up")
+    assert entry.reason_code == "timeout"
+
+
+def test_by_reason_counts_per_code():
+    dlq = DeadLetterQueue()
+    dlq.quarantine(0, "a", 1, FailureReason("x", FailureReason.TIMEOUT))
+    dlq.quarantine(1, "a", 1, FailureReason("x", FailureReason.NACK))
+    dlq.quarantine(2, "b", 2, FailureReason("x", FailureReason.NACK))
+    assert dlq.by_reason() == {"nack": 2, "timeout": 1}
+
+
+def test_entries_returns_a_copy_in_quarantine_order():
+    dlq = DeadLetterQueue()
+    dlq.quarantine(5, "a", 1, "late")
+    dlq.quarantine(3, "a", 1, "late")
+    entries = dlq.entries()
+    assert [e.sequence for e in entries] == [5, 3]
+    entries.clear()
+    assert len(dlq) == 2
+
+
+def test_redrive_removes_successes_and_requeues_failures():
+    dlq = DeadLetterQueue()
+    for seq in range(4):
+        dlq.quarantine(seq, "a", 1, "late")
+    # Even sequences redeliver, odd ones stay poisoned.
+    succeeded = dlq.redrive(lambda entry: entry.sequence % 2 == 0)
+    assert [e.sequence for e in succeeded] == [0, 2]
+    assert dlq.redriven == 2
+    remaining = dlq.entries()
+    assert [e.sequence for e in remaining] == [1, 3]
+    assert all(e.attempts == 1 for e in remaining)
+    # A second pass that fixes everything drains the queue.
+    assert len(dlq.redrive(lambda entry: True)) == 2
+    assert len(dlq) == 0

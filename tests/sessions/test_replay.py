@@ -1,0 +1,239 @@
+"""Catch-up replay: convergence, skip sets, flow control, re-charging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.event import Event
+from repro.core.matching import MatchResult
+from repro.overload import TokenBucket
+from repro.sessions import (
+    CatchupReplayer,
+    RetainedEventLog,
+    SessionManager,
+    SessionState,
+)
+from repro.simulation import DiscreteEventSimulator
+
+HOME = 500
+
+
+def ev(sequence):
+    return Event.create(sequence, publisher=50, coords=(0.5, 0.5))
+
+
+def match(*sids):
+    return MatchResult(
+        subscription_ids=tuple(sids), subscribers=tuple(sids)
+    )
+
+
+class LoopbackTransport:
+    """Delivers every publish instantly and acks it on the manager."""
+
+    def __init__(self, simulator, latency=0.5):
+        self.simulator = simulator
+        self.latency = latency
+        self.manager = None
+        self.session_of = {}  # target node -> session id
+        self.sent = []
+        self.dropped = set()  # sequences that vanish in flight
+
+    def publish(self, key, source, targets, **_kwargs):
+        self.sent.append((key, tuple(targets)))
+        for target in targets:
+            if key in self.dropped:
+                continue
+            session_id = self.session_of[target]
+            self.simulator.schedule(
+                self.latency,
+                lambda k=key, s=session_id: self.manager.ack(s, k),
+            )
+
+
+def make_rig(bucket=None, batch=8, pump_interval=2.0, rematch=None):
+    simulator = DiscreteEventSimulator()
+    log = RetainedEventLog(clock=lambda: simulator.now)
+    manager = SessionManager(log, clock=lambda: simulator.now)
+    transport = LoopbackTransport(simulator)
+    transport.manager = manager
+    replayer = CatchupReplayer(
+        manager,
+        transport,
+        HOME,
+        simulator,
+        rematch=rematch or (lambda event: {0}),
+        bucket=bucket,
+        batch=batch,
+        pump_interval=pump_interval,
+    )
+    return simulator, manager, transport, replayer
+
+
+def charge_backlog(manager, session, count, sids=(0,)):
+    for seq in range(count):
+        manager.on_publish(ev(seq), match(*sids))
+    assert len(session.outstanding) == count
+
+
+class TestConvergence:
+    def test_replays_the_gap_then_marks_live(self):
+        simulator, manager, transport, replayer = make_rig()
+        session = manager.register("s", 1, [0])
+        transport.session_of[1] = "s"
+        charge_backlog(manager, session, 5)
+        manager.detach("s")
+        manager.resume("s")
+        replayer.start(session)
+        simulator.run()
+        assert [key for key, _ in transport.sent] == [0, 1, 2, 3, 4]
+        assert session.state is SessionState.LIVE
+        assert session.cursor == manager.log.head
+        assert replayer.convergences == 1
+        assert replayer.replay_sends == 5
+        assert replayer.active == 0
+
+    def test_start_is_idempotent(self):
+        simulator, manager, transport, replayer = make_rig()
+        session = manager.register("s", 1, [0])
+        transport.session_of[1] = "s"
+        charge_backlog(manager, session, 3)
+        manager.resume("s")
+        replayer.start(session)
+        replayer.start(session)
+        replayer.start(session)
+        simulator.run()
+        assert replayer.replay_sends == 3
+        assert replayer.convergences == 1
+
+    def test_settled_events_are_skipped(self):
+        simulator, manager, transport, replayer = make_rig()
+        session = manager.register("s", 1, [0])
+        transport.session_of[1] = "s"
+        charge_backlog(manager, session, 4)
+        manager.ack("s", 1)  # delivered live before the crash
+        manager.resume("s")
+        replayer.start(session)
+        simulator.run()
+        assert [key for key, _ in transport.sent] == [0, 2, 3]
+        assert session.state is SessionState.LIVE
+
+    def test_rematch_filters_to_current_subscriptions(self):
+        # The session only holds sid 5; retained events re-matching to
+        # other subscriptions are passed over, not delivered.
+        simulator, manager, transport, replayer = make_rig(
+            rematch=lambda event: {5} if event.sequence % 2 else {9}
+        )
+        session = manager.register("s", 1, [5])
+        transport.session_of[1] = "s"
+        for seq in range(4):
+            manager.on_publish(ev(seq), match(5) if seq % 2 else match(9))
+        manager.resume("s")
+        replayer.start(session)
+        simulator.run()
+        assert [key for key, _ in transport.sent] == [1, 3]
+        assert session.state is SessionState.LIVE
+        assert session.cursor == manager.log.head
+
+
+class TestFlowControl:
+    def test_token_bucket_paces_the_backlog(self):
+        bucket = TokenBucket(1.0, 1.0)
+        simulator, manager, transport, replayer = make_rig(
+            bucket=bucket, batch=8
+        )
+        session = manager.register("s", 1, [0])
+        transport.session_of[1] = "s"
+        charge_backlog(manager, session, 5)
+        manager.resume("s")
+        replayer.start(session)
+        finished = simulator.run()
+        assert replayer.replay_sends == 5
+        assert replayer.throttled >= 4
+        # One token per time unit: five sends cannot finish before t=4.
+        assert finished >= 4.0
+        assert session.state is SessionState.LIVE
+
+    def test_unbudgeted_replay_drains_in_batches(self):
+        simulator, manager, transport, replayer = make_rig(
+            batch=2, pump_interval=3.0
+        )
+        session = manager.register("s", 1, [0])
+        transport.session_of[1] = "s"
+        charge_backlog(manager, session, 6)
+        manager.resume("s")
+        replayer.start(session)
+        finished = simulator.run()
+        assert replayer.replay_sends == 6
+        assert replayer.throttled == 0
+        # Three batches of two, pump_interval apart: t=0, 3, 6 (+ final
+        # empty read at 9).
+        assert finished >= 6.0
+
+
+class TestLifecycleInteraction:
+    def test_pump_stops_when_the_session_detaches_again(self):
+        simulator, manager, transport, replayer = make_rig()
+        session = manager.register("s", 1, [0])
+        transport.session_of[1] = "s"
+        charge_backlog(manager, session, 3)
+        manager.resume("s")
+        replayer.start(session)
+        manager.detach("s")  # flaps away before the pump fires
+        simulator.run()
+        assert transport.sent == []
+        assert replayer.convergences == 0
+        assert replayer.active == 0
+        assert session.state is SessionState.DETACHED
+
+    def test_pump_stops_for_lease_expired_sessions(self):
+        simulator, manager, transport, replayer = make_rig()
+        session = manager.register("s", 1, [0])
+        transport.session_of[1] = "s"
+        charge_backlog(manager, session, 3)
+        manager.resume("s")
+        replayer.start(session)
+        session.durable = False
+        simulator.run()
+        assert transport.sent == []
+        assert replayer.active == 0
+
+    def test_post_recovery_replay_recharges_obligations(self):
+        # After a broker restart the cursor table is recovered but the
+        # outstanding map is empty; replay must re-charge each gap
+        # event so settlement advances the cursor past it.
+        simulator, manager, transport, replayer = make_rig()
+        session = manager.register("s", 1, [0])
+        transport.session_of[1] = "s"
+        for seq in range(3):
+            manager.on_publish(ev(seq), match(0))
+        # Simulate recovery: obligations lost, cursor kept.
+        session.outstanding.clear()
+        session._lsn_by_seq.clear()
+        session.done.clear()
+        manager.detach("s")
+        manager.resume("s")
+        replayer.start(session)
+        simulator.run()
+        assert [key for key, _ in transport.sent] == [0, 1, 2]
+        assert session.state is SessionState.LIVE
+        assert session.cursor == manager.log.head
+
+
+def test_constructor_validation():
+    simulator = DiscreteEventSimulator()
+    log = RetainedEventLog(clock=lambda: simulator.now)
+    manager = SessionManager(log)
+    with pytest.raises(ValueError, match="batch must be >= 1"):
+        CatchupReplayer(
+            manager, None, HOME, simulator, rematch=lambda e: set(), batch=0
+        )
+    with pytest.raises(ValueError, match="pump_interval must be positive"):
+        CatchupReplayer(
+            manager,
+            None,
+            HOME,
+            simulator,
+            rematch=lambda e: set(),
+            pump_interval=0.0,
+        )

@@ -1,0 +1,305 @@
+"""Session lifecycle, cursor arithmetic, journaling, and recovery."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.event import Event
+from repro.core.matching import MatchResult
+from repro.durability import (
+    BrokerJournal,
+    MemorySnapshotStore,
+    MemoryWAL,
+    RecordKind,
+    recover,
+)
+from repro.sessions import (
+    RetainedEventLog,
+    SessionManager,
+    SessionState,
+    SubscriberSession,
+)
+
+
+def ev(sequence):
+    return Event.create(sequence, publisher=50, coords=(0.5, 0.5))
+
+
+def match(*sids):
+    return MatchResult(
+        subscription_ids=tuple(sids), subscribers=tuple(sids)
+    )
+
+
+class Clock:
+    def __init__(self, now=0.0):
+        self.now = float(now)
+
+    def __call__(self):
+        return self.now
+
+
+def make_manager(clock=None, journal=None, lease=100.0):
+    clock = clock or Clock()
+    log = RetainedEventLog(clock=clock)
+    return SessionManager(
+        log, journal=journal, clock=clock, default_lease=lease
+    )
+
+
+class TestValidation:
+    def test_lease_must_be_positive(self):
+        with pytest.raises(ValueError, match="lease must be positive"):
+            SubscriberSession("s", 1, [0], lease=0.0)
+        with pytest.raises(ValueError, match="default_lease must be positive"):
+            SessionManager(RetainedEventLog(), default_lease=-1.0)
+
+    def test_duplicate_registration_rejected(self):
+        manager = make_manager()
+        manager.register("s", 1, [0])
+        with pytest.raises(ValueError, match="already registered"):
+            manager.register("s", 2, [1])
+
+    def test_unknown_session_lookups_raise(self):
+        manager = make_manager()
+        with pytest.raises(ValueError, match="unknown session"):
+            manager.get("nope")
+
+
+class TestCursorArithmetic:
+    def test_cursor_advances_only_on_settlement(self):
+        manager = make_manager()
+        session = manager.register("s", 1, [0])
+        assert session.cursor == manager.log.head == 0
+        manager.on_publish(ev(0), match(0))
+        manager.on_publish(ev(1), match(0))
+        # Charged but unsettled: the cursor pins at the first obligation.
+        assert session.cursor == 0
+        assert session.lag > 0
+        manager.ack("s", 0)
+        assert session.cursor > 0
+        manager.ack("s", 1)
+        assert session.cursor == manager.log.head
+        assert session.lag == 0
+
+    def test_out_of_order_settlement_never_skips_an_obligation(self):
+        manager = make_manager()
+        session = manager.register("s", 1, [0])
+        lsns = []
+        for seq in range(3):
+            lsn, _, _ = manager.on_publish(ev(seq), match(0))
+            lsns.append(lsn)
+        manager.ack("s", 2)
+        manager.ack("s", 1)
+        # Event 0 is still owed: the cursor cannot pass its LSN.
+        assert session.cursor == lsns[0]
+        manager.ack("s", 0)
+        assert session.cursor == manager.log.head
+
+    def test_redundant_ack_is_a_noop_not_an_error(self):
+        manager = make_manager()
+        session = manager.register("s", 1, [0])
+        manager.on_publish(ev(0), match(0))
+        assert manager.ack("s", 0) is True
+        assert manager.ack("s", 0) is False
+        assert manager.ack("s", 99) is False
+        assert session.delivered == 1
+
+    def test_idle_cursor_rides_the_frontier_past_unmatched_events(self):
+        manager = make_manager()
+        session = manager.register("s", 1, [0])
+        manager.on_publish(ev(0), match(7))  # matches someone else
+        assert session.cursor == manager.log.head
+        assert session.low_water == manager.log.head
+
+    def test_discard_settles_without_counting_a_delivery(self):
+        manager = make_manager()
+        session = manager.register("s", 1, [0])
+        manager.on_publish(ev(0), match(0))
+        assert manager.discard("s", 0) is True
+        assert session.delivered == 0
+        assert session.deadlettered == 1
+        assert session.cursor == manager.log.head
+
+    def test_charges_go_only_to_matching_durable_sessions(self):
+        manager = make_manager()
+        hit = manager.register("hit", 1, [0, 1])
+        miss = manager.register("miss", 2, [5])
+        ghost = manager.register("ghost", 3, [0])
+        ghost.durable = False
+        _lsn, charged, live = manager.on_publish(ev(0), match(0))
+        assert charged == [hit]
+        assert live == [hit]
+        assert not miss.outstanding and not ghost.outstanding
+
+    def test_catching_up_sessions_are_charged_but_not_live(self):
+        manager = make_manager()
+        session = manager.register("s", 1, [0])
+        session.state = SessionState.CATCHING_UP
+        _lsn, charged, live = manager.on_publish(ev(0), match(0))
+        assert charged == [session]
+        assert live == []
+
+
+class TestLifecycle:
+    def test_detach_is_idempotent_and_stamps_the_lease_clock(self):
+        clock = Clock(10.0)
+        manager = make_manager(clock=clock, lease=50.0)
+        manager.register("s", 1, [0])
+        session = manager.detach("s")
+        assert session.state is SessionState.DETACHED
+        assert session.detached_at == 10.0
+        assert session.lease_deadline() == 60.0
+        clock.now = 20.0
+        assert manager.detach("s").detached_at == 10.0  # unchanged
+
+    def test_resume_rewinds_the_replay_position_to_the_cursor(self):
+        manager = make_manager()
+        session = manager.register("s", 1, [0])
+        for seq in range(3):
+            manager.on_publish(ev(seq), match(0))
+        manager.detach("s")
+        session.replay_pos = manager.log.head  # scribble
+        manager.resume("s")
+        assert session.state is SessionState.CATCHING_UP
+        assert session.detached_at is None
+        assert session.replay_pos == session.cursor == 0
+
+    def test_lease_expiry_demotes_and_surrenders_obligations(self):
+        clock = Clock()
+        manager = make_manager(clock=clock, lease=30.0)
+        session = manager.register("s", 1, [0])
+        keeper = manager.register("keeper", 2, [0])
+        for seq in range(2):
+            manager.on_publish(ev(seq), match(0))
+        clock.now = 5.0
+        manager.detach("s")
+        # Before the deadline: nothing happens.
+        assert manager.expire_leases(30.0) == []
+        demoted = manager.expire_leases(35.0)
+        assert [(s.session_id, seqs) for s, seqs in demoted] == [
+            ("s", [0, 1])
+        ]
+        assert session.durable is False
+        assert not session.outstanding
+        assert session.cursor == manager.log.head
+        assert manager.lease_expirations == 1
+        # The demoted session no longer holds retention; the keeper does.
+        assert manager.low_water() == keeper.low_water == 0
+        # Attached or still-leased sessions are never demoted twice.
+        assert manager.expire_leases(1000.0) == []
+
+
+class TestJournalingAndRecovery:
+    def make_journaled(self, clock):
+        wal = MemoryWAL(clock=clock)
+        store = MemorySnapshotStore()
+        broker = SimpleNamespace()  # checkpoint() is never called here
+        journal = BrokerJournal(broker, wal, store, checkpoint_every=10_000)
+        manager = make_manager(clock=clock, journal=journal, lease=40.0)
+        return manager, wal, store
+
+    def test_lifecycle_and_cursors_replay_from_the_wal(self):
+        clock = Clock()
+        manager, wal, store = self.make_journaled(clock)
+        manager.register("a", 1, [0, 3])
+        manager.register("b", 2, [1])
+        for seq in range(2):
+            manager.on_publish(ev(seq), match(0))
+        manager.ack("a", 0)
+        manager.ack("a", 1)
+        clock.now = 7.0
+        manager.detach("b")
+        state = recover(wal, store)
+        assert sorted(state.sessions) == ["a", "b"]
+        a, b = state.sessions["a"], state.sessions["b"]
+        assert a["sids"] == [0, 3]
+        assert a["cursor"] == manager.get("a").cursor
+        assert a["state"] == "live"
+        assert b["state"] == "detached"
+        assert b["detached_at"] == 7.0
+        assert b["durable"] is True
+
+    def test_expiry_and_resume_fold_into_recovered_state(self):
+        clock = Clock()
+        manager, wal, store = self.make_journaled(clock)
+        manager.register("gone", 1, [0])
+        manager.register("back", 2, [0])
+        manager.detach("gone")
+        manager.detach("back")
+        clock.now = 50.0
+        manager.resume("back")
+        manager.expire_leases(clock.now)  # lease 40 < 50: "gone" demotes
+        state = recover(wal, store)
+        assert state.sessions["gone"]["durable"] is False
+        assert state.sessions["back"]["state"] == "live"
+        assert "detached_at" not in state.sessions["back"]
+
+    def test_restore_round_trip_comes_back_detached(self):
+        clock = Clock(9.0)
+        manager = make_manager(clock=clock)
+        manager.register("a", 1, [0])
+        manager.on_publish(ev(0), match(0))
+        manager.ack("a", 0)
+        manager.detach("a")
+        snapshot = manager.to_state()
+
+        restored = SessionManager(manager.log, clock=clock)
+        restored.restore(snapshot)
+        session = restored.get("a")
+        assert session.state is SessionState.DETACHED
+        assert session.cursor == manager.get("a").cursor
+        assert session.subscription_ids == frozenset([0])
+        # Obligations are deliberately not restored: replay re-derives
+        # them from [cursor, head).
+        assert not session.outstanding
+        assert restored.to_state() == snapshot
+
+    def test_recovered_cursor_is_monotone_across_records(self):
+        clock = Clock()
+        manager, wal, store = self.make_journaled(clock)
+        manager.register("a", 1, [0])
+        manager.on_publish(ev(0), match(0))
+        manager.ack("a", 0)
+        cursor = manager.get("a").cursor
+        # A stale duplicate CURSOR record (e.g. replayed by a shipper)
+        # must not rewind the recovered cursor.
+        wal.append(RecordKind.CURSOR, {"id": "a", "cursor": 0})
+        state = recover(wal, store)
+        assert state.sessions["a"]["cursor"] == cursor
+
+
+class TestBrokerIntegration:
+    def test_attach_sessions_charges_on_publish_and_snapshots(self):
+        from repro.faults.verifier import build_chaos_testbed
+        from repro.workload import PublicationGenerator
+
+        broker, density = build_chaos_testbed(seed=11, subscriptions=120)
+        manager = make_manager()
+        # Anchor a session at whichever node holds subscription 0.
+        subscriber = int(broker.table[0].subscriber)
+        sids = [
+            sid
+            for sid in range(len(broker.table))
+            if int(broker.table[sid].subscriber) == subscriber
+        ]
+        session = manager.register("sess", subscriber, sids)
+        broker.attach_sessions(manager)
+
+        points, publishers = PublicationGenerator(
+            density, broker.topology.all_stub_nodes(), seed=13
+        ).generate(40)
+        charged = 0
+        for seq in range(len(points)):
+            event = Event.create(seq, int(publishers[seq]), points[seq])
+            matched = set(broker.engine.match(event).subscription_ids)
+            broker.publish(event)
+            if matched & session.subscription_ids:
+                charged += 1
+        assert charged > 0
+        assert len(session.outstanding) == charged
+        assert manager.log.retained() == len(points)
+        state = broker.durable_state()
+        assert state["sessions"] == manager.to_state()

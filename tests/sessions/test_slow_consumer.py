@@ -1,0 +1,71 @@
+"""Slow-consumer shedding vs session cursors (the satellite interaction).
+
+The overload layer's :class:`~repro.overload.shed.BoundedQueue` may
+shed a queued delivery under ttl-priority pressure — but the event is
+*retained* and the session's obligation survives, so the catch-up
+replayer must make every shed event reappear, exactly once.
+"""
+
+from __future__ import annotations
+
+from repro.faults import build_session_chaos
+
+
+def run_with_shed_trace(**overrides):
+    simulation, points, publishers, times = build_session_chaos(
+        "slow-consumer", seed=2003, events=120, **overrides
+    )
+    shed_sequences = []
+    original = simulation._shed_retained
+
+    def tracing_shed(sequence):
+        if simulation.victim.is_outstanding(sequence):
+            shed_sequences.append(sequence)
+        original(sequence)
+
+    simulation._shed_retained = tracing_shed
+    report = simulation.run(points, publishers, times)
+    return simulation, report, shed_sequences
+
+
+def test_shed_but_retained_events_reappear_exactly_once():
+    simulation, report, shed = run_with_shed_trace()
+    assert shed, "scenario produced no shedding; tighten the queue"
+    assert report.shed_retained == len(shed)
+    victim_id = simulation.victim.session_id
+    delivered = simulation.delivered_seqs[victim_id]
+    dlq = {
+        entry.sequence
+        for entry in simulation.dlq.entries()
+        if entry.session_id == victim_id
+    }
+    for sequence in shed:
+        # Shed from the outbound queue, yet it reached a terminal
+        # bucket — replay re-derived it from the retained log.
+        assert sequence in delivered or sequence in dlq
+    # And reappearance is not duplication.
+    assert report.duplicates == 0
+    assert report.at_least_once
+
+
+def test_shedding_never_advances_the_cursor_early():
+    # A shed delivery must keep pinning the cursor until it settles:
+    # the cursor's final position equals the head only because every
+    # obligation (shed ones included) eventually settled.
+    simulation, report, shed = run_with_shed_trace()
+    victim = simulation.victim
+    assert not victim.outstanding
+    assert victim.cursor == simulation.log.head
+    # Every shed sequence is in the victim's settled done-set.
+    assert set(shed) <= victim.done
+
+
+def test_roomier_queue_sheds_less():
+    _sim_tight, report_tight, shed_tight = run_with_shed_trace()
+    _sim_roomy, report_roomy, shed_roomy = run_with_shed_trace(
+        slow_queue_capacity=64, slow_service_time=2.0, slow_ttl=200.0
+    )
+    assert len(shed_roomy) < len(shed_tight)
+    # Both configurations keep the guarantee regardless.
+    assert report_tight.at_least_once
+    assert report_roomy.at_least_once
