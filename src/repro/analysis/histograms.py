@@ -37,7 +37,7 @@ class HistogramSeries:
 def density_histogram(
     data: np.ndarray,
     bins: int = 50,
-    value_range: "Optional[Tuple[float, float]]" = None,
+    value_range: Optional[Tuple[float, float]] = None,
 ) -> HistogramSeries:
     """Equal-width density histogram of a sample."""
     data = np.asarray(data, dtype=np.float64)
@@ -54,7 +54,7 @@ def density_histogram(
     )
 
 
-def rank_frequency(counts: np.ndarray) -> "Tuple[np.ndarray, np.ndarray]":
+def rank_frequency(counts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Rank-frequency series: ranks ``1..m`` and sorted-desc counts.
 
     Zero counts are dropped (they would break the log-log fit and the
@@ -70,7 +70,7 @@ def rank_frequency(counts: np.ndarray) -> "Tuple[np.ndarray, np.ndarray]":
 
 def survival_curve(
     data: np.ndarray, points: int = 100
-) -> "Tuple[np.ndarray, np.ndarray]":
+) -> Tuple[np.ndarray, np.ndarray]:
     """Empirical ``P(X > x)`` on a log-spaced grid.
 
     Heavy-tailed samples (trade amounts) show up as a straight line in

@@ -19,6 +19,7 @@ The subcommands cover the library's main workflows::
     repro stats     --events 200 --loss 0.1 \\
                     [--overload|--crash-recovery|--failover]
     repro trace     --event 3 --events 200
+    repro lint      [--rule DET01] [--format json] [--baseline write] src
 
 ``repro chaos`` replays a workload through the packet simulator with
 injected faults (lossy links, broker crash/restart windows) and
@@ -57,6 +58,14 @@ multicast/unicast split, retry/duplicate counters, and per-link
 traffic.  ``repro trace`` replays the identical deterministic run and
 dumps the span tree of one event (match → distribution-decision →
 route → deliver → ack/retry) as JSONL.
+
+``repro lint`` runs the AST-based invariant linter (`repro.statics`)
+over the tree: determinism rules (no wall clock, no unseeded
+randomness, no hash-order iteration), crash-safety rules (atomic
+writes on durable paths, no swallowed excepts) and hygiene rules,
+with ``# repro: noqa`` suppressions and a checked-in fingerprint
+baseline.  ``--list-rules`` documents every rule; exit status 1 means
+a non-baselined finding.
 
 (Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.)
@@ -555,6 +564,49 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10,
         help="how many trailing records to print (0: none)",
+    )
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the reprolint invariant rules (DET/ASSERT/ANN/ERR/IO/EXC)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="CODE",
+        default=None,
+        help="restrict to one rule code (repeatable), e.g. --rule DET02",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is what CI archives)",
+    )
+    lint.add_argument(
+        "--baseline",
+        choices=("apply", "write", "skip"),
+        default="apply",
+        help="apply the checked-in baseline (default), rewrite it from "
+        "the current findings, or ignore it entirely",
+    )
+    lint.add_argument(
+        "--baseline-file",
+        default=None,
+        metavar="PATH",
+        help="baseline location (default: lint-baseline.json in the cwd)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue (code, invariant, rationale, fix)",
     )
 
     dot = commands.add_parser(
@@ -1892,6 +1944,46 @@ def _cmd_wal(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .statics import (
+        DEFAULT_BASELINE_NAME,
+        Baseline,
+        lint_paths,
+        render_json,
+        render_rule_table,
+        render_text,
+    )
+
+    if args.list_rules:
+        print(render_rule_table())
+        return 0
+
+    baseline_path = args.baseline_file or DEFAULT_BASELINE_NAME
+    try:
+        if args.baseline == "apply":
+            baseline = Baseline.load(baseline_path)
+        else:
+            baseline = None
+        result = lint_paths(args.paths, rules=args.rules, baseline=baseline)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.baseline == "write":
+        Baseline.from_findings(result.findings).dump(baseline_path)
+        print(
+            f"wrote {baseline_path}: {len(result.findings)} "
+            f"grandfathered finding(s) across {result.files} files"
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
 def _cmd_dot(args: argparse.Namespace) -> int:
     from .network.visualize import write_dot
 
@@ -1922,6 +2014,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "wal": _cmd_wal,
+        "lint": _cmd_lint,
         "dot": _cmd_dot,
     }
     return handlers[args.command](args)

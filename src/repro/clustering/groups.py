@@ -162,7 +162,7 @@ class SpacePartition:
         }
 
     @classmethod
-    def restore(cls, grid: EventGrid, state: Dict) -> "SpacePartition":
+    def restore(cls, grid: EventGrid, state: Dict) -> SpacePartition:
         """Rebuild a partition from :meth:`to_state` output.
 
         ``grid`` must be built over the recovered subscription set with

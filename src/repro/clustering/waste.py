@@ -60,7 +60,7 @@ class ClusterState:
     weighted_member_sum: float = 0.0
 
     @classmethod
-    def from_cells(cls, cells: Iterable[GridCell]) -> "ClusterState":
+    def from_cells(cls, cells: Iterable[GridCell]) -> ClusterState:
         state = cls()
         for cell in cells:
             state.add(cell)
@@ -94,7 +94,7 @@ class ClusterState:
         """The paper's distance: the EW increase from adding ``cell``."""
         return self.waste_if_added(cell) - self.expected_waste
 
-    def waste_if_merged(self, other: "ClusterState") -> float:
+    def waste_if_merged(self, other: ClusterState) -> float:
         """``EW(A ∪ B)`` without mutating either cluster."""
         probability = self.probability + other.probability
         if probability <= 0.0:
@@ -133,7 +133,7 @@ class ClusterState:
             members |= member.members
         self.members = members
 
-    def merge(self, other: "ClusterState") -> None:
+    def merge(self, other: ClusterState) -> None:
         """Absorb another cluster (pairwise grouping's combine step)."""
         self.cells.extend(other.cells)
         self.members |= other.members

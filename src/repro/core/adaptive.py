@@ -75,7 +75,7 @@ class AdaptiveThresholdPolicy:
     def __init__(
         self,
         initial_threshold: float = 0.15,
-        buckets: "tuple[float, ...]" = DEFAULT_BUCKETS,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
         exploration: int = 3,
     ):
         if not 0.0 <= initial_threshold <= 1.0:
@@ -182,11 +182,11 @@ class AdaptiveThresholdPolicy:
 
 
 def run_adaptive(
-    broker: "PubSubBroker",
+    broker: PubSubBroker,
     points: np.ndarray,
     publishers: Sequence[int],
     policy: Optional[AdaptiveThresholdPolicy] = None,
-) -> "tuple[CostTally, AdaptiveThresholdPolicy]":
+) -> tuple[CostTally, AdaptiveThresholdPolicy]:
     """Run a workload under an adaptive policy with exact feedback.
 
     Like :meth:`PubSubBroker.run`, but after each event the realized

@@ -114,9 +114,9 @@ class PubSubBroker:
         policy: Optional[DistributionPolicy] = None,
         matcher_backend: str = "stree",
         cost_model: Optional[DeliveryCostModel] = None,
-        grid_frame: "Optional[tuple[Sequence[float], Sequence[float]]]" = None,
+        grid_frame: Optional[tuple[Sequence[float], Sequence[float]]] = None,
         telemetry: Optional[Telemetry] = None,
-    ) -> "PubSubBroker":
+    ) -> PubSubBroker:
         """Run the full preprocessing stage and return a ready broker.
 
         This is the paper's static phase: impose the grid, cluster the
@@ -368,7 +368,7 @@ class PubSubBroker:
         points: np.ndarray,
         publishers: Sequence[int],
         collect_records: bool = False,
-    ) -> "Tuple[CostTally, List[DeliveryRecord]]":
+    ) -> Tuple[CostTally, List[DeliveryRecord]]:
         """Publish a whole workload and tally the costs.
 
         Returns the tally and (when ``collect_records``) the
@@ -433,7 +433,7 @@ class PubSubBroker:
         """
         self.sessions = manager
 
-    def with_policy(self, policy: DistributionPolicy) -> "PubSubBroker":
+    def with_policy(self, policy: DistributionPolicy) -> PubSubBroker:
         """A sibling broker sharing all state except the threshold.
 
         Threshold sweeps (Figure 6) reuse the expensive pieces — the

@@ -73,7 +73,7 @@ def find_covered_subscriptions(table: SubscriptionTable) -> CoveringReport:
 
 def prune_covered(
     table: SubscriptionTable,
-) -> "Tuple[SubscriptionTable, CoveringReport]":
+) -> Tuple[SubscriptionTable, CoveringReport]:
     """A new table without the redundant subscriptions.
 
     Ids are re-assigned densely in the surviving subscriptions' order;

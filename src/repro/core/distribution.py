@@ -103,7 +103,7 @@ class ThresholdPolicy:
         return DistributionDecision(method, interested, group_size, group)
 
     @classmethod
-    def static_multicast(cls) -> "ThresholdPolicy":
+    def static_multicast(cls) -> ThresholdPolicy:
         """Threshold 0: the no-dynamic-decision baseline of Figure 6."""
         return cls(threshold=0.0)
 

@@ -239,7 +239,7 @@ class DynamicPubSubBroker(PubSubBroker):
         algorithm: CellClusteringAlgorithm,
         num_groups: int,
         **options,
-    ) -> "DynamicPubSubBroker":
+    ) -> DynamicPubSubBroker:
         """Static preprocessing plus churn plumbing."""
         static = PubSubBroker.preprocess(
             topology,
@@ -342,7 +342,7 @@ class DynamicPubSubBroker(PubSubBroker):
         from ..clustering.base import ClusteringResult
 
         grid = self.partition.grid
-        clusters: "dict[int, list]" = {}
+        clusters: dict[int, list] = {}
         for index, q in self.partition._cell_to_group.items():
             clusters.setdefault(q, []).append(grid.cells[index])
         return ClusteringResult(

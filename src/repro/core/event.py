@@ -36,7 +36,7 @@ class Event:
         publisher: int,
         coords: Sequence[float],
         deadline: Optional[float] = None,
-    ) -> "Event":
+    ) -> Event:
         """Validating constructor (finite coordinates enforced)."""
         if deadline is not None:
             deadline = float(deadline)
@@ -47,7 +47,7 @@ class Event:
             deadline=deadline,
         )
 
-    def with_deadline(self, deadline: Optional[float]) -> "Event":
+    def with_deadline(self, deadline: Optional[float]) -> Event:
         """The same event carrying a (new) absolute expiry time."""
         return replace(
             self, deadline=float(deadline) if deadline is not None else None

@@ -25,7 +25,7 @@ from .subscription import SubscriptionTable
 __all__ = ["MatchResult", "MatchingEngine", "MATCHER_BACKENDS"]
 
 #: Selectable index implementations.
-MATCHER_BACKENDS: "Dict[str, Type[PointMatcher]]" = {
+MATCHER_BACKENDS: Dict[str, Type[PointMatcher]] = {
     "stree": STree,
     "rtree": HilbertRTree,
     "linear": LinearScanMatcher,
@@ -57,7 +57,7 @@ class MatchingEngine:
         self,
         table: SubscriptionTable,
         backend: str = "stree",
-        telemetry: "Telemetry | None" = None,
+        telemetry: Telemetry | None = None,
         **backend_options,
     ):
         if len(table) == 0:

@@ -156,7 +156,7 @@ class SubscriptionTable:
     def rectangles(self) -> List[Rectangle]:
         return [s.rectangle for s in self._subscriptions]
 
-    def to_arrays(self) -> "Tuple[np.ndarray, np.ndarray]":
+    def to_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
         """Packed ``(k, N)`` lows/highs arrays for index construction."""
         if not self._subscriptions:
             raise ValueError("table is empty")
@@ -173,7 +173,7 @@ class SubscriptionTable:
     @classmethod
     def from_placed(
         cls, placed: Sequence, ndim: int = 4
-    ) -> "SubscriptionTable":
+    ) -> SubscriptionTable:
         """Build from workload ``PlacedSubscription`` records."""
         table = cls(ndim)
         for item in placed:

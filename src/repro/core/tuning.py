@@ -133,7 +133,7 @@ class ThresholdTuner:
 
     def collect(
         self, points: np.ndarray, publishers: Sequence[int]
-    ) -> "Tuple[Dict[int, List[GroupSample]], int, int]":
+    ) -> Tuple[Dict[int, List[GroupSample]], int, int]:
         """Gather per-group decision samples from a workload.
 
         Returns ``(samples_by_group, catchall_events, unmatched)``.
@@ -215,7 +215,7 @@ class ThresholdTuner:
 
     def _best_threshold(
         self, group_samples: List[GroupSample]
-    ) -> "Tuple[float, float]":
+    ) -> Tuple[float, float]:
         """Cost-minimizing candidate (ties -> smallest threshold)."""
         best_threshold = self.candidates[0]
         best_cost = float("inf")

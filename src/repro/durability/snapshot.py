@@ -23,13 +23,11 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
-import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
-from ..io import fsync_dir
+from ..io import atomic_write_text
 
 __all__ = [
     "Snapshot",
@@ -95,7 +93,7 @@ class Snapshot:
         return hashlib.blake2b(body.encode("utf-8"), digest_size=16).hexdigest()
 
     @classmethod
-    def from_dict(cls, payload: Dict) -> "Snapshot":
+    def from_dict(cls, payload: Dict) -> Snapshot:
         version = payload.get("format_version")
         if version != _FORMAT_VERSION:
             raise ValueError(
@@ -168,25 +166,13 @@ class FileSnapshotStore(SnapshotStore):
         )
 
     def save(self, snapshot: Snapshot) -> None:
-        text = _canonical(snapshot.to_dict())
-        target = self._path(snapshot.snapshot_id)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(self.directory), prefix=target.name, suffix=".tmp"
+        # atomic_write_text renames into place and fsyncs the
+        # directory; a freshly written snapshot must survive a host
+        # crash, or recovery falls back to a stale checkpoint.
+        atomic_write_text(
+            self._path(snapshot.snapshot_id),
+            _canonical(snapshot.to_dict()),
         )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp, target)
-            # The rename is atomic but its directory entry is not yet
-            # durable; a freshly written snapshot must survive a host
-            # crash, or recovery falls back to a stale checkpoint.
-            fsync_dir(self.directory)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
 
     def ids(self) -> List[int]:
         out: List[int] = []

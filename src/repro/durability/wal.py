@@ -35,15 +35,13 @@ from __future__ import annotations
 
 import enum
 import json
-import os
 import struct
-import tempfile
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
 
-from ..io import fsync_dir
+from ..io import atomic_write_bytes
 
 __all__ = [
     "RecordKind",
@@ -401,11 +399,10 @@ class FileWAL(WriteAheadLog):
             self._read_header(raw)
         else:
             self._base = 0
-            self.path.write_bytes(_HEADER.pack(_MAGIC, _VERSION, 0))
-            # A fresh file is only durable once its directory entry is:
-            # without this, a host crash after creation leaves no WAL
-            # at all and recovery would silently start from nothing.
-            fsync_dir(self.path.parent)
+            # Atomic creation + directory fsync: without the fsync, a
+            # host crash after creation leaves no WAL at all and
+            # recovery would silently start from nothing.
+            atomic_write_bytes(self.path, _HEADER.pack(_MAGIC, _VERSION, 0))
 
     def _read_header(self, raw: bytes) -> None:
         if len(raw) < _HEADER.size:
@@ -430,23 +427,15 @@ class FileWAL(WriteAheadLog):
         return self.path.read_bytes()[_HEADER.size :]
 
     def _append_bytes(self, data: bytes) -> None:
-        with self.path.open("ab") as handle:
+        # Append-only framing IS the durability primitive here: a torn
+        # append is detected by the CRC scan and truncated by repair,
+        # so the atomic-rewrite helper would be wrong (it would copy
+        # the whole log per record).  The one sanctioned raw write.
+        with self.path.open("ab") as handle:  # repro: noqa IO01
             handle.write(data)
 
     def _store(self, base_lsn: int, data: bytes) -> None:
-        fd, tmp = tempfile.mkstemp(
-            dir=str(self.path.parent), prefix=self.path.name, suffix=".tmp"
+        atomic_write_bytes(
+            self.path, _HEADER.pack(_MAGIC, _VERSION, base_lsn) + data
         )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(_HEADER.pack(_MAGIC, _VERSION, base_lsn))
-                handle.write(data)
-            os.replace(tmp, self.path)
-            fsync_dir(self.path.parent)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
         self._base = base_lsn

@@ -289,7 +289,7 @@ class FaultPlan:
         )
 
     @classmethod
-    def uniform_loss(cls, rate: float, seed: int = 0) -> "FaultPlan":
+    def uniform_loss(cls, rate: float, seed: int = 0) -> FaultPlan:
         """Every link drops each transmission with probability ``rate``."""
         return cls(seed=seed, default_loss=rate)
 
@@ -323,7 +323,7 @@ class FaultState:
         return not self.dead_nodes and not self.dead_links
 
     @classmethod
-    def none(cls, time: float = 0.0) -> "FaultState":
+    def none(cls, time: float = 0.0) -> FaultState:
         """A fault-free snapshot (useful as a neutral default)."""
         return cls(time=time, dead_nodes=frozenset(), dead_links=frozenset())
 

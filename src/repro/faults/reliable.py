@@ -68,7 +68,7 @@ class FailureReason(str):
 
     code: str
 
-    def __new__(cls, text: str, code: str) -> "FailureReason":
+    def __new__(cls, text: str, code: str) -> FailureReason:
         reason = super().__new__(cls, text)
         reason.code = code
         return reason
@@ -108,7 +108,7 @@ class RetryConfig:
         return self.ack_timeout * self.backoff ** (attempt - 1)
 
     @classmethod
-    def for_network(cls, network: PacketNetwork, **overrides) -> "RetryConfig":
+    def for_network(cls, network: PacketNetwork, **overrides) -> RetryConfig:
         """A config whose base timeout safely exceeds the network RTT.
 
         Uses the routing table's diameter (worst finite shortest-path

@@ -48,7 +48,7 @@ def rectangles_to_arrays(
 
 def arrays_to_rectangles(
     lows: np.ndarray, highs: np.ndarray
-) -> "list[Rectangle]":
+) -> list[Rectangle]:
     """Inverse of :func:`rectangles_to_arrays`."""
     return [
         Rectangle.from_bounds(lo_row, hi_row)

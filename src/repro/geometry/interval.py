@@ -88,17 +88,17 @@ class Interval:
 
     # -- set operations ----------------------------------------------------
 
-    def intersects(self, other: "Interval") -> bool:
+    def intersects(self, other: Interval) -> bool:
         """Whether the two half-open intervals share at least one point."""
         if self.is_empty or other.is_empty:
             return False
         return max(self.lo, other.lo) < min(self.hi, other.hi)
 
-    def intersection(self, other: "Interval") -> "Interval":
+    def intersection(self, other: Interval) -> Interval:
         """The (possibly empty) intersection of two intervals."""
         return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
 
-    def hull(self, other: "Interval") -> "Interval":
+    def hull(self, other: Interval) -> Interval:
         """Smallest interval containing both (ignoring empties)."""
         if self.is_empty:
             return other
@@ -106,7 +106,7 @@ class Interval:
             return self
         return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
 
-    def contains_interval(self, other: "Interval") -> bool:
+    def contains_interval(self, other: Interval) -> bool:
         """Whether ``other`` is a subset of this interval."""
         if other.is_empty:
             return True
@@ -116,16 +116,16 @@ class Interval:
 
     # -- helpers -----------------------------------------------------------
 
-    def clamp(self, lo: float, hi: float) -> "Interval":
+    def clamp(self, lo: float, hi: float) -> Interval:
         """Intersect with the bounded interval ``(lo, hi]``."""
         return self.intersection(Interval(lo, hi))
 
-    def split(self, x: float) -> "tuple[Interval, Interval]":
+    def split(self, x: float) -> tuple[Interval, Interval]:
         """Split at ``x`` into ``(lo, x]`` and ``(x, hi]``."""
         return Interval(self.lo, min(x, self.hi)), Interval(max(x, self.lo), self.hi)
 
     @staticmethod
-    def hull_of(intervals: Iterable["Interval"]) -> "Interval":
+    def hull_of(intervals: Iterable["Interval"]) -> Interval:
         """Smallest interval containing every non-empty input interval."""
         result = Interval(math.inf, -math.inf)  # canonical empty
         for interval in intervals:

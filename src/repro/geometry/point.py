@@ -18,7 +18,7 @@ __all__ = ["Point", "as_point", "points_to_array"]
 Point = Tuple[float, ...]
 
 
-def as_point(coords: Sequence[float], ndim: "int | None" = None) -> Point:
+def as_point(coords: Sequence[float], ndim: int | None = None) -> Point:
     """Normalize a coordinate sequence into a float tuple.
 
     Raises ``ValueError`` when ``ndim`` is given and does not match, or

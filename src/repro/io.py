@@ -27,6 +27,7 @@ from .network.topology import Topology
 __all__ = [
     "fsync_dir",
     "atomic_write_text",
+    "atomic_write_bytes",
     "topology_to_dict",
     "topology_from_dict",
     "table_to_dict",
@@ -84,6 +85,30 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
         except OSError:
             pass
         raise
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> None:
+    """Binary sibling of :func:`atomic_write_text`.
+
+    Same temp-file + :func:`os.replace` + directory-fsync contract;
+    used by the durability layer (WAL rewrites, snapshot stores) where
+    a torn write is precisely the corruption recovery must survive.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent or "."), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+        fsync_dir(path.parent or ".")
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
 
 _FORMAT_VERSION = 1
 
@@ -192,7 +217,7 @@ def save_testbed(
 
 def load_testbed(
     path: Union[str, Path]
-) -> "tuple[Topology, SubscriptionTable]":
+) -> tuple[Topology, SubscriptionTable]:
     """Read a testbed written by :func:`save_testbed`."""
     payload = json.loads(Path(path).read_text())
     version = payload.get("format_version")

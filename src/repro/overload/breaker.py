@@ -137,7 +137,7 @@ class CircuitBreaker:
 class BreakerBoard:
     """Lazily-created breakers keyed by target node, with shared stats."""
 
-    def __init__(self, config: "BreakerConfig | None" = None):
+    def __init__(self, config: BreakerConfig | None = None):
         self.config = config or BreakerConfig()
         self.stats = BreakerStats()
         self._breakers: Dict[int, CircuitBreaker] = {}

@@ -84,7 +84,7 @@ class HealthThresholds:
 class HealthMonitor:
     """Tracks one broker's health from a stream of (now, fill) samples."""
 
-    def __init__(self, thresholds: "HealthThresholds | None" = None):
+    def __init__(self, thresholds: HealthThresholds | None = None):
         self.thresholds = thresholds or HealthThresholds()
         self.state = BrokerHealth.HEALTHY
         self._entered_at = 0.0

@@ -91,7 +91,7 @@ class BrokerOverlay:
             if not faults.link_dead(broker, neighbor)
         ]
 
-    def reachable_brokers(self, entry: int, faults) -> "set[int]":
+    def reachable_brokers(self, entry: int, faults) -> set[int]:
         """Brokers reachable from ``entry`` over the alive overlay tree."""
         if faults.node_dead(entry):
             return set()

@@ -58,7 +58,7 @@ class ShardMap:
         partition: SpacePartition,
         num_shards: int,
         virtual_nodes: int = 64,
-    ) -> "ShardMap":
+    ) -> ShardMap:
         """Greedy bin-pack of ``S_1 .. S_n`` onto ``num_shards`` shards."""
         shard_map = cls(num_shards, virtual_nodes=virtual_nodes)
         order = sorted(
@@ -170,7 +170,7 @@ class ShardMap:
         }
 
     @classmethod
-    def restore(cls, state: Dict) -> "ShardMap":
+    def restore(cls, state: Dict) -> ShardMap:
         shard_map = cls(
             int(state["num_shards"]),
             virtual_nodes=int(state.get("virtual_nodes", 64)),

@@ -36,7 +36,7 @@ class LatencyStats:
     maximum: float
 
     @classmethod
-    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+    def from_samples(cls, samples: Sequence[float]) -> LatencyStats:
         data = np.asarray(samples, dtype=np.float64)
         if data.size == 0:
             return cls(0, 0.0, 0.0, 0.0, 0.0)

@@ -51,12 +51,12 @@ class PacketNetwork:
         self,
         topology: Topology,
         simulator: DiscreteEventSimulator,
-        routing: "RoutingTable | None" = None,
+        routing: RoutingTable | None = None,
         transmission_time: float = 0.25,
         propagation_scale: float = 1.0,
-        injector: "FaultInjector | None" = None,
+        injector: FaultInjector | None = None,
         hop_retries: int = 0,
-        telemetry: "Telemetry | None" = None,
+        telemetry: Telemetry | None = None,
     ):
         if transmission_time < 0:
             raise ValueError("transmission_time must be non-negative")

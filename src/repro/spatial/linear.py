@@ -25,7 +25,7 @@ class LinearScanMatcher(PointMatcher):
         mask = np.all((self._lows < point) & (point <= self._highs), axis=1)
         return [int(i) for i in self._ids[mask]]
 
-    def match_many(self, points: np.ndarray) -> "list[List[int]]":
+    def match_many(self, points: np.ndarray) -> list[List[int]]:
         """Bulk path: one (k, m) containment mask for the whole batch."""
         points = np.asarray(points, dtype=np.float64)
         if points.ndim != 2 or points.shape[1] != self.ndim:

@@ -1,0 +1,48 @@
+"""reprolint — AST-based invariant checks for the reproduction.
+
+The matching pipeline's headline guarantees (deterministic-per-seed
+chaos ledgers, epoch-fenced failover, ``python -O``-safe validation,
+crash-atomic durable state) are invariants of *how the code is
+written*, not just what it computes.  This package turns them into
+lintable rules so they are enforced at review time instead of
+re-discovered one postmortem at a time:
+
+========  ==========================================================
+DET01     no wall-clock reads outside the injected-clock modules
+DET02     all randomness flows from an explicitly seeded generator
+DET03     no bare set/.keys() iteration feeding ordered output
+ASSERT01  no assert-based validation in library code
+ANN01     no quoted type annotations
+ERR01     ValueError/RuntimeError always carry a non-empty message
+IO01      durable-state modules write through repro.io atomic helpers
+EXC01     no bare/silently-swallowed exception handlers
+========  ==========================================================
+
+Entry points: :func:`lint_paths` (library), ``repro lint`` (CLI).
+Escape hatches: ``# repro: noqa CODE`` per line, ``# repro: ordered``
+for DET03, and a checked-in baseline file for adoption on a dirty
+tree (ours ships empty — the tree was scrubbed when the gate landed).
+"""
+
+from .baseline import DEFAULT_BASELINE_NAME, Baseline
+from .engine import LintResult, discover_files, lint_paths, lint_source
+from .findings import Finding
+from .report import render_json, render_rule_table, render_text
+from .rules import ALL_RULES, LintContext, Rule, rules_by_code
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintContext",
+    "LintResult",
+    "Rule",
+    "discover_files",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_rule_table",
+    "render_text",
+    "rules_by_code",
+]

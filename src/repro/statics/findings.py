@@ -1,0 +1,56 @@
+"""Finding datatype shared by the linter engine, baseline, and reports.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+``fingerprint`` deliberately ignores the line *number* (hashing the
+rule, the path, and the stripped source text instead) so a checked-in
+baseline survives unrelated edits above a grandfathered violation —
+the baseline only "loses" an entry when the offending line itself is
+edited or moved to another file, which is exactly when a human should
+re-decide whether it stays exempt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Union
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str
+    snippet: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-number-free)."""
+        digest = hashlib.blake2b(digest_size=8)
+        for part in (self.rule, self.path, self.snippet.strip()):
+            digest.update(part.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def to_dict(self) -> Dict[str, Union[str, int]]:
+        """JSON-ready encoding (used by ``--format json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+    def location(self) -> str:
+        """``path:line:col`` — the clickable prefix of a text report."""
+        return f"{self.path}:{self.line}:{self.col}"

@@ -1,0 +1,71 @@
+"""Best-effort dotted-name resolution for lint rules.
+
+Rules like DET01 ("no wall clock") need to know that ``now()`` in
+
+    from datetime import datetime
+    stamp = datetime.now()
+
+is really ``datetime.datetime.now``.  :class:`ImportMap` records what
+every imported local name stands for, and :func:`resolve_call` walks
+an attribute chain back to its imported root, returning the fully
+qualified dotted name (or ``None`` when the chain bottoms out in
+something dynamic — a call result, a subscript — that static analysis
+cannot name).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional
+
+__all__ = ["ImportMap", "resolve_call"]
+
+
+class ImportMap:
+    """Local name → fully qualified origin, built from import statements."""
+
+    def __init__(self) -> None:
+        self._names: Dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> ImportMap:
+        table = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    origin = alias.name if alias.asname else local
+                    table._names[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                # Relative imports resolve inside the package under
+                # lint, which never shadows stdlib ``time``/``random``
+                # — skip them rather than mis-attribute.
+                if node.level or node.module is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    table._names[local] = f"{node.module}.{alias.name}"
+        return table
+
+    def origin(self, local_name: str) -> Optional[str]:
+        """Qualified origin of ``local_name``, or None if not imported."""
+        return self._names.get(local_name)
+
+
+def resolve_call(func: ast.expr, imports: ImportMap) -> Optional[str]:
+    """Fully qualified dotted name of a call target, if resolvable.
+
+    ``np.random.default_rng`` → ``"numpy.random.default_rng"`` when
+    numpy was imported as ``np``.  Plain builtins resolve to their own
+    name (``open`` → ``"open"``) unless an import shadows them.
+    """
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    origin = imports.origin(node.id)
+    parts.append(origin if origin is not None else node.id)
+    return ".".join(reversed(parts))

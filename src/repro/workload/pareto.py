@@ -40,6 +40,7 @@ class ParetoSampler:
         shape: float,
         cap: Optional[float] = None,
         rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
     ):
         if scale <= 0:
             raise ValueError("scale must be positive")
@@ -50,7 +51,9 @@ class ParetoSampler:
         self.scale = scale
         self.shape = shape
         self.cap = cap
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # No ambient entropy: without an explicit generator the sampler
+        # is seeded (deterministically) rather than drawn from the OS.
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def sample(self, size: Optional[int] = None):
         """Draw one value or an array of values."""

@@ -97,7 +97,7 @@ class TradingDay:
         counts = self.trades_per_stock()
         return np.argsort(counts)[::-1][:k]
 
-    def trades_of(self, stock: int) -> "tuple[np.ndarray, np.ndarray]":
+    def trades_of(self, stock: int) -> tuple[np.ndarray, np.ndarray]:
         """``(normalized prices, amounts)`` of one stock's trades."""
         mask = self.stock == stock
         return (

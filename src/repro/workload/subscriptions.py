@@ -107,7 +107,7 @@ class NameFieldParams:
     17)"); blocks beyond the list reuse the last anchor.
     """
 
-    block_centers: "tuple[float, ...]" = (3.0, 10.0, 17.0)
+    block_centers: tuple[float, ...] = (3.0, 10.0, 17.0)
     center_sigma: float = 4.0
     max_length: int = 8
     length_theta: float = 1.0

@@ -41,11 +41,14 @@ class ZipfSampler:
         n: int,
         theta: float = 1.0,
         rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
     ):
         self.n = n
         self.theta = theta
         self.probabilities = zipf_weights(n, theta)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # No ambient entropy: without an explicit generator the sampler
+        # is seeded (deterministically) rather than drawn from the OS.
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def sample(self, size: Optional[int] = None):
         """One rank (``size=None``) or an array of ranks."""

@@ -1,0 +1,119 @@
+"""Baseline round-trips: grandfather, persist, reload, decay."""
+
+import json
+
+import pytest
+
+from repro.statics import Baseline, lint_paths, lint_source
+
+
+def findings_for(source, path="src/repro/core/x.py"):
+    active, _ = lint_source(source, path)
+    return active
+
+
+class TestPartition:
+    def test_baselined_findings_do_not_fail_the_gate(self):
+        source = "import time\nstamp = time.time()\n"
+        findings = findings_for(source)
+        baseline = Baseline.from_findings(findings)
+        fresh, grandfathered = baseline.partition(findings)
+        assert fresh == []
+        assert grandfathered == findings
+
+    def test_new_findings_still_fail(self):
+        old = findings_for("import time\nstamp = time.time()\n")
+        baseline = Baseline.from_findings(old)
+        new = findings_for(
+            "import time\nstamp = time.time()\nagain = time.time()\n"
+        )
+        fresh, grandfathered = baseline.partition(new)
+        # Identical snippets share a fingerprint: the baseline budget
+        # (one entry) excuses exactly one of the two occurrences.
+        assert len(grandfathered) == 1
+        assert len(fresh) == 1
+
+    def test_multiset_budget_counts_duplicates(self):
+        # Two identical offending lines → identical fingerprints; a
+        # baseline holding both must excuse both, not just one.
+        source = "import time\nx = time.time()\nx = time.time()\n"
+        findings = findings_for(source)
+        assert len(findings) == 2
+        assert findings[0].fingerprint == findings[1].fingerprint
+        baseline = Baseline.from_findings(findings)
+        fresh, grandfathered = baseline.partition(findings)
+        assert fresh == []
+        assert len(grandfathered) == 2
+
+    def test_line_drift_survives(self):
+        before = "import time\nstamp = time.time()\n"
+        baseline = Baseline.from_findings(findings_for(before))
+        after = (
+            "import time\n"
+            "# three new lines\n"
+            "# of commentary\n"
+            "# above the violation\n"
+            "stamp = time.time()\n"
+        )
+        fresh, grandfathered = baseline.partition(findings_for(after))
+        assert fresh == []
+        assert len(grandfathered) == 1
+
+    def test_edited_violation_decays_out(self):
+        before = "import time\nstamp = time.time()\n"
+        baseline = Baseline.from_findings(findings_for(before))
+        after = "import time\nwhen = time.time()\n"  # the line changed
+        fresh, grandfathered = baseline.partition(findings_for(after))
+        assert len(fresh) == 1
+        assert grandfathered == []
+
+
+class TestPersistence:
+    def test_dump_load_round_trip(self, tmp_path):
+        source = "import time\nimport random\n"
+        source += "pair = (time.time(), random.random())\n"
+        findings = findings_for(source)
+        assert len(findings) == 2
+        baseline = Baseline.from_findings(findings)
+        path = tmp_path / "lint-baseline.json"
+        baseline.dump(path)
+        reloaded = Baseline.load(path)
+        assert reloaded.to_dict() == baseline.to_dict()
+        fresh, _ = reloaded.partition(findings)
+        assert fresh == []
+
+    def test_dump_is_deterministic_and_diff_friendly(self, tmp_path):
+        source = "import time\nstamp = time.time()\n"
+        baseline = Baseline.from_findings(findings_for(source))
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        baseline.dump(a)
+        baseline.dump(b)
+        assert a.read_bytes() == b.read_bytes()
+        payload = json.loads(a.read_text())
+        assert payload["version"] == 1
+        assert payload["entries"][0]["rule"] == "DET01"
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert len(baseline) == 0
+
+    def test_unsupported_version_is_loud(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="unsupported baseline version"):
+            Baseline.load(path)
+
+
+class TestEndToEnd:
+    def test_lint_paths_with_baseline_goes_green(self, tmp_path):
+        sick = tmp_path / "src" / "repro" / "core"
+        sick.mkdir(parents=True)
+        (sick / "legacy.py").write_text(
+            "import time\nstamp = time.time()\n"
+        )
+        dirty = lint_paths([str(tmp_path)])
+        assert dirty.exit_code == 1
+        baseline = Baseline.from_findings(dirty.findings)
+        clean = lint_paths([str(tmp_path)], baseline=baseline)
+        assert clean.exit_code == 0
+        assert len(clean.baselined) == 1

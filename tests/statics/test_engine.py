@@ -1,0 +1,154 @@
+"""Engine behaviour: suppression, discovery, ordering, error handling."""
+
+import pytest
+
+from repro.statics import lint_paths, lint_source
+from repro.statics.engine import discover_files
+
+
+class TestNoqaSuppression:
+    def test_bare_noqa_suppresses_everything_on_the_line(self):
+        source = "import time\nstamp = time.time()  # repro: noqa\n"
+        active, suppressed = lint_source(source, "src/repro/core/x.py")
+        assert active == []
+        assert [f.rule for f in suppressed] == ["DET01"]
+
+    def test_coded_noqa_suppresses_only_that_rule(self):
+        source = (
+            "import time\n"
+            "import random\n"
+            "pair = (time.time(), random.random())  # repro: noqa DET01\n"
+        )
+        active, suppressed = lint_source(source, "src/repro/core/x.py")
+        assert [f.rule for f in active] == ["DET02"]
+        assert [f.rule for f in suppressed] == ["DET01"]
+
+    def test_comma_separated_codes(self):
+        source = (
+            "import time\n"
+            "import random\n"
+            "pair = (time.time(), random.random())"
+            "  # repro: noqa DET01,DET02\n"
+        )
+        active, suppressed = lint_source(source, "src/repro/core/x.py")
+        assert active == []
+        assert len(suppressed) == 2
+
+    def test_noqa_with_justification_dash(self):
+        source = (
+            "def f(handle):\n"
+            "    with handle.open('ab') as h:"
+            "  # repro: noqa IO01 - append framing is the primitive\n"
+            "        h.write(b'x')\n"
+        )
+        active, suppressed = lint_source(
+            source, "src/repro/durability/x.py"
+        )
+        assert active == []
+        assert [f.rule for f in suppressed] == ["IO01"]
+
+    def test_wrong_code_does_not_suppress(self):
+        source = "import time\nstamp = time.time()  # repro: noqa DET02\n"
+        active, _ = lint_source(source, "src/repro/core/x.py")
+        assert [f.rule for f in active] == ["DET01"]
+
+    def test_noqa_on_a_different_line_does_not_leak(self):
+        source = (
+            "import time\n"
+            "ok = 1  # repro: noqa\n"
+            "stamp = time.time()\n"
+        )
+        active, _ = lint_source(source, "src/repro/core/x.py")
+        assert [f.rule for f in active] == ["DET01"]
+
+
+class TestFindingShape:
+    def test_findings_carry_location_and_hint(self):
+        source = "import time\n\nstamp = time.time()\n"
+        active, _ = lint_source(source, "src/repro/core/x.py")
+        (finding,) = active
+        assert finding.line == 3
+        assert finding.col >= 1
+        assert finding.path == "src/repro/core/x.py"
+        assert "clock" in finding.hint
+        assert finding.location() == "src/repro/core/x.py:3:9"
+
+    def test_findings_sorted_by_position(self):
+        source = (
+            "import time\n"
+            "import random\n"
+            "b = random.random()\n"
+            "a = time.time()\n"
+        )
+        active, _ = lint_source(source, "src/repro/core/x.py")
+        assert [f.line for f in active] == [3, 4]
+
+    def test_fingerprint_ignores_line_number(self):
+        before = "import time\nstamp = time.time()\n"
+        after = "import time\n# a comment pushed it down\nstamp = time.time()\n"
+        (f1,), _ = lint_source(before, "src/repro/core/x.py")
+        (f2,), _ = lint_source(after, "src/repro/core/x.py")
+        assert f1.line != f2.line
+        assert f1.fingerprint == f2.fingerprint
+
+    def test_fingerprint_depends_on_path_and_rule(self):
+        source = "import time\nstamp = time.time()\n"
+        (f1,), _ = lint_source(source, "src/repro/core/x.py")
+        (f2,), _ = lint_source(source, "src/repro/core/y.py")
+        assert f1.fingerprint != f2.fingerprint
+
+
+class TestDiscovery:
+    def test_skips_pycache_and_sorts(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "a.py").write_text("y = 2\n")
+        cache = tmp_path / "pkg" / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-311.py").write_text("z = 3\n")
+        files = discover_files([str(tmp_path)])
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_single_file_target(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        assert discover_files([str(target)]) == [target]
+
+    def test_missing_target_is_loud(self):
+        with pytest.raises(ValueError, match="does not exist"):
+            discover_files(["no/such/dir"])
+
+    def test_duplicate_targets_deduplicate(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        files = discover_files([str(target), str(tmp_path)])
+        assert files == [target]
+
+
+class TestLintPaths:
+    def test_syntax_error_is_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        result = lint_paths([str(tmp_path)])
+        assert result.findings == []
+        assert len(result.errors) == 1
+        assert "bad.py" in result.errors[0]
+        assert result.exit_code == 1
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("from __future__ import annotations\n\nx: int = 1\n")
+        result = lint_paths([str(tmp_path)])
+        assert result.exit_code == 0
+        assert result.files == 1
+
+    def test_rule_filter_restricts(self, tmp_path):
+        source = "import time\nimport random\n"
+        source += "pair = (time.time(), random.random())\n"
+        sick = tmp_path / "src" / "repro" / "core"
+        sick.mkdir(parents=True)
+        (sick / "sick.py").write_text(source)
+        both = lint_paths([str(tmp_path)])
+        only = lint_paths([str(tmp_path)], rules=["DET02"])
+        assert {f.rule for f in both.findings} == {"DET01", "DET02"}
+        assert {f.rule for f in only.findings} == {"DET02"}

@@ -267,3 +267,136 @@ class TestParser:
                     "--modes", "7",
                 ]
             )
+
+
+class TestLint:
+    """The `repro lint` verb: rules, formats, baseline lifecycle."""
+
+    @pytest.fixture()
+    def violation_tree(self, tmp_path):
+        scratch = tmp_path / "src" / "repro" / "core"
+        scratch.mkdir(parents=True)
+        (scratch / "sick.py").write_text(
+            "import time\n"
+            "import random\n"
+            "a = time.time()\n"
+            "b = random.random()\n"
+        )
+        return tmp_path
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text(
+            "from __future__ import annotations\n\nx: int = 1\n"
+        )
+        code = main(["lint", str(tmp_path), "--baseline", "skip"])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_violations_exit_one_and_name_the_rule(
+        self, violation_tree, capsys
+    ):
+        code = main(["lint", str(violation_tree), "--baseline", "skip"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DET01" in out and "DET02" in out
+        assert "fix:" in out  # hints ride along
+
+    def test_rule_flag_restricts(self, violation_tree, capsys):
+        code = main(
+            [
+                "lint", str(violation_tree),
+                "--rule", "DET02",
+                "--baseline", "skip",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DET02" in out and "DET01" not in out
+
+    def test_unknown_rule_exits_two(self, violation_tree, capsys):
+        code = main(
+            ["lint", str(violation_tree), "--rule", "NOPE99"]
+        )
+        assert code == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_json_format_is_machine_readable(self, violation_tree, capsys):
+        import json
+
+        code = main(
+            [
+                "lint", str(violation_tree),
+                "--format", "json",
+                "--baseline", "skip",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        assert payload["counts"]["per_rule"] == {"DET01": 1, "DET02": 1}
+        rules = [f["rule"] for f in payload["findings"]]
+        assert rules == ["DET01", "DET02"]
+        assert all("fingerprint" in f for f in payload["findings"])
+
+    def test_baseline_write_then_apply_round_trip(
+        self, violation_tree, tmp_path, capsys
+    ):
+        baseline_file = tmp_path / "baseline.json"
+        code = main(
+            [
+                "lint", str(violation_tree),
+                "--baseline", "write",
+                "--baseline-file", str(baseline_file),
+            ]
+        )
+        assert code == 0
+        assert "2 grandfathered" in capsys.readouterr().out
+        # With the baseline applied the same tree goes green...
+        code = main(
+            [
+                "lint", str(violation_tree),
+                "--baseline-file", str(baseline_file),
+            ]
+        )
+        assert code == 0
+        assert "2 baselined" in capsys.readouterr().out
+        # ...but a fresh violation still fails.
+        sick = violation_tree / "src" / "repro" / "core" / "sick.py"
+        sick.write_text(sick.read_text() + "c = time.monotonic()\n")
+        code = main(
+            [
+                "lint", str(violation_tree),
+                "--baseline-file", str(baseline_file),
+            ]
+        )
+        assert code == 1
+
+    def test_list_rules_prints_catalogue(self, capsys):
+        code = main(["lint", "--list-rules"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for rule_code in (
+            "DET01", "DET02", "DET03", "ASSERT01",
+            "ANN01", "ERR01", "IO01", "EXC01",
+        ):
+            assert rule_code in out
+        assert "why:" in out and "fix:" in out
+
+    def test_missing_target_exits_two(self, capsys):
+        code = main(["lint", "definitely/not/a/dir"])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_repo_gate_via_cli(self, capsys):
+        # The shipped tree, the checked-in baseline, exit 0: the same
+        # invocation CI runs.
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[1]
+        code = main(
+            [
+                "lint", str(repo / "src"),
+                "--baseline-file", str(repo / "lint-baseline.json"),
+            ]
+        )
+        assert code == 0
